@@ -1,0 +1,121 @@
+"""Conformance checking (§3.4 / §4.1): throughput and discrepancy finding.
+
+Benchmarks the random-exploration + deterministic-replay loop, verifies
+that the shipped specifications conform to the shipped implementation,
+that an injected divergence is caught, and that the ZK-4394 discrepancy
+workflow of §4.1 (model trace -> code-level NullPointerException)
+reproduces.
+"""
+
+import pytest
+
+from conftest import once, print_table
+from repro.checker import BFSChecker
+from repro.impl import Ensemble
+from repro.remix import ConformanceChecker
+from repro.zookeeper import V391, ZkConfig, make_spec
+from repro.zookeeper.specs import SELECTIONS
+
+CFG = ZkConfig(max_txns=1, max_crashes=1, max_partitions=0, max_epoch=3)
+
+_REPORTS = {}
+
+
+def checker_for(name, divergence="", seed=11):
+    spec = make_spec(name, CFG)
+    return ConformanceChecker(
+        spec,
+        SELECTIONS[name],
+        lambda: Ensemble(3, V391, divergence),
+        seed=seed,
+    )
+
+
+@pytest.mark.parametrize("name", ["mSpec-1", "mSpec-2", "mSpec-3"])
+def test_conformance_throughput(benchmark, name):
+    checker = checker_for(name)
+
+    def run():
+        return checker.run(traces=30, max_steps=25)
+
+    report = once(benchmark, run)
+    _REPORTS[name] = report
+    assert report.conforms
+
+
+def test_divergence_detection(benchmark):
+    checker = checker_for("mSpec-3", divergence="skip_epoch_update")
+
+    def run():
+        return checker.run(traces=40, max_steps=20)
+
+    report = once(benchmark, run)
+    _REPORTS["mSpec-3 (divergent impl)"] = report
+    assert not report.conforms
+
+
+def test_zk4394_confirmation(benchmark):
+    """§4.1: the conformance workflow surfaces ZK-4394."""
+    spec = make_spec("mSpec-1", CFG)
+    spec.invariants = [i for i in spec.invariants if i.ident == "I-14"]
+    result = BFSChecker(spec, max_states=100_000, max_time=120).run()
+    assert result.found_violation
+    checker = checker_for("mSpec-1")
+
+    def confirm():
+        return checker.confirm_violation(result.first_violation.trace)
+
+    report = once(benchmark, confirm)
+    assert report is not None and report.bug_id == "ZK-4394"
+
+
+def test_bottom_up_validation(benchmark):
+    """The complementary bottom-up approach (§6): random implementation
+    runs validated against the model in lockstep."""
+    from repro.remix import TraceValidator, mapping_for as _mapping_for
+
+    spec = make_spec("mSpec-3", CFG)
+    validator = TraceValidator(
+        spec,
+        _mapping_for(SELECTIONS["mSpec-3"]),
+        lambda: Ensemble(3, V391),
+        seed=7,
+    )
+
+    def run():
+        return validator.validate(runs=10, max_steps=18)
+
+    report = once(benchmark, run)
+    _REPORTS["mSpec-3 (bottom-up)"] = report
+    assert report.valid
+
+
+def test_zz_report(benchmark):
+    benchmark(lambda: None)  # keep the report under --benchmark-only
+    rows = []
+    for name, report in _REPORTS.items():
+        if hasattr(report, "traces_explored"):
+            rows.append(
+                (
+                    name,
+                    report.traces_explored,
+                    report.steps_replayed,
+                    len(report.discrepancies),
+                    "conforms" if report.conforms else "DISCREPANT",
+                )
+            )
+        else:  # bottom-up ValidationReport
+            rows.append(
+                (
+                    name,
+                    report.runs,
+                    report.steps_validated,
+                    len(report.issues),
+                    "valid" if report.valid else "INVALID",
+                )
+            )
+    print_table(
+        "Conformance checking (§3.4)",
+        ("Spec", "Traces", "Steps replayed", "Discrepancies", "Verdict"),
+        rows,
+    )

@@ -1,0 +1,75 @@
+"""Table 2: the invariant catalogue and its evaluation cost.
+
+Regenerates the census (ten protocol invariants + eleven code-level
+instances in four families) and benchmarks invariant evaluation over the
+reachable states -- the per-state cost TLC pays during checking.
+"""
+
+import pytest
+
+from conftest import bench_config, print_table
+from repro.checker import RandomWalker
+from repro.zab.invariants import protocol_invariants
+from repro.zookeeper import make_spec
+from repro.zookeeper.code_invariants import INSTANCE_TABLE, code_invariants
+
+
+def test_protocol_census():
+    invariants = protocol_invariants()
+    assert [inv.ident for inv in invariants] == [
+        f"I-{k}" for k in range(1, 11)
+    ]
+
+
+def test_code_census():
+    families = {}
+    for code, (family, _, _) in INSTANCE_TABLE.items():
+        families.setdefault(family, []).append(code)
+    assert {f: len(v) for f, v in families.items()} == {
+        "I-11": 4,
+        "I-12": 2,
+        "I-13": 2,
+        "I-14": 3,
+    }
+
+
+def test_invariant_evaluation_benchmark(benchmark):
+    spec = make_spec("mSpec-3", bench_config())
+    states = RandomWalker(spec, seed=1).walk(max_steps=25).states
+    invariants = spec.invariants
+
+    def evaluate():
+        violations = 0
+        for state in states:
+            for inv in invariants:
+                if not inv.holds(spec.config, state):
+                    violations += 1
+        return violations
+
+    benchmark(evaluate)
+
+
+def test_zz_report(benchmark):
+    benchmark(lambda: None)  # keep the report under --benchmark-only
+    rows = [
+        (inv.ident, inv.name, "Protocol") for inv in protocol_invariants()
+    ]
+    families = {}
+    for code, (family, name, requires) in INSTANCE_TABLE.items():
+        families.setdefault(family, []).append((code, requires))
+    for family in ("I-11", "I-12", "I-13", "I-14"):
+        instances = families[family]
+        rows.append(
+            (
+                family,
+                f"{len(instances)} instances "
+                f"({sum(1 for _, r in instances if r != 'any')} need "
+                f"fine granularity)",
+                "Code",
+            )
+        )
+    print_table(
+        "Table 2: invariants (10 protocol + 11 code instances)",
+        ("ID", "Invariant", "Source"),
+        rows,
+    )

@@ -1,0 +1,97 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+and prints it side by side with the paper-reported values (EXPERIMENTS.md
+records the comparison).  Absolute numbers differ -- pure-Python
+exploration at laptop scale vs TLC on a 96-core server -- but the *shape*
+(who finds what, which invariant fires, relative ordering) must match.
+"""
+
+import os
+
+import pytest
+
+from repro.checker import BFSChecker
+from repro.zookeeper import ZkConfig, zk4394_mask
+from repro.zookeeper.specs import SELECTIONS, build_spec
+
+#: Scale knob: REPRO_BENCH_SCALE=small keeps every bench under ~1 min.
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "normal")
+
+
+def bench_config(**kw):
+    """The Table 5 configuration shape (3 servers, 2 txns, 2 crashes,
+    2 partitions) at laptop scale."""
+    defaults = dict(
+        n_servers=3, max_txns=2, max_crashes=2, max_partitions=0, max_epoch=3
+    )
+    defaults.update(kw)
+    return ZkConfig(**defaults)
+
+
+def hunt(
+    spec_name,
+    config,
+    family=None,
+    instance=None,
+    masked=True,
+    max_states=2_000_000,
+    max_time=240,
+    variant=None,
+    stop_at_first=True,
+    violation_limit=10_000,
+):
+    """One model-checking run, optionally restricted to an invariant
+    family (how Table 4 reports per-bug rows)."""
+    if variant is not None:
+        config = config.with_variant(variant)
+    spec = build_spec(spec_name, SELECTIONS[spec_name], config)
+    if family is not None:
+        spec.invariants = [
+            inv
+            for inv in spec.invariants
+            if inv.ident == family
+            and (instance is None or inv.instance == instance)
+        ]
+    if SCALE == "small":
+        max_states = min(max_states, 150_000)
+        max_time = min(max_time, 45)
+    checker = BFSChecker(
+        spec,
+        max_states=max_states,
+        max_time=max_time,
+        mask=zk4394_mask if masked else None,
+        stop_at_first=stop_at_first,
+        violation_limit=violation_limit,
+    )
+    return checker.run()
+
+
+REPORT_FILE = os.environ.get(
+    "REPRO_BENCH_REPORT", os.path.join(os.path.dirname(__file__), "..", "bench_reports.txt")
+)
+
+
+def print_table(title, headers, rows):
+    """Render one experiment table (stdout + bench_reports.txt, since
+    pytest captures stdout unless -s is given)."""
+    widths = [
+        max(len(str(headers[k])), *(len(str(r[k])) for r in rows))
+        for k in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    out = [f"\n=== {title} ===", line, "-" * len(line)]
+    for row in rows:
+        out.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    text = "\n".join(out)
+    print(text)
+    try:
+        with open(REPORT_FILE, "a") as fh:
+            fh.write(text + "\n")
+    except OSError:
+        pass
+
+
+def once(benchmark, fn):
+    """Run a heavy experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Conformance checking between specification and implementation (§3.4).
+
+The conformance checker randomly explores the model-level state space,
+replays every trace deterministically against the implementation through
+the coordinator, and compares the states after each step.  This example:
+
+1. shows a clean run (the shipped spec matches the shipped simulator);
+2. injects a code-level divergence ("the epoch write is lost") and shows
+   the checker pinpointing the differing variable;
+3. shows the trace that exposes the divergence, which is what a developer
+   would debug (§3.5.3's deterministic replay).
+
+Run:  python examples/conformance_checking.py
+"""
+
+from repro.impl import Ensemble
+from repro.remix import ConformanceChecker
+from repro.zookeeper import V391, ZkConfig, make_spec
+from repro.zookeeper.specs import SELECTIONS
+
+
+def main():
+    config = ZkConfig(max_txns=1, max_crashes=1, max_partitions=0, max_epoch=3)
+    spec = make_spec("mSpec-3", config)
+
+    print("1) Conformance of mSpec-3 against the implementation:")
+    checker = ConformanceChecker(
+        spec, SELECTIONS["mSpec-3"], lambda: Ensemble(3, V391), seed=42
+    )
+    report = checker.run(traces=40, max_steps=25)
+    print(f"   {report.summary()}")
+    assert report.conforms
+
+    print("\n2) Same check against an implementation whose epoch write "
+          "is lost (an injected 'wrong variable assignment'):")
+    broken = ConformanceChecker(
+        spec,
+        SELECTIONS["mSpec-3"],
+        lambda: Ensemble(3, V391, divergence="skip_epoch_update"),
+        seed=42,
+    )
+    report = broken.run(traces=40, max_steps=25)
+    print(f"   {report.summary()}")
+    assert not report.conforms
+
+    first = next(
+        d for d in report.discrepancies if d.kind == "state_mismatch"
+    )
+    print(f"\n3) First discrepancy, as a developer would see it:")
+    print(f"   {first}")
+    print("\n   The differing variable (current_epoch) points straight at "
+          "the divergent code path -- the specification or the code must "
+          "be revised until conformance passes (§3.4).")
+
+
+if __name__ == "__main__":
+    main()

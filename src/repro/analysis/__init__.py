@@ -1,0 +1,31 @@
+"""Analyses for the paper's effort table and bug-lineage figure."""
+
+from repro.analysis.efforts import SpecDiff, SpecMetrics, diff, measure, table3
+from repro.analysis.lineage import (
+    EDGES,
+    ISSUES,
+    Issue,
+    descendants_of_optimization,
+    generations,
+    lineage_graph,
+    render_ascii,
+    roots,
+    unfixed_at_publication,
+)
+
+__all__ = [
+    "EDGES",
+    "ISSUES",
+    "Issue",
+    "SpecDiff",
+    "SpecMetrics",
+    "descendants_of_optimization",
+    "diff",
+    "generations",
+    "lineage_graph",
+    "measure",
+    "render_ascii",
+    "roots",
+    "table3",
+    "unfixed_at_publication",
+]

@@ -1,0 +1,29 @@
+"""Explicit-state model checkers: BFS (the TLC substitute), DFS and
+iterative deepening, random walk, coverage, shrinking and rendering."""
+
+from repro.checker.bfs import BFSChecker, check
+from repro.checker.coverage import CoverageReport, measure_coverage
+from repro.checker.dfs import DFSChecker, IterativeDeepeningChecker
+from repro.checker.pretty import format_state, format_trace
+from repro.checker.random_walk import RandomWalker
+from repro.checker.result import CheckResult, Violation
+from repro.checker.shrink import shrink_trace, violation_predicate
+from repro.checker.trace import Trace, traces_project_equal
+
+__all__ = [
+    "BFSChecker",
+    "CheckResult",
+    "CoverageReport",
+    "DFSChecker",
+    "IterativeDeepeningChecker",
+    "RandomWalker",
+    "Trace",
+    "Violation",
+    "check",
+    "format_state",
+    "format_trace",
+    "measure_coverage",
+    "shrink_trace",
+    "traces_project_equal",
+    "violation_predicate",
+]

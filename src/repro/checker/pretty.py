@@ -1,0 +1,71 @@
+"""Human-readable rendering of states and traces.
+
+Counterexamples are read by people; rendering every variable of every
+state buries the signal.  The pretty-printer shows the initial state once
+and then, per step, only the variables the action changed -- the format
+TLC's error traces use.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.checker.trace import Trace
+from repro.tla.state import State
+
+#: Variables hidden by default when rendering ZooKeeper traces (ghosts
+#: and the message soup dominate otherwise).
+DEFAULT_HIDE_PREFIXES = ("g_",)
+DEFAULT_HIDE = ("msgs",)
+
+
+def _visible(name: str, hide: Sequence[str], hide_prefixes: Sequence[str]):
+    if name in hide:
+        return False
+    return not any(name.startswith(prefix) for prefix in hide_prefixes)
+
+
+def format_state(
+    state: State,
+    hide: Sequence[str] = DEFAULT_HIDE,
+    hide_prefixes: Sequence[str] = DEFAULT_HIDE_PREFIXES,
+    indent: str = "  ",
+) -> str:
+    lines: List[str] = []
+    for name in state.schema.names:
+        if _visible(name, hide, hide_prefixes):
+            lines.append(f"{indent}{name} = {state[name]!r}")
+    return "\n".join(lines)
+
+
+def format_trace(
+    trace: Trace,
+    hide: Sequence[str] = DEFAULT_HIDE,
+    hide_prefixes: Sequence[str] = DEFAULT_HIDE_PREFIXES,
+    max_steps: Optional[int] = None,
+) -> str:
+    """TLC-style error trace: full initial state, then per-step diffs."""
+    lines = ["State 0 (initial):", format_state(trace.initial, hide, hide_prefixes)]
+    steps = list(trace.steps())
+    if max_steps is not None:
+        steps = steps[:max_steps]
+    for index, (pre, label, post) in enumerate(steps, start=1):
+        lines.append(f"\nStep {index}: {label}")
+        diff = pre.diff(post)
+        for name in post.schema.names:
+            if name not in diff:
+                continue
+            if not _visible(name, hide, hide_prefixes):
+                continue
+            old, new = diff[name]
+            lines.append(f"  {name}: {old!r} -> {new!r}")
+        shown = [
+            name
+            for name in diff
+            if _visible(name, hide, hide_prefixes)
+        ]
+        if not shown:
+            lines.append("  (only hidden variables changed)")
+    if max_steps is not None and len(trace.labels) > max_steps:
+        lines.append(f"\n... {len(trace.labels) - max_steps} more steps")
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Check results and violation records (the TLC run report)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.checker.trace import Trace
+from repro.tla.spec import Invariant
+
+
+@dataclass
+class Violation:
+    """One invariant violation with its minimal-depth counterexample."""
+
+    invariant: Invariant
+    trace: Trace
+
+    @property
+    def depth(self) -> int:
+        return len(self.trace)
+
+    def __str__(self) -> str:
+        return (
+            f"Violation of {self.invariant.full_name} ({self.invariant.name}) "
+            f"at depth {self.depth}"
+        )
+
+
+@dataclass
+class CheckResult:
+    """Statistics of one model-checking run (one row of Tables 4-6)."""
+
+    spec_name: str
+    states_explored: int = 0
+    transitions: int = 0
+    max_depth: int = 0
+    elapsed_seconds: float = 0.0
+    violations: List[Violation] = field(default_factory=list)
+    completed: bool = False  # state space exhausted within budgets
+    budget_exhausted: Optional[str] = None  # which budget stopped us, if any
+
+    @property
+    def found_violation(self) -> bool:
+        return bool(self.violations)
+
+    @property
+    def first_violation(self) -> Optional[Violation]:
+        return self.violations[0] if self.violations else None
+
+    def violated_invariant_ids(self) -> List[str]:
+        """Distinct invariant family ids, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for violation in self.violations:
+            seen.setdefault(violation.invariant.ident, None)
+        return list(seen)
+
+    def summary(self) -> str:
+        status = "completed" if self.completed else (
+            f"stopped ({self.budget_exhausted})" if self.budget_exhausted else "stopped"
+        )
+        vio = (
+            f"{len(self.violations)} violation(s) of "
+            f"{', '.join(self.violated_invariant_ids())}"
+            if self.violations
+            else "no violation"
+        )
+        return (
+            f"[{self.spec_name}] {status}: {self.states_explored} states, "
+            f"{self.transitions} transitions, depth {self.max_depth}, "
+            f"{self.elapsed_seconds:.2f}s, {vio}"
+        )

@@ -1,0 +1,88 @@
+"""Counterexample shrinking.
+
+BFS already yields minimal-*depth* traces, but traces produced by random
+walks (conformance checking) or DFS carry irrelevant steps.  The shrinker
+greedily deletes steps while the trace still replays and still ends in a
+state satisfying the target predicate -- the standard delta-debugging
+loop specialized to action traces.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.checker.trace import Trace
+from repro.tla.action import ActionLabel
+from repro.tla.spec import Specification
+from repro.tla.state import State
+
+Predicate = Callable[[State], bool]
+
+
+def _try_replay(
+    spec: Specification, labels: List[ActionLabel], initial: State
+) -> Optional[List[State]]:
+    """Replay labels; None when some step is disabled."""
+    states = [initial]
+    current = initial
+    for label in labels:
+        inst = spec.instance_for(label)
+        nxt = inst.apply(spec.config, current)
+        if nxt is None:
+            return None
+        states.append(nxt)
+        current = nxt
+    return states
+
+
+def shrink_trace(
+    spec: Specification,
+    trace: Trace,
+    still_fails: Predicate,
+    max_rounds: int = 10,
+) -> Trace:
+    """Remove steps from ``trace`` while its final state still satisfies
+    ``still_fails`` (e.g. "violates I-8").
+
+    Greedy loop: try deleting contiguous chunks (halving the chunk size
+    each round), keeping any deletion after which the remaining labels
+    still replay into a failing state.  The result is 1-minimal with
+    respect to single-step deletion when the loop converges.
+    """
+    labels = list(trace.labels)
+    initial = trace.initial
+    states = _try_replay(spec, labels, initial)
+    if states is None or not still_fails(states[-1]):
+        raise ValueError("the input trace does not reproduce the failure")
+
+    for _ in range(max_rounds):
+        changed = False
+        chunk = max(1, len(labels) // 2)
+        while chunk >= 1:
+            index = 0
+            while index < len(labels):
+                candidate = labels[:index] + labels[index + chunk :]
+                replayed = _try_replay(spec, candidate, initial)
+                if replayed is not None and still_fails(replayed[-1]):
+                    labels = candidate
+                    states = replayed
+                    changed = True
+                else:
+                    index += chunk
+            chunk //= 2
+        if not changed:
+            break
+    return Trace(states=states, labels=labels)
+
+
+def violation_predicate(spec: Specification, ident: str) -> Predicate:
+    """A ``still_fails`` predicate: some instance of the invariant family
+    ``ident`` is violated in the state."""
+    invariants = [inv for inv in spec.invariants if inv.ident == ident]
+    if not invariants:
+        raise KeyError(f"specification has no invariant {ident!r}")
+
+    def predicate(state: State) -> bool:
+        return any(not inv.holds(spec.config, state) for inv in invariants)
+
+    return predicate

@@ -1,0 +1,76 @@
+"""Traces: label/state sequences produced by the checkers.
+
+A :class:`Trace` records the action labels from an initial state plus the
+resulting state sequence.  Traces are what the conformance checker replays
+against the implementation (Section 3.5.2) and what a safety violation is
+reported as (the TLC counterexample).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, List, Sequence, Tuple
+
+from repro.tla.action import ActionLabel
+from repro.tla.state import State
+
+
+@dataclass
+class Trace:
+    """A finite behaviour: states[0] -label[0]-> states[1] -> ..."""
+
+    states: List[State]
+    labels: List[ActionLabel]
+
+    def __post_init__(self):
+        if len(self.states) != len(self.labels) + 1:
+            raise ValueError(
+                f"{len(self.states)} states need {len(self.states) - 1} labels, "
+                f"got {len(self.labels)}"
+            )
+
+    def __len__(self) -> int:
+        """Number of steps (state transitions)."""
+        return len(self.labels)
+
+    @property
+    def initial(self) -> State:
+        return self.states[0]
+
+    @property
+    def final(self) -> State:
+        return self.states[-1]
+
+    def steps(self):
+        """Iterate (pre-state, label, post-state) triples."""
+        for i, label in enumerate(self.labels):
+            yield self.states[i], label, self.states[i + 1]
+
+    def project(self, variables: FrozenSet[str]) -> Tuple[Tuple, ...]:
+        """Project onto a variable set with stutter condensation
+        (Appendix B.3): consecutive equal projections merge."""
+        out: List[Tuple] = []
+        for state in self.states:
+            projected = state.project(variables)
+            if not out or out[-1] != projected:
+                out.append(projected)
+        return tuple(out)
+
+    def describe(self, max_steps: int = 50) -> str:
+        """Human-readable rendering (for violation reports)."""
+        lines = [f"Trace with {len(self)} steps:"]
+        for i, label in enumerate(self.labels[:max_steps]):
+            lines.append(f"  {i + 1:3d}. {label}")
+        if len(self.labels) > max_steps:
+            lines.append(f"  ... ({len(self.labels) - max_steps} more)")
+        return "\n".join(lines)
+
+
+def traces_project_equal(
+    left: Sequence[Trace], right: Sequence[Trace], variables: FrozenSet[str]
+) -> bool:
+    """Set-equality of projected, condensed traces (the paper's T_S|M_i ==
+    T_S_i|M_i), used in property tests of the coarsening theorem."""
+    left_set = {trace.project(variables) for trace in left}
+    right_set = {trace.project(variables) for trace in right}
+    return left_set == right_set

@@ -1,0 +1,230 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the main workflows without writing Python:
+
+- ``check``       model-check one of the Table 1 specifications
+- ``conformance`` run conformance checking against the simulator
+- ``bugs``        hunt each of the six paper bugs (a mini Table 4)
+- ``protocol``    verify the Zab protocol variants (§5.4)
+- ``efforts``     print the Table 3 effort metrics
+- ``lineage``     print the Figure 8 bug lineage
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.checker import BFSChecker, format_trace
+from repro.zookeeper import ZkConfig, make_spec, zk4394_mask
+from repro.zookeeper.specs import SELECTIONS
+
+
+def _add_config_args(parser: argparse.ArgumentParser):
+    parser.add_argument("--servers", type=int, default=3)
+    parser.add_argument("--txns", type=int, default=1)
+    parser.add_argument("--crashes", type=int, default=1)
+    parser.add_argument("--partitions", type=int, default=0)
+    parser.add_argument("--max-epoch", type=int, default=3)
+    parser.add_argument("--max-states", type=int, default=500_000)
+    parser.add_argument("--max-time", type=float, default=120.0)
+
+
+def _config(args) -> ZkConfig:
+    return ZkConfig(
+        n_servers=args.servers,
+        max_txns=args.txns,
+        max_crashes=args.crashes,
+        max_partitions=args.partitions,
+        max_epoch=args.max_epoch,
+    )
+
+
+def cmd_check(args) -> int:
+    spec = make_spec(args.spec, _config(args))
+    mask = None if args.unmask_zk4394 else zk4394_mask
+    result = BFSChecker(
+        spec, max_states=args.max_states, max_time=args.max_time, mask=mask
+    ).run()
+    print(result.summary())
+    if result.found_violation and args.trace:
+        print()
+        print(format_trace(result.first_violation.trace))
+    return 1 if result.found_violation else 0
+
+
+def cmd_conformance(args) -> int:
+    from repro.impl import Ensemble
+    from repro.remix import ConformanceChecker
+    from repro.zookeeper import V391
+
+    spec = make_spec(args.spec, _config(args))
+    checker = ConformanceChecker(
+        spec,
+        SELECTIONS[args.spec],
+        lambda: Ensemble(args.servers, V391),
+        seed=args.seed,
+    )
+    report = checker.run(traces=args.traces, max_steps=args.steps)
+    print(report.summary())
+    for discrepancy in report.discrepancies[:10]:
+        print(f"  {discrepancy}")
+    for bug in report.impl_bugs[:10]:
+        print(f"  {bug}")
+    return 0 if report.conforms else 1
+
+
+def _hunt_bug(name, spec_name, config, family, instance, masked, variant, budget):
+    from repro.zookeeper.specs import build_spec
+
+    if variant is not None:
+        config = config.with_variant(variant)
+    spec = build_spec(spec_name, SELECTIONS[spec_name], config)
+    spec.invariants = [
+        inv
+        for inv in spec.invariants
+        if inv.ident == family and (instance is None or inv.instance == instance)
+    ]
+    checker = BFSChecker(
+        spec,
+        max_states=budget[0],
+        max_time=budget[1],
+        mask=zk4394_mask if masked else None,
+    )
+    return checker.run()
+
+
+def cmd_hunt(args) -> int:
+    from repro.zookeeper import PR_1930
+
+    hunts = [
+        ("ZK-3023", "mSpec-3", dict(max_txns=1, max_crashes=1), "I-11",
+         "ACK_UPTODATE_OUT_OF_SYNC", True, None),
+        ("ZK-4394", "mSpec-1", dict(max_txns=1, max_crashes=1), "I-14",
+         "COMMIT_UNMATCHED_IN_SYNC", False, None),
+        ("ZK-4643", "mSpec-2", dict(max_txns=1, max_crashes=2), "I-8",
+         None, True, None),
+        ("ZK-4646", "mSpec-3", dict(max_txns=1, max_crashes=2), "I-8",
+         None, True, PR_1930),
+        ("ZK-4685", "mSpec-3", dict(max_txns=2, max_crashes=1), "I-12",
+         "ACK_BEFORE_NEWLEADER_ACK", True, None),
+        ("ZK-4712", "mSpec-3", dict(max_txns=2, max_crashes=1), "I-10",
+         None, True, None),
+    ]
+    failures = 0
+    for name, spec_name, cfg_kw, family, instance, masked, variant in hunts:
+        config = ZkConfig(max_partitions=0, max_epoch=3, **cfg_kw)
+        result = _hunt_bug(
+            name, spec_name, config, family, instance, masked, variant,
+            (args.max_states, args.max_time),
+        )
+        if result.found_violation:
+            violation = result.first_violation
+            print(
+                f"{name}: FOUND by {spec_name} "
+                f"({violation.invariant.ident}, depth {violation.depth}, "
+                f"{result.states_explored} states, "
+                f"{result.elapsed_seconds:.1f}s)"
+            )
+        else:
+            failures += 1
+            print(f"{name}: not found within budget")
+    return failures
+
+
+def cmd_protocol(args) -> int:
+    from repro.zab import ZabConfig, zab_spec
+
+    failures = 0
+    for variant in ("original", "improved", "epoch_first"):
+        config = ZabConfig(
+            max_txns=1, max_crashes=2, max_epoch=3, variant=variant
+        )
+        result = BFSChecker(
+            zab_spec(config),
+            max_states=args.max_states,
+            max_time=args.max_time,
+        ).run()
+        expected_violation = variant == "epoch_first"
+        ok = result.found_violation == expected_violation
+        failures += 0 if ok else 1
+        outcome = (
+            f"violates {result.first_violation.invariant.ident}"
+            if result.found_violation
+            else "passes"
+        )
+        print(f"{variant:12s}: {outcome} "
+              f"({result.states_explored} states, "
+              f"{result.elapsed_seconds:.1f}s)")
+    return failures
+
+
+def cmd_efforts(args) -> int:
+    from repro.analysis import table3
+
+    for row in table3():
+        print(row)
+    return 0
+
+
+def cmd_lineage(args) -> int:
+    from repro.analysis import render_ascii
+
+    print(render_ascii())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-grained specification model checking (EuroSys '25 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_check = sub.add_parser("check", help="model-check a specification")
+    p_check.add_argument("spec", choices=list(SELECTIONS))
+    p_check.add_argument("--trace", action="store_true", help="print the counterexample")
+    p_check.add_argument("--unmask-zk4394", action="store_true")
+    _add_config_args(p_check)
+    p_check.set_defaults(fn=cmd_check)
+
+    p_conf = sub.add_parser("conformance", help="conformance-check a spec")
+    p_conf.add_argument(
+        "spec", choices=[n for n in SELECTIONS if n not in ("SysSpec", "mSpec-4")]
+    )
+    p_conf.add_argument("--traces", type=int, default=30)
+    p_conf.add_argument("--steps", type=int, default=25)
+    p_conf.add_argument("--seed", type=int, default=0)
+    _add_config_args(p_conf)
+    p_conf.set_defaults(fn=cmd_conformance)
+
+    p_hunt = sub.add_parser("bugs", help="hunt the six paper bugs")
+    p_hunt.add_argument("--max-states", type=int, default=1_000_000)
+    p_hunt.add_argument("--max-time", type=float, default=240.0)
+    p_hunt.set_defaults(fn=cmd_hunt)
+
+    p_proto = sub.add_parser("protocol", help="verify the Zab variants (§5.4)")
+    p_proto.add_argument("--max-states", type=int, default=300_000)
+    p_proto.add_argument("--max-time", type=float, default=180.0)
+    p_proto.set_defaults(fn=cmd_protocol)
+
+    sub.add_parser("efforts", help="Table 3 effort metrics").set_defaults(
+        fn=cmd_efforts
+    )
+    sub.add_parser("lineage", help="Figure 8 bug lineage").set_defaults(
+        fn=cmd_lineage
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. `repro lineage | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

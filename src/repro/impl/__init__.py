@@ -1,0 +1,24 @@
+"""A deterministic ZooKeeper implementation simulator (the conformance
+target; substitutes the Java implementation per DESIGN.md section 2)."""
+
+from repro.impl.ensemble import Ensemble
+from repro.impl.exceptions import (
+    CommitOrderError,
+    NullPointerException,
+    SyncAssertionError,
+    UnrecognizedAckError,
+    ZkImplError,
+)
+from repro.impl.network import Network
+from repro.impl.node import ZkNode
+
+__all__ = [
+    "CommitOrderError",
+    "Ensemble",
+    "Network",
+    "NullPointerException",
+    "SyncAssertionError",
+    "UnrecognizedAckError",
+    "ZkImplError",
+    "ZkNode",
+]

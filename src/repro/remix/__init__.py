@@ -1,0 +1,39 @@
+"""Remix: composition, deterministic replay and conformance checking."""
+
+from repro.remix.conformance import (
+    ConformanceChecker,
+    ConformanceReport,
+    ImplBugReport,
+)
+from repro.remix.coordinator import (
+    COMPARED_VARIABLES,
+    Coordinator,
+    Discrepancy,
+    ReplayResult,
+)
+from repro.remix.mapping import ActionMapping, MappedAction, mapping_for
+from repro.remix.registry import SpecRegistry
+from repro.remix.trace_validation import (
+    ImplExplorer,
+    TraceValidator,
+    ValidationIssue,
+    ValidationReport,
+)
+
+__all__ = [
+    "ActionMapping",
+    "COMPARED_VARIABLES",
+    "ConformanceChecker",
+    "ConformanceReport",
+    "Coordinator",
+    "Discrepancy",
+    "ImplBugReport",
+    "MappedAction",
+    "ReplayResult",
+    "ImplExplorer",
+    "SpecRegistry",
+    "TraceValidator",
+    "ValidationIssue",
+    "ValidationReport",
+    "mapping_for",
+]

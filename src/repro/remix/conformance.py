@@ -1,0 +1,126 @@
+"""The conformance checker (§3.4, §3.5.2).
+
+Random model-level exploration within a time budget, deterministic replay
+of each trace at the code level through the coordinator, and per-step
+state comparison.  Two kinds of findings:
+
+- *discrepancies*: the specification does not match the implementation
+  (different variable values, or a model action whose code counterpart
+  never takes place) -- these mean the specification must be revised;
+- *implementation bugs*: the replay hits an exception or assertion in the
+  implementation (e.g. ZK-4394's NullPointerException), which Remix
+  reports with the trace that reproduces it.
+
+``confirm_violation`` is the §3.5.2 bug-confirmation path: a model-level
+trace that violates a safety property is replayed deterministically to
+check that the violation also happens in the implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.checker.random_walk import RandomWalker
+from repro.checker.trace import Trace
+from repro.impl.exceptions import ZkImplError
+from repro.remix.coordinator import Coordinator, Discrepancy, ReplayResult
+from repro.remix.mapping import ActionMapping, mapping_for
+from repro.tla.spec import Specification
+
+
+@dataclass
+class ImplBugReport:
+    """An implementation bug surfaced during replay (with its trace)."""
+
+    error: ZkImplError
+    step: int
+    trace: Trace
+
+    @property
+    def bug_id(self) -> str:
+        return self.error.bug_id
+
+    def __str__(self) -> str:
+        tag = f" [{self.bug_id}]" if self.bug_id else ""
+        return (
+            f"implementation bug{tag} at step {self.step}: "
+            f"{type(self.error).__name__}: {self.error}"
+        )
+
+
+@dataclass
+class ConformanceReport:
+    """The outcome of one conformance-checking run."""
+
+    traces_explored: int = 0
+    steps_replayed: int = 0
+    discrepancies: List[Discrepancy] = field(default_factory=list)
+    impl_bugs: List[ImplBugReport] = field(default_factory=list)
+
+    @property
+    def conforms(self) -> bool:
+        """No spec/impl discrepancy was detected.  (Implementation bugs
+        are not discrepancies: model and code agree on the error path.)"""
+        return not self.discrepancies
+
+    def summary(self) -> str:
+        return (
+            f"conformance: {self.traces_explored} traces, "
+            f"{self.steps_replayed} steps replayed, "
+            f"{len(self.discrepancies)} discrepancies, "
+            f"{len(self.impl_bugs)} implementation bug reports"
+        )
+
+
+class ConformanceChecker:
+    """Random model exploration + deterministic code-level replay."""
+
+    def __init__(
+        self,
+        spec: Specification,
+        selection,
+        ensemble_factory: Callable,
+        seed: int = 0,
+        mapping: Optional[ActionMapping] = None,
+    ):
+        self.spec = spec
+        self.mapping = mapping or mapping_for(selection)
+        self.coordinator = Coordinator(self.mapping, ensemble_factory)
+        self.walker = RandomWalker(spec, seed=seed)
+
+    def run(
+        self,
+        traces: int = 20,
+        max_steps: int = 25,
+        time_budget: Optional[float] = None,
+        stop_when=None,
+    ) -> ConformanceReport:
+        report = ConformanceReport()
+        for trace in self.walker.traces(
+            count=traces,
+            max_steps=max_steps,
+            time_budget=time_budget,
+            stop_when=stop_when,
+        ):
+            report.traces_explored += 1
+            result = self.coordinator.replay(trace)
+            report.steps_replayed += result.steps_executed
+            report.discrepancies.extend(result.discrepancies)
+            if result.impl_error is not None:
+                report.impl_bugs.append(
+                    ImplBugReport(
+                        result.impl_error, result.impl_error_step or 0, trace
+                    )
+                )
+        return report
+
+    def confirm_violation(self, trace: Trace) -> Optional[ImplBugReport]:
+        """Replay a safety-violating model trace at the code level and
+        report the implementation symptom, if any (§3.5.2)."""
+        result = self.coordinator.replay(trace, stop_on_discrepancy=False)
+        if result.impl_error is not None:
+            return ImplBugReport(
+                result.impl_error, result.impl_error_step or 0, trace
+            )
+        return None

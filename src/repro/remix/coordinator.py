@@ -1,0 +1,143 @@
+"""The deterministic-execution coordinator (§3.5.3).
+
+The coordinator takes a model-level trace, schedules the mapped code-level
+actions one at a time (no other action runs concurrently -- exactly the
+central-coordinator discipline of the paper's RMI-based implementation)
+and compares the implementation state against the model state after every
+step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.checker.trace import Trace
+from repro.impl.ensemble import Ensemble
+from repro.impl.exceptions import ZkImplError
+from repro.remix.mapping import ActionMapping
+from repro.tla.action import ActionLabel
+
+#: Variables compared between model and implementation after each step.
+COMPARED_VARIABLES = (
+    "state",
+    "zab_state",
+    "accepted_epoch",
+    "current_epoch",
+    "history",
+    "last_committed",
+    "my_leader",
+    "newleader_recv",
+    "queued_requests",
+    "committed_requests",
+)
+
+
+@dataclass
+class Discrepancy:
+    """One model/implementation divergence (§3.5.2's two conditions)."""
+
+    kind: str  # "state_mismatch" | "action_stuck" | "unmapped_action"
+    step: int
+    label: ActionLabel
+    variable: str = ""
+    model_value: object = None
+    impl_value: object = None
+
+    def __str__(self) -> str:
+        if self.kind == "state_mismatch":
+            return (
+                f"step {self.step} ({self.label}): {self.variable} differs -- "
+                f"model {self.model_value!r} vs impl {self.impl_value!r}"
+            )
+        return f"step {self.step} ({self.label}): {self.kind}"
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one model trace at the code level."""
+
+    steps_executed: int = 0
+    discrepancies: List[Discrepancy] = field(default_factory=list)
+    impl_error: Optional[ZkImplError] = None
+    impl_error_step: Optional[int] = None
+
+    @property
+    def clean(self) -> bool:
+        return not self.discrepancies and self.impl_error is None
+
+
+class Coordinator:
+    """Replays model traces deterministically on an ensemble."""
+
+    def __init__(
+        self,
+        mapping: ActionMapping,
+        ensemble_factory,
+        compared_variables=COMPARED_VARIABLES,
+    ):
+        self.mapping = mapping
+        self.ensemble_factory = ensemble_factory
+        self.compared_variables = tuple(compared_variables)
+
+    def replay(self, trace: Trace, stop_on_discrepancy: bool = True) -> ReplayResult:
+        """Drive the implementation through the trace's actions.
+
+        After each scheduled action, every compared variable is checked
+        against the model's post-state; a mapped action that is not
+        enabled at the code level is an "action never takes place"
+        discrepancy.  Implementation exceptions (bug symptoms) abort the
+        replay and are reported separately -- they are what confirms a
+        model-level safety violation in the code (§3.5.2).
+        """
+        ensemble: Ensemble = self.ensemble_factory()
+        result = ReplayResult()
+        for step, (pre, label, post) in enumerate(trace.steps()):
+            mapped = self.mapping.lookup(label)
+            if mapped is None:
+                result.discrepancies.append(
+                    Discrepancy("unmapped_action", step, label)
+                )
+                if stop_on_discrepancy:
+                    return result
+                continue
+            try:
+                executed = mapped.step(ensemble, label)
+            except ZkImplError as exc:
+                result.impl_error = exc
+                result.impl_error_step = step
+                return result
+            if not executed:
+                result.discrepancies.append(
+                    Discrepancy("action_stuck", step, label)
+                )
+                if stop_on_discrepancy:
+                    return result
+                continue
+            result.steps_executed += 1
+            mismatches = self._compare(post, ensemble, step, label)
+            result.discrepancies.extend(mismatches)
+            if mismatches and stop_on_discrepancy:
+                return result
+        return result
+
+    def _compare(self, model_state, ensemble: Ensemble, step, label):
+        impl = ensemble.snapshot()
+        out: List[Discrepancy] = []
+        for variable in self.compared_variables:
+            if variable not in impl:
+                continue
+            model_value = model_state[variable]
+            impl_value = impl[variable]
+            if model_value != impl_value:
+                out.append(
+                    Discrepancy(
+                        "state_mismatch",
+                        step,
+                        label,
+                        variable,
+                        model_value,
+                        impl_value,
+                    )
+                )
+        return out

@@ -1,0 +1,287 @@
+"""Bottom-up trace validation (the alternative approach of §6).
+
+Remix's conformance checker is *top-down*: model traces are replayed
+against the code.  The paper discusses the complementary *bottom-up*
+approach used by VYRD, CCF and etcd: generate implementation-level
+executions and check that every step is allowed by the model.  This
+module implements it over the simulator:
+
+- an :class:`ImplExplorer` drives the ensemble with randomly chosen
+  enabled operations (discovered by trying mapped actions on a copy);
+- a :class:`TraceValidator` runs the model in lockstep, confirming each
+  implementation step corresponds to an enabled model action whose
+  post-state matches.
+
+Together with the top-down checker this gives conformance evidence in
+both directions.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.impl.ensemble import Ensemble
+from repro.impl.exceptions import ZkImplError
+from repro.remix.coordinator import COMPARED_VARIABLES
+from repro.remix.mapping import ActionMapping
+from repro.tla.action import ActionLabel
+from repro.tla.spec import Specification
+from repro.tla.state import State
+
+
+@dataclass
+class ValidationIssue:
+    """One implementation step the model does not allow."""
+
+    kind: str  # "model_disabled" | "state_mismatch" | "impl_exception"
+    step: int
+    label: ActionLabel
+    variable: str = ""
+    model_value: object = None
+    impl_value: object = None
+
+    def __str__(self) -> str:
+        if self.kind == "state_mismatch":
+            return (
+                f"step {self.step} ({self.label}): {self.variable} -- "
+                f"model {self.model_value!r} vs impl {self.impl_value!r}"
+            )
+        return f"step {self.step} ({self.label}): {self.kind}"
+
+
+@dataclass
+class ValidationReport:
+    runs: int = 0
+    steps_validated: int = 0
+    issues: List[ValidationIssue] = field(default_factory=list)
+    impl_errors: List[Tuple[int, ZkImplError]] = field(default_factory=list)
+
+    @property
+    def valid(self) -> bool:
+        return not self.issues
+
+    def summary(self) -> str:
+        return (
+            f"trace validation: {self.runs} runs, "
+            f"{self.steps_validated} impl steps validated, "
+            f"{len(self.issues)} issues, "
+            f"{len(self.impl_errors)} impl exceptions"
+        )
+
+
+def _label_matches_head(
+    ensemble: Ensemble, label: ActionLabel, baseline_region: bool = False
+) -> bool:
+    """Label-faithful dispatch for the leader's generic processAck.
+
+    The implementation's ``leader_process_ack`` handles NEWLEADER ACKs,
+    UPTODATE ACKs and txn ACKs in one method; the model splits them into
+    three actions.  Driving the implementation under a specific label
+    must only count when the channel head actually is that kind of ACK,
+    otherwise the lockstep model run desynchronizes.
+    """
+    name = label.name
+    if name not in (
+        "LeaderProcessACK",
+        "LeaderProcessACKLD",
+        "LeaderProcessACKUPTODATE",
+    ):
+        return True
+    i, j = label.args["pair"]
+    node = ensemble.nodes[i]
+    msg = ensemble.network.peek(j, i)
+    if msg is None:
+        return False
+    if name == "LeaderProcessACKUPTODATE":
+        return msg.mtype == "ACK_UPTODATE"
+    if msg.mtype == "ACK_UPTODATE":
+        if not baseline_region:
+            # fine granularity: LeaderProcessACKUPTODATE handles these
+            return False
+        # baseline granularity: the wrapper skips these silently, but
+        # only when a real ACK follows; treat a lone UPTODATE-ACK head
+        # as not matching the txn-ACK label.
+        channel = ensemble.network.channels[(j, i)]
+        following = next(
+            (m for m in list(channel)[1:] if m.mtype != "ACK_UPTODATE"),
+            None,
+        )
+        if following is None or following.mtype != "ACK":
+            return False
+        msg = following
+    elif msg.mtype != "ACK":
+        return False
+    expected = node._newleader_zxid_for(j)
+    is_newleader_ack = (
+        expected is not None
+        and msg.zxid == expected
+        and j not in node.newleader_acks
+    )
+    if name == "LeaderProcessACKLD":
+        return is_newleader_ack
+    return not is_newleader_ack
+
+
+class ImplExplorer:
+    """Random exploration of the implementation's behaviours.
+
+    Candidate operations come from the replay mapping's action table;
+    an operation is *enabled* when executing it on a copy of the
+    ensemble reports success.  One step commits one enabled operation.
+    """
+
+    def __init__(
+        self,
+        spec: Specification,
+        mapping: ActionMapping,
+        ensemble_factory: Callable[[], Ensemble],
+        seed: int = 0,
+    ):
+        self.spec = spec
+        self.mapping = mapping
+        self.ensemble_factory = ensemble_factory
+        self.rng = random.Random(seed)
+        self._labels = [
+            inst.label
+            for inst in spec.action_instances()
+            if mapping.lookup(inst.label) is not None
+        ]
+
+    def explore(
+        self, max_steps: int = 20
+    ) -> Tuple[List[ActionLabel], Ensemble, Optional[ZkImplError]]:
+        """One random implementation run: the labels executed, the final
+        ensemble, and the exception that ended the run (if any).
+
+        Fault operations are bounded by the model configuration's crash
+        and partition budgets: budgets are bounds of the verification
+        *model*, so an implementation run must stay within them for the
+        lockstep validation to be meaningful."""
+        ensemble = self.ensemble_factory()
+        executed: List[ActionLabel] = []
+        crashes = partitions = txns = 0
+        config = self.spec.config
+        for _ in range(max_steps):
+            candidates = list(self._labels)
+            self.rng.shuffle(candidates)
+            progressed = False
+            for label in candidates:
+                if label.name == "NodeCrash" and crashes >= config.max_crashes:
+                    continue
+                if (
+                    label.name == "PartitionStart"
+                    and partitions >= config.max_partitions
+                ):
+                    continue
+                if (
+                    label.name == "LeaderProcessRequest"
+                    and txns >= config.max_txns
+                ):
+                    continue
+                mapped = self.mapping.lookup(label)
+                if not _label_matches_head(
+                    ensemble, label, mapped.region == "baseline"
+                ):
+                    continue
+                probe = copy.deepcopy(ensemble)
+                try:
+                    if mapped.step(probe, label):
+                        ensemble = probe
+                        executed.append(label)
+                        if label.name == "NodeCrash":
+                            crashes += 1
+                        elif label.name == "PartitionStart":
+                            partitions += 1
+                        elif label.name == "LeaderProcessRequest":
+                            txns += 1
+                        progressed = True
+                        break
+                except ZkImplError as exc:
+                    executed.append(label)
+                    return executed, probe, exc
+            if not progressed:
+                break
+        return executed, ensemble, None
+
+
+class TraceValidator:
+    """Validate implementation runs against the model, in lockstep."""
+
+    def __init__(
+        self,
+        spec: Specification,
+        mapping: ActionMapping,
+        ensemble_factory: Callable[[], Ensemble],
+        seed: int = 0,
+        compared_variables=COMPARED_VARIABLES,
+    ):
+        self.spec = spec
+        self.explorer = ImplExplorer(spec, mapping, ensemble_factory, seed)
+        self.mapping = mapping
+        self.ensemble_factory = ensemble_factory
+        self.compared_variables = tuple(compared_variables)
+
+    def validate_run(self, max_steps: int = 20) -> ValidationReport:
+        report = ValidationReport(runs=1)
+        executed, _, impl_error = self.explorer.explore(max_steps)
+        # replay the labels against BOTH model and a fresh ensemble,
+        # comparing after each step
+        model_state: State = self.spec.initial_states()[0]
+        ensemble = self.ensemble_factory()
+        for step, label in enumerate(executed):
+            mapped = self.mapping.lookup(label)
+            try:
+                ok = mapped.step(ensemble, label)
+            except ZkImplError as exc:
+                report.impl_errors.append((step, exc))
+                # the model must agree that this path is an error path:
+                # the corresponding model action must lead to an error
+                # state (checked by the code-level invariants), or at
+                # minimum be enabled.
+                inst = self.spec.instance_for(label)
+                if inst.apply(self.spec.config, model_state) is None:
+                    report.issues.append(
+                        ValidationIssue("model_disabled", step, label)
+                    )
+                return report
+            if not ok:
+                break
+            inst = self.spec.instance_for(label)
+            nxt = inst.apply(self.spec.config, model_state)
+            if nxt is None:
+                report.issues.append(
+                    ValidationIssue("model_disabled", step, label)
+                )
+                return report
+            model_state = nxt
+            report.steps_validated += 1
+            impl = ensemble.snapshot()
+            for variable in self.compared_variables:
+                if variable not in impl:
+                    continue
+                if model_state[variable] != impl[variable]:
+                    report.issues.append(
+                        ValidationIssue(
+                            "state_mismatch",
+                            step,
+                            label,
+                            variable,
+                            model_state[variable],
+                            impl[variable],
+                        )
+                    )
+                    return report
+        return report
+
+    def validate(self, runs: int = 10, max_steps: int = 20) -> ValidationReport:
+        total = ValidationReport()
+        for _ in range(runs):
+            run_report = self.validate_run(max_steps)
+            total.runs += 1
+            total.steps_validated += run_report.steps_validated
+            total.issues.extend(run_report.issues)
+            total.impl_errors.extend(run_report.impl_errors)
+        return total

@@ -1,0 +1,128 @@
+"""Immutable states over a fixed variable schema.
+
+A TLA+ state is an assignment to the specification's variables.  For
+explicit-state checking in Python we want states to be small, hashable and
+fast to copy, so a :class:`State` stores its values in a tuple ordered by a
+shared :class:`Schema`.  Functional update (:meth:`State.set`) copies the
+tuple; structural sharing of the (immutable) values keeps that cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Tuple
+
+
+class Schema:
+    """An ordered, immutable list of variable names shared by states."""
+
+    __slots__ = ("names", "_index")
+
+    def __init__(self, names: Tuple[str, ...]):
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate variable names in schema: {names}")
+        self.names: Tuple[str, ...] = tuple(names)
+        self._index: Dict[str, int] = {name: i for i, name in enumerate(self.names)}
+
+    def index(self, name: str) -> int:
+        return self._index[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __repr__(self) -> str:
+        return f"Schema({', '.join(self.names)})"
+
+
+class State(Mapping):
+    """An immutable assignment of values to the variables of a schema.
+
+    Values must be hashable (tuples, ints, strings, :class:`Rec`, ...).
+    States hash and compare by value, so they can be used directly as
+    fingerprints in the checker's visited set.
+    """
+
+    __slots__ = ("schema", "values", "_hash")
+
+    def __init__(self, schema: Schema, values: Tuple[Any, ...]):
+        if len(values) != len(schema):
+            raise ValueError(
+                f"schema has {len(schema)} variables but got {len(values)} values"
+            )
+        object.__setattr__(self, "schema", schema)
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "_hash", hash(values))
+
+    @classmethod
+    def make(cls, schema: Schema, **assignments: Any) -> "State":
+        """Build a state by keyword; every schema variable must be given."""
+        missing = [name for name in schema.names if name not in assignments]
+        if missing:
+            raise ValueError(f"missing variables: {missing}")
+        extra = [name for name in assignments if name not in schema]
+        if extra:
+            raise ValueError(f"unknown variables: {extra}")
+        return cls(schema, tuple(assignments[name] for name in schema.names))
+
+    def __getitem__(self, name: str) -> Any:
+        return self.values[self.schema.index(name)]
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self.values[self.schema.index(name)]
+        except KeyError:
+            raise AttributeError(name)
+
+    def __setattr__(self, name: str, value: Any):
+        raise TypeError("State is immutable; use .set()")
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.schema.names)
+
+    def __len__(self) -> int:
+        return len(self.schema)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, State):
+            return self.values == other.values and self.schema is other.schema
+        return NotImplemented
+
+    def set(self, **updates: Any) -> "State":
+        """Functional update: a new state with some variables replaced."""
+        values = list(self.values)
+        index = self.schema.index
+        for name, value in updates.items():
+            values[index(name)] = value
+        return State(self.schema, tuple(values))
+
+    def project(self, variables) -> Tuple[Any, ...]:
+        """Project the state onto a set of variables (Appendix B: s|M).
+
+        Returns a canonical tuple of the values of ``variables`` in schema
+        order, so projected states can be compared and hashed.
+        """
+        return tuple(
+            self.values[i]
+            for i, name in enumerate(self.schema.names)
+            if name in variables
+        )
+
+    def diff(self, other: "State") -> Dict[str, Tuple[Any, Any]]:
+        """Variables whose values differ between two states (for debugging
+        and for conformance-discrepancy reports)."""
+        out: Dict[str, Tuple[Any, Any]] = {}
+        for i, name in enumerate(self.schema.names):
+            if self.values[i] != other.values[i]:
+                out[name] = (self.values[i], other.values[i])
+        return out
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}={value!r}" for name, value in zip(self.schema.names, self.values)
+        )
+        return f"State({inner})"

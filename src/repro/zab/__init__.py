@@ -1,0 +1,6 @@
+"""The Zab protocol specification and its invariants (Table 2, I-1..I-10)."""
+
+from repro.zab.invariants import protocol_invariants
+from repro.zab.protocol import VARIANTS, ZabConfig, zab_spec
+
+__all__ = ["VARIANTS", "ZabConfig", "protocol_invariants", "zab_spec"]

@@ -1,0 +1,206 @@
+"""The ten protocol-level safety invariants of Zab (Table 2, I-1..I-10).
+
+These predicates are written against the ghost variables that both the Zab
+protocol specification and the ZooKeeper system specification maintain:
+
+- ``g_delivered``  per-server tuple of delivered (committed) txns, in
+  delivery order;
+- ``g_proposed``   frozenset of all txns broadcast by any primary;
+- ``g_leaders``    tuple of ``(epoch, server)`` establishment records;
+- ``g_established`` tuple of ``Rec(epoch, initial, committed)`` records:
+  the initial history of the epoch and the globally-committed sequence at
+  the moment of establishment;
+- ``g_committed``  the global commit sequence.
+
+plus the real variables ``history``, ``current_epoch``, ``zab_state`` and
+``g_participants`` for I-10.  All invariants are pure state predicates, so
+they can be checked on every state the model checker visits.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, List, Tuple
+
+from repro.tla.spec import Invariant
+from repro.tla.values import Txn, comparable, is_prefix
+
+
+def _delivered(state) -> Tuple[Tuple[Txn, ...], ...]:
+    return state["g_delivered"]
+
+
+def i1_primary_uniqueness(config, state) -> bool:
+    """I-1: at most one established leader for each epoch."""
+    seen = {}
+    for epoch, server in state["g_leaders"]:
+        if epoch in seen and seen[epoch] != server:
+            return False
+        seen[epoch] = server
+    return True
+
+
+def i2_integrity(config, state) -> bool:
+    """I-2: a delivered txn was broadcast by some primary."""
+    proposed = state["g_proposed"]
+    for delivered in _delivered(state):
+        for txn in delivered:
+            if txn not in proposed:
+                return False
+    return True
+
+
+def i3_agreement(config, state) -> bool:
+    """I-3: delivered sets of any two processes are comparable (one is a
+    subset of the other) -- the instantaneous form of Zab agreement."""
+    sets = [frozenset(d) for d in _delivered(state)]
+    for left, right in combinations(sets, 2):
+        if not (left <= right or right <= left):
+            return False
+    return True
+
+
+def i4_total_order(config, state) -> bool:
+    """I-4: if some process delivers t before t', any process delivering
+    t' also delivers t, and before t'."""
+    delivered = _delivered(state)
+    for di in delivered:
+        position = {txn: k for k, txn in enumerate(di)}
+        for dj in delivered:
+            if dj is di:
+                continue
+            for k, t_prime in enumerate(dj):
+                if t_prime not in position:
+                    continue
+                # every txn before t_prime in di must be before it in dj
+                for txn in di[: position[t_prime]]:
+                    if txn not in dj[:k]:
+                        return False
+    return True
+
+
+def i5_local_primary_order(config, state) -> bool:
+    """I-5: same-epoch broadcasts are delivered in broadcast (counter)
+    order, with no same-epoch predecessor skipped."""
+    proposed = state["g_proposed"]
+    for delivered in _delivered(state):
+        position = {txn: k for k, txn in enumerate(delivered)}
+        for t_prime in delivered:
+            for txn in proposed:
+                if (
+                    txn.zxid.epoch == t_prime.zxid.epoch
+                    and txn.zxid.counter < t_prime.zxid.counter
+                ):
+                    if txn not in position:
+                        return False
+                    if position[txn] > position[t_prime]:
+                        return False
+    return True
+
+
+def i6_global_primary_order(config, state) -> bool:
+    """I-6: epochs are non-decreasing along any delivery sequence."""
+    for delivered in _delivered(state):
+        for earlier, later in zip(delivered, delivered[1:]):
+            if earlier.zxid.epoch > later.zxid.epoch:
+                return False
+    return True
+
+
+def i7_primary_integrity(config, state) -> bool:
+    """I-7: a primary that broadcasts in epoch e has delivered every
+    older-epoch txn that anyone delivered, before its own broadcasts."""
+    proposed = state["g_proposed"]
+    leaders = dict(state["g_leaders"])  # epoch -> server
+    delivered = _delivered(state)
+    for epoch, leader in leaders.items():
+        epoch_txns = [t for t in proposed if t.zxid.epoch == epoch]
+        if not epoch_txns:
+            continue
+        leader_delivered = delivered[leader]
+        leader_set = set(leader_delivered)
+        first_own = next(
+            (
+                k
+                for k, txn in enumerate(leader_delivered)
+                if txn.zxid.epoch == epoch
+            ),
+            len(leader_delivered),
+        )
+        for other in delivered:
+            for t_prime in other:
+                if t_prime.zxid.epoch >= epoch:
+                    continue
+                if t_prime not in leader_set:
+                    return False
+                if leader_delivered.index(t_prime) >= first_own and any(
+                    txn.zxid.epoch == epoch for txn in leader_set
+                ):
+                    return False
+    return True
+
+
+def i8_initial_history_integrity(config, state) -> bool:
+    """I-8: the initial history of every established epoch extends the
+    globally committed sequence at establishment time (I_e ⊑ I_e' in the
+    paper; operationally each establishment record must contain the commit
+    sequence as a prefix, which makes the violation point the exact
+    establishment step)."""
+    for record in state["g_established"]:
+        if not is_prefix(record.committed, record.initial):
+            return False
+    return True
+
+
+def i9_commit_consistency(config, state) -> bool:
+    """I-9: once a process delivers txns of its current (established)
+    epoch, its delivery sequence extends that epoch's initial history."""
+    established = {rec.epoch: rec for rec in state["g_established"]}
+    for server, delivered in enumerate(_delivered(state)):
+        epoch = state["current_epoch"][server]
+        record = established.get(epoch)
+        if record is None:
+            continue
+        if any(txn.zxid.epoch == epoch for txn in delivered):
+            if not is_prefix(record.initial, delivered):
+                return False
+    return True
+
+
+def i10_history_consistency(config, state) -> bool:
+    """I-10: histories of any two servers that participate in epoch e and
+    are actively serving in e (BROADCAST) are prefix-comparable."""
+    histories = state["history"]
+    current_epoch = state["current_epoch"]
+    zab_state = state["zab_state"]
+    for epoch, members in state["g_participants"]:
+        active = [
+            server
+            for server in members
+            if current_epoch[server] == epoch
+            and zab_state[server] == "BROADCAST"
+        ]
+        for left, right in combinations(active, 2):
+            if not comparable(histories[left], histories[right]):
+                return False
+    return True
+
+
+def protocol_invariants() -> List[Invariant]:
+    """The ten protocol invariants, applicable at any granularity."""
+    table = [
+        ("I-1", "Primary uniqueness", i1_primary_uniqueness),
+        ("I-2", "Integrity", i2_integrity),
+        ("I-3", "Agreement", i3_agreement),
+        ("I-4", "Total order", i4_total_order),
+        ("I-5", "Local primary order", i5_local_primary_order),
+        ("I-6", "Global primary order", i6_global_primary_order),
+        ("I-7", "Primary integrity", i7_primary_integrity),
+        ("I-8", "Initial history integrity", i8_initial_history_integrity),
+        ("I-9", "Commit consistency", i9_commit_consistency),
+        ("I-10", "History consistency", i10_history_consistency),
+    ]
+    return [
+        Invariant(ident, name, fn, source="protocol")
+        for ident, name, fn in table
+    ]

@@ -1,0 +1,138 @@
+"""The coarse-grained ElectionAndDiscovery action (Figure 5b).
+
+The eight actions of the baseline Election and Discovery modules collapse
+into a single atomic action that elects a leader within a quorum and
+completes discovery, while preserving exactly the interaction variables
+the Synchronization module depends on:
+
+- ``state``/``zab_state``/``my_leader`` role assignment,
+- ``accepted_epoch`` (the new epoch) and the leader's ``current_epoch``,
+- ``ackepoch_recv`` on the leader, which is what LeaderSyncFollower reads
+  to choose the sync mode,
+- the reset of the leader's per-epoch bookkeeping.
+
+Internal FLE variables (``current_vote``, ``recv_votes``, ``vote_sent``,
+``cepoch_recv``) are abstracted away, as in the paper's case study.
+
+The guard encodes the FLE outcome: the elected node must hold the maximal
+(currentEpoch, lastZxid, sid) credentials within the quorum -- the
+epoch-first comparison is the interaction that lets a ZK-4643 victim win.
+"""
+
+from __future__ import annotations
+
+from repro.tla.action import Action
+from repro.tla.module import Module
+from repro.tla.values import last_zxid
+from repro.zookeeper import constants as C
+from repro.zookeeper import prims as P
+from repro.zookeeper.schema import EMPTY_SYNC
+from repro.zookeeper.config import ZkConfig
+
+
+def election_and_discovery(config: ZkConfig, state, i: int, quorum):
+    members = set(quorum)
+    if i not in members or not config.is_quorum(members):
+        return None
+    for j in members:
+        if state["state"][j] != C.LOOKING:
+            return None
+    for j in members:
+        for k in members:
+            if j < k and frozenset((j, k)) in state["disconnected"]:
+                return None
+    my_vote = P.vote_of(state, i)
+    if any(P.vote_of(state, j) > my_vote for j in members):
+        return None
+
+    new_epoch = max(state["accepted_epoch"][j] for j in members) + 1
+    if new_epoch > config.max_epoch:
+        return None
+
+    n = config.n_servers
+    new_state = tuple(
+        C.LEADING if s == i else (C.FOLLOWING if s in members else state["state"][s])
+        for s in range(n)
+    )
+    new_zab = tuple(
+        C.SYNCHRONIZATION if s in members else state["zab_state"][s]
+        for s in range(n)
+    )
+    new_accepted = tuple(
+        new_epoch if s in members else state["accepted_epoch"][s]
+        for s in range(n)
+    )
+    new_leader = tuple(
+        i if s in members else state["my_leader"][s] for s in range(n)
+    )
+    # The leader finishes Discovery: it adopts the epoch and learns every
+    # follower's (currentEpoch, lastZxid) from their ACKEPOCH.
+    ackepoch = frozenset(
+        (j, state["current_epoch"][j], last_zxid(state["history"][j]))
+        for j in members
+        if j != i
+    )
+    msgs = state["msgs"]
+    for j in members:
+        for k in members:
+            if j != k:
+                msgs = P.clear_pair(msgs, j, k) if j < k else msgs
+    return {
+        "state": new_state,
+        "zab_state": new_zab,
+        "accepted_epoch": new_accepted,
+        "my_leader": new_leader,
+        "current_epoch": P.up(state["current_epoch"], i, new_epoch),
+        "ackepoch_recv": P.up(state["ackepoch_recv"], i, ackepoch),
+        "synced_sent": P.up(state["synced_sent"], i, frozenset()),
+        "newleader_acks": P.up(state["newleader_acks"], i, frozenset()),
+        "uptodate_sent": P.up(state["uptodate_sent"], i, frozenset()),
+        "proposal_acks": P.up(state["proposal_acks"], i, ()),
+        "packets_sync": tuple(
+            EMPTY_SYNC if s in members else state["packets_sync"][s]
+            for s in range(n)
+        ),
+        "newleader_recv": tuple(
+            False if s in members else state["newleader_recv"][s]
+            for s in range(n)
+        ),
+        "msgs": msgs,
+    }
+
+
+def coarse_election_module(config: ZkConfig) -> Module:
+    act = Action(
+        "ElectionAndDiscovery",
+        lambda cfg, s, i, Q: election_and_discovery(cfg, s, i, Q),
+        params={
+            "i": lambda cfg: cfg.servers,
+            "Q": lambda cfg: cfg.quorums(),
+        },
+        reads=[
+            "state",
+            "disconnected",
+            "current_epoch",
+            "history",
+            "accepted_epoch",
+        ],
+        writes=[
+            "state",
+            "zab_state",
+            "accepted_epoch",
+            "current_epoch",
+            "my_leader",
+            "ackepoch_recv",
+            "synced_sent",
+            "newleader_acks",
+            "uptodate_sent",
+            "proposal_acks",
+            "packets_sync",
+            "newleader_recv",
+            "msgs",
+        ],
+        update_sources={
+            "ackepoch_recv": ["current_epoch", "history"],
+            "accepted_epoch": ["accepted_epoch"],
+        },
+    )
+    return Module("ElectionAndDiscovery", [act])

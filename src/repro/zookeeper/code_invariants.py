@@ -1,0 +1,120 @@
+"""Code-level invariants I-11..I-14 (Table 2): eleven instances.
+
+Each instance states that a specific error path in the ZooKeeper code --
+an exception or a failed assertion -- is never reached.  The model raises
+an ``errors`` record when an action walks such a path, so each instance is
+simply "no error record with this code exists".
+
+Instances are tagged with the granularity that can exercise them
+(``requires``), which is what Remix's automatic invariant selection uses
+when composing a mixed-grained specification (§3.5.1): an invariant about
+thread interleavings is only meaningful when the concurrency-aware modules
+are part of the composition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.tla.spec import Invariant
+from repro.zookeeper import constants as C
+
+
+def _no_error(code: str):
+    def predicate(config, state) -> bool:
+        return all(err.code != code for err in state["errors"])
+
+    return predicate
+
+
+#: instance -> (family, human name, granularity requirement)
+#: requirement: "any" (checkable at every granularity),
+#: "sync_split" (needs the NEWLEADER atomicity split),
+#: "concurrent" (needs the thread-level modules).
+INSTANCE_TABLE = {
+    # I-11 bad states
+    C.ERR_ACK_UPTODATE_OUT_OF_SYNC: (
+        "I-11",
+        "Leader asserts follower in sync on ACK of UPTODATE (ZK-3023)",
+        "concurrent",
+    ),
+    C.ERR_UNEXPECTED_NEWLEADER: (
+        "I-11",
+        "NEWLEADER received in an unexpected server state",
+        "any",
+    ),
+    C.ERR_UNEXPECTED_UPTODATE: (
+        "I-11",
+        "UPTODATE received before NEWLEADER was processed",
+        "any",
+    ),
+    C.ERR_UNEXPECTED_FOLLOWERINFO: (
+        "I-11",
+        "FOLLOWERINFO received by a non-leader",
+        "any",
+    ),
+    # I-12 bad acknowledgments
+    C.ERR_ACK_BEFORE_NEWLEADER_ACK: (
+        "I-12",
+        "Txn ACK arrives before the ACK of NEWLEADER (ZK-4685)",
+        "concurrent",
+    ),
+    C.ERR_ACK_UNKNOWN_PROPOSAL: (
+        "I-12",
+        "ACK for a proposal the leader does not know",
+        "any",
+    ),
+    # I-13 bad proposals
+    C.ERR_PROPOSAL_GAP: (
+        "I-13",
+        "Out-of-order proposal at the follower",
+        "any",
+    ),
+    C.ERR_PROPOSAL_STALE_EPOCH: (
+        "I-13",
+        "Proposal from a stale epoch",
+        "any",
+    ),
+    # I-14 bad commits
+    C.ERR_COMMIT_UNMATCHED_IN_SYNC: (
+        "I-14",
+        "COMMIT between NEWLEADER and UPTODATE matches no packet (ZK-4394)",
+        "any",
+    ),
+    C.ERR_COMMIT_UNKNOWN_TXN: (
+        "I-14",
+        "COMMIT for a transaction not in the log",
+        "any",
+    ),
+    C.ERR_COMMIT_OUT_OF_ORDER: (
+        "I-14",
+        "COMMIT skips a pending transaction",
+        "any",
+    ),
+}
+
+
+def code_invariants(granularities: Dict[str, str] = None) -> List[Invariant]:
+    """The code-level invariant instances applicable to a composition.
+
+    ``granularities`` maps module name -> granularity (as in Table 1);
+    None means "select everything" (used by tests and by the invariant
+    census of Table 2).
+    """
+    selected: List[Invariant] = []
+    has_split = has_concurrent = True
+    if granularities is not None:
+        sync = granularities.get("Synchronization", "baseline")
+        has_split = sync in ("fine_atomic", "fine_concurrent")
+        has_concurrent = sync == "fine_concurrent"
+    for code, (family, name, requires) in INSTANCE_TABLE.items():
+        if requires == "concurrent" and not has_concurrent:
+            continue
+        if requires == "sync_split" and not has_split:
+            continue
+        selected.append(
+            Invariant(
+                family, name, _no_error(code), instance=code, source="code"
+            )
+        )
+    return selected

@@ -1,0 +1,285 @@
+"""Fault actions: crashes, restarts, partitions and failure detection.
+
+These are the "other actions, e.g., for modeling faults" of Figure 7.
+The module is granularity-independent and composed into every
+specification.  ZK-4712 lives here: the buggy follower shutdown keeps the
+SyncRequestProcessor queue alive across an epoch change
+(``fix_follower_shutdown`` clears it).
+"""
+
+from __future__ import annotations
+
+from repro.tla.action import Action
+from repro.tla.module import Module
+from repro.tla.values import ZXID_ZERO, Rec, last_zxid
+from repro.zookeeper import constants as C
+from repro.zookeeper import prims as P
+from repro.zookeeper.schema import EMPTY_SYNC
+from repro.zookeeper.config import ZkConfig
+
+
+def _servers(config: ZkConfig):
+    return config.servers
+
+
+def _server_pairs(config: ZkConfig):
+    return [
+        (i, j)
+        for i in config.servers
+        for j in config.servers
+        if i < j
+    ]
+
+
+def _own_vote(state, i: int) -> Rec:
+    return Rec(
+        epoch=state["current_epoch"][i],
+        zxid=last_zxid(state["history"][i]),
+        sid=i,
+    )
+
+
+def _volatile_reset(state, i: int, keep_queue: bool):
+    """Updates that clear a server's volatile (in-memory) data.
+
+    Durable data (history, epochs, last_committed watermark) survives.
+    ``keep_queue`` preserves queued_requests -- the ZK-4712 bug, where the
+    SyncRequestProcessor is not shut down with the follower.
+    """
+    updates = {
+        "my_leader": P.up(state["my_leader"], i, -1),
+        "recv_votes": P.up(state["recv_votes"], i, frozenset()),
+        "vote_sent": P.up(state["vote_sent"], i, False),
+        "current_vote": P.up(state["current_vote"], i, _own_vote(state, i)),
+        "cepoch_recv": P.up(state["cepoch_recv"], i, frozenset()),
+        "ackepoch_recv": P.up(state["ackepoch_recv"], i, frozenset()),
+        "synced_sent": P.up(state["synced_sent"], i, frozenset()),
+        "newleader_acks": P.up(state["newleader_acks"], i, frozenset()),
+        "uptodate_sent": P.up(state["uptodate_sent"], i, frozenset()),
+        "packets_sync": P.up(state["packets_sync"], i, EMPTY_SYNC),
+        "newleader_recv": P.up(state["newleader_recv"], i, False),
+        "committed_requests": P.up(state["committed_requests"], i, ()),
+        "proposal_acks": P.up(state["proposal_acks"], i, ()),
+    }
+    if not keep_queue:
+        updates["queued_requests"] = P.up(state["queued_requests"], i, ())
+    return updates
+
+
+_VOLATILE_WRITES = (
+    "my_leader",
+    "recv_votes",
+    "vote_sent",
+    "current_vote",
+    "cepoch_recv",
+    "ackepoch_recv",
+    "synced_sent",
+    "newleader_acks",
+    "uptodate_sent",
+    "packets_sync",
+    "newleader_recv",
+    "committed_requests",
+    "proposal_acks",
+    "queued_requests",
+)
+
+
+def node_crash(config: ZkConfig, state, i: int):
+    """A node crash loses everything in memory, including the thread
+    queues; disk data (history, epochs) survives."""
+    if state["state"][i] == C.DOWN or state["crash_budget"] <= 0:
+        return None
+    updates = _volatile_reset(state, i, keep_queue=False)
+    updates.update(
+        state=P.up(state["state"], i, C.DOWN),
+        zab_state=P.up(state["zab_state"], i, C.ELECTION),
+        msgs=P.clear_channels(state["msgs"], i),
+        crash_budget=state["crash_budget"] - 1,
+    )
+    return updates
+
+
+def node_restart(config: ZkConfig, state, i: int):
+    """Restart from disk: the server rejoins as LOOKING with its durable
+    history, acceptedEpoch and currentEpoch."""
+    if state["state"][i] != C.DOWN:
+        return None
+    return {
+        "state": P.up(state["state"], i, C.LOOKING),
+        "zab_state": P.up(state["zab_state"], i, C.ELECTION),
+        "current_vote": P.up(state["current_vote"], i, _own_vote(state, i)),
+        "vote_sent": P.up(state["vote_sent"], i, False),
+        "recv_votes": P.up(state["recv_votes"], i, frozenset()),
+    }
+
+
+def partition_start(config: ZkConfig, state, i: int, j: int):
+    pair = frozenset((i, j))
+    if pair in state["disconnected"] or state["partition_budget"] <= 0:
+        return None
+    if state["state"][i] == C.DOWN or state["state"][j] == C.DOWN:
+        return None
+    return {
+        "disconnected": state["disconnected"] | frozenset((pair,)),
+        "msgs": P.clear_pair(state["msgs"], i, j),
+        "partition_budget": state["partition_budget"] - 1,
+    }
+
+
+def partition_heal(config: ZkConfig, state, i: int, j: int):
+    pair = frozenset((i, j))
+    if pair not in state["disconnected"]:
+        return None
+    return {"disconnected": state["disconnected"] - frozenset((pair,))}
+
+
+def follower_shutdown(config: ZkConfig, state, i: int):
+    """A follower that lost its leader returns to election.
+
+    The bug of ZK-4712: shutdown() does not stop the SyncRequestProcessor,
+    so ``queued_requests`` survives into the next epoch and a stale
+    request can be logged after data recovery completes.
+    """
+    if state["state"][i] != C.FOLLOWING:
+        return None
+    leader = state["my_leader"][i]
+    if leader < 0:
+        return None
+    leader_gone = (
+        state["state"][leader] != C.LEADING
+        or frozenset((i, leader)) in state["disconnected"]
+        # The leader moved on to a newer epoch: the old TCP session is
+        # dead even though the process is alive.
+        or state["accepted_epoch"][leader] != state["accepted_epoch"][i]
+    )
+    if not leader_gone:
+        return None
+    keep_queue = not config.variant.fix_follower_shutdown
+    updates = _volatile_reset(state, i, keep_queue=keep_queue)
+    updates.update(
+        state=P.up(state["state"], i, C.LOOKING),
+        zab_state=P.up(state["zab_state"], i, C.ELECTION),
+    )
+    return updates
+
+
+def leader_shutdown(config: ZkConfig, state, i: int):
+    """A leader that cannot reach a quorum of followers steps down."""
+    if state["state"][i] != C.LEADING:
+        return None
+    reachable = 1  # itself
+    for j in config.servers:
+        if j == i:
+            continue
+        if (
+            state["state"][j] == C.FOLLOWING
+            and state["my_leader"][j] == i
+            and P.connected(state, i, j)
+        ):
+            reachable += 1
+    if reachable >= config.quorum_size:
+        return None
+    updates = _volatile_reset(state, i, keep_queue=not config.variant.fix_follower_shutdown)
+    updates.update(
+        state=P.up(state["state"], i, C.LOOKING),
+        zab_state=P.up(state["zab_state"], i, C.ELECTION),
+    )
+    return updates
+
+
+def discard_stale_message(config: ZkConfig, state, i: int, j: int):
+    """Drop a message whose receiver is no longer in a state to handle it
+    (the stale-TCP-connection teardown of the implementation).
+
+    Only *clearly stale* messages may be dropped -- messages from the
+    receiver's current leader must be handled, which keeps the bug paths
+    (e.g. ZK-4394's COMMIT) intact.
+    """
+    msg = P.peek(state, j, i)
+    if msg is None or state["state"][i] == C.DOWN:
+        return None
+    mtype = msg.mtype
+    stale = False
+    if mtype == C.FOLLOWERINFO and state["state"][i] != C.LEADING:
+        stale = True
+    elif mtype in (C.ACKEPOCH, C.ACK, C.ACK_UPTODATE) and state["state"][i] != C.LEADING:
+        stale = True
+    elif mtype in (C.ACK, C.ACK_UPTODATE) and not P.is_learner(state, i, j):
+        stale = True  # sender is not a learner of this leader incarnation
+    elif mtype in (
+        C.LEADERINFO,
+        C.DIFF,
+        C.TRUNC,
+        C.SNAP,
+        C.NEWLEADER,
+        C.UPTODATE,
+        C.PROPOSAL,
+        C.COMMIT,
+    ) and state["my_leader"][i] != j:
+        stale = True
+    if not stale:
+        return None
+    return {"msgs": P.pop(state["msgs"], j, i)}
+
+
+def faults_module(config: ZkConfig) -> Module:
+    servers = {"i": _servers}
+    pairs = {"pair": _server_pairs}
+
+    def unpack(fn):
+        return lambda cfg, state, pair: fn(cfg, state, pair[0], pair[1])
+
+    actions = [
+        Action(
+            "NodeCrash",
+            node_crash,
+            params=servers,
+            reads=["state", "crash_budget"],
+            writes=["state", "zab_state", "msgs", "crash_budget", *_VOLATILE_WRITES],
+        ),
+        Action(
+            "NodeRestart",
+            node_restart,
+            params=servers,
+            reads=["state", "current_epoch", "history"],
+            writes=["state", "zab_state", "current_vote", "vote_sent", "recv_votes"],
+        ),
+        Action(
+            "PartitionStart",
+            unpack(partition_start),
+            params=pairs,
+            reads=["state", "disconnected", "partition_budget"],
+            writes=["disconnected", "msgs", "partition_budget"],
+        ),
+        Action(
+            "PartitionHeal",
+            unpack(partition_heal),
+            params=pairs,
+            reads=["disconnected"],
+            writes=["disconnected"],
+        ),
+        Action(
+            "FollowerShutdown",
+            follower_shutdown,
+            params=servers,
+            reads=["state", "my_leader", "disconnected", "accepted_epoch", "queued_requests"],
+            writes=["state", "zab_state", *_VOLATILE_WRITES],
+        ),
+        Action(
+            "LeaderShutdown",
+            leader_shutdown,
+            params=servers,
+            reads=["state", "my_leader", "disconnected"],
+            writes=["state", "zab_state", *_VOLATILE_WRITES],
+        ),
+        Action(
+            "DiscardStaleMessage",
+            unpack(lambda cfg, s, i, j: discard_stale_message(cfg, s, i, j)),
+            params={"pair": lambda cfg: [
+                (i, j) for i in cfg.servers for j in cfg.servers if i != j
+            ]},
+            reads=["msgs", "state", "my_leader", "ackepoch_recv"],
+            writes=["msgs"],
+        ),
+    ]
+    return Module("Faults", actions)

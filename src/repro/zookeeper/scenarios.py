@@ -1,0 +1,141 @@
+"""Canned model-level scenarios.
+
+Scripted action sequences over a specification: elect a leader, sync a
+follower, commit a transaction.  Tests, examples and docs all need the
+same few prefixes; building them here keeps them in one place and makes
+"start checking from an interesting state" workflows one-liners (TLC's
+``Init`` override idiom).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.tla.action import ActionLabel
+from repro.tla.spec import Specification
+from repro.tla.state import State
+from repro.zookeeper import constants as C
+
+
+class ScenarioError(RuntimeError):
+    """A scripted action was not enabled."""
+
+
+class Scenario:
+    """A fluent builder driving a specification through named actions."""
+
+    def __init__(self, spec: Specification, state: Optional[State] = None):
+        self.spec = spec
+        self.state = state or spec.initial_states()[0]
+        self.labels: List[ActionLabel] = []
+        self.states: List[State] = [self.state]
+
+    def _instance(self, name: str, args: dict):
+        for inst in self.spec.action_instances():
+            if inst.label.name == name and inst.label.args == args:
+                return inst
+        raise ScenarioError(f"no action instance {name}{args}")
+
+    def apply(self, name: str, **args) -> "Scenario":
+        """Apply one action; raises ScenarioError when disabled."""
+        inst = self._instance(name, args)
+        nxt = inst.apply(self.spec.config, self.state)
+        if nxt is None:
+            raise ScenarioError(f"{name}{args} is not enabled")
+        self.state = nxt
+        self.labels.append(inst.label)
+        self.states.append(nxt)
+        return self
+
+    def can(self, name: str, **args) -> bool:
+        inst = self._instance(name, args)
+        return inst.apply(self.spec.config, self.state) is not None
+
+    def trace(self):
+        from repro.checker.trace import Trace
+
+        return Trace(states=list(self.states), labels=list(self.labels))
+
+    # --- composite steps -----------------------------------------------------
+
+    def elect(self, leader: int, quorum: Iterable[int]) -> "Scenario":
+        """Coarse ElectionAndDiscovery."""
+        return self.apply(
+            "ElectionAndDiscovery", i=leader, Q=tuple(sorted(quorum))
+        )
+
+    def sync_follower(
+        self, leader: int, follower: int, through_uptodate: bool = True
+    ) -> "Scenario":
+        """Drive one follower through the whole synchronization phase at
+        whatever granularity the specification composes."""
+        names = {a.name for a in self.spec.actions}
+        self.apply("LeaderSyncFollower", pair=(leader, follower))
+        self.apply("FollowerProcessSyncMessage", pair=(follower, leader))
+        if "FollowerProcessNEWLEADER" in names:
+            self.apply("FollowerProcessNEWLEADER", pair=(follower, leader))
+        else:
+            order: Tuple[str, ...] = (
+                "FollowerProcessNEWLEADER_UpdateEpoch",
+                "FollowerProcessNEWLEADER_Log",
+                "FollowerProcessNEWLEADER_LogAsync",
+                "FollowerSyncProcessorLogRequest",
+                "FollowerProcessNEWLEADER_ReplyAck",
+            )
+            progressed = True
+            while progressed and not self.state["newleader_recv"][follower]:
+                progressed = False
+                for name in order:
+                    if name not in names:
+                        continue
+                    args = (
+                        {"i": follower}
+                        if name == "FollowerSyncProcessorLogRequest"
+                        else {"pair": (follower, leader)}
+                    )
+                    if self.can(name, **args):
+                        self.apply(name, **args)
+                        progressed = True
+                        break
+            if not self.state["newleader_recv"][follower]:
+                raise ScenarioError(
+                    f"could not complete NEWLEADER for {follower}"
+                )
+        self.apply("LeaderProcessACKLD", pair=(leader, follower))
+        if through_uptodate:
+            self.apply("FollowerProcessUPTODATE", pair=(follower, leader))
+            if "LeaderProcessACKUPTODATE" in names:
+                self.apply(
+                    "LeaderProcessACKUPTODATE", pair=(leader, follower)
+                )
+        return self
+
+    def serving_cluster(
+        self, leader: int = 2, quorum: Iterable[int] = (0, 1, 2)
+    ) -> "Scenario":
+        """Elect and fully sync a cluster into BROADCAST."""
+        quorum = tuple(sorted(quorum))
+        self.elect(leader, quorum)
+        for follower in quorum:
+            if follower != leader:
+                self.sync_follower(leader, follower)
+        return self
+
+    def commit_transaction(self, leader: int, follower: int) -> "Scenario":
+        """Propose a txn and commit it through one follower's ACK."""
+        names = {a.name for a in self.spec.actions}
+        self.apply("LeaderProcessRequest", i=leader)
+        self.apply("FollowerProcessPROPOSAL", pair=(follower, leader))
+        if "FollowerSyncProcessorLogRequest" in names:
+            self.apply("FollowerSyncProcessorLogRequest", i=follower)
+        self.apply("LeaderProcessACK", pair=(leader, follower))
+        self.apply("FollowerProcessCOMMIT", pair=(follower, leader))
+        if "FollowerCommitProcessorCommit" in names:
+            self.apply("FollowerCommitProcessorCommit", i=follower)
+        return self
+
+    def crash(self, server: int) -> "Scenario":
+        return self.apply("NodeCrash", i=server)
+
+    def restart(self, server: int) -> "Scenario":
+        return self.apply("NodeRestart", i=server)

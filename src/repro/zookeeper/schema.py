@@ -1,0 +1,121 @@
+"""The variable schema and initial state of the ZooKeeper system model.
+
+Variable names follow the paper's TLA+ snippets (Figures 2-5) with ghost
+variables prefixed ``g_`` and code-level error paths collected in
+``errors``.  Every granularity of every module shares this schema -- that
+is what makes the modules composable (Section 3.3): a coarse module simply
+leaves the fine-only variables at their initial value.
+"""
+
+from __future__ import annotations
+
+from repro.tla.state import Schema, State
+from repro.tla.values import Rec, ZXID_ZERO
+from repro.zookeeper import constants as C
+from repro.zookeeper.config import ZkConfig
+
+#: Variables in schema order.  Comments give the ZooKeeper counterpart.
+VARIABLES = (
+    # -- node roles and phases
+    "state",             # QuorumPeer.ServerState per server
+    "zab_state",         # the Zab phase per server (Figure 6)
+    "accepted_epoch",    # acceptedEpoch file
+    "current_epoch",     # currentEpoch file
+    "history",           # the durable transaction log
+    "last_committed",    # committed prefix length of history
+    "my_leader",         # follower's current leader (-1 when none)
+    # -- election (baseline FLE granularity)
+    "current_vote",      # FLE vote Rec(epoch, zxid, sid)
+    "recv_votes",        # votes received this round: {(voter, vote)}
+    "vote_sent",         # has the current vote been broadcast?
+    # -- discovery (leader side)
+    "cepoch_recv",       # FOLLOWERINFO received: {(follower, acceptedEpoch)}
+    "ackepoch_recv",     # ACKEPOCH received: {(follower, currentEpoch, lastZxid)}
+    # -- synchronization
+    "synced_sent",       # followers to whom sync packets + NEWLEADER were sent
+    "newleader_acks",    # followers whose ACK of NEWLEADER was processed
+    "uptodate_sent",     # followers to whom UPTODATE was sent
+    "packets_sync",      # Rec(not_committed, committed, mode): Learner sync buffers
+    "newleader_recv",    # follower processed NEWLEADER (epoch updated)
+    # -- in-node thread queues (fine-grained concurrency only)
+    "queued_requests",   # SyncRequestProcessor.queuedRequests (Figure 4)
+    "committed_requests",# CommitProcessor.committedRequests
+    # -- broadcast (leader side)
+    "proposal_acks",     # outstanding proposals: ((zxid, {ackers}), ...)
+    # -- network and faults
+    "msgs",              # FIFO channels msgs[src][dst]
+    "disconnected",      # partitioned pairs {{i,j}}
+    "crash_budget",
+    "partition_budget",
+    "txn_count",         # client requests issued so far
+    # -- code-level error paths (I-11..I-14)
+    "errors",
+    # -- ghost variables for the protocol invariants (I-1..I-10)
+    "g_delivered",
+    "g_proposed",
+    "g_leaders",
+    "g_established",
+    "g_participants",
+    "g_committed",
+)
+
+SCHEMA = Schema(VARIABLES)
+
+#: Initial value of a follower's sync buffer.
+EMPTY_SYNC = Rec(not_committed=(), committed=(), mode="")
+
+
+def empty_vote(server: int) -> Rec:
+    return Rec(epoch=0, zxid=ZXID_ZERO, sid=server)
+
+
+def initial_state(config: ZkConfig) -> State:
+    """All servers up, LOOKING, with empty histories (TLA+ Init)."""
+    n = config.n_servers
+    per = lambda value: tuple(value for _ in range(n))
+    empty_row = tuple(() for _ in range(n))
+    return State.make(
+        SCHEMA,
+        state=per(C.LOOKING),
+        zab_state=per(C.ELECTION),
+        accepted_epoch=per(0),
+        current_epoch=per(0),
+        history=per(()),
+        last_committed=per(0),
+        my_leader=per(-1),
+        current_vote=tuple(empty_vote(i) for i in range(n)),
+        recv_votes=per(frozenset()),
+        vote_sent=per(False),
+        cepoch_recv=per(frozenset()),
+        ackepoch_recv=per(frozenset()),
+        synced_sent=per(frozenset()),
+        newleader_acks=per(frozenset()),
+        uptodate_sent=per(frozenset()),
+        packets_sync=per(EMPTY_SYNC),
+        newleader_recv=per(False),
+        queued_requests=per(()),
+        committed_requests=per(()),
+        proposal_acks=per(()),
+        msgs=tuple(empty_row for _ in range(n)),
+        disconnected=frozenset(),
+        crash_budget=config.max_crashes,
+        partition_budget=config.max_partitions,
+        txn_count=0,
+        errors=frozenset(),
+        g_delivered=per(()),
+        g_proposed=frozenset(),
+        g_leaders=(),
+        g_established=(),
+        g_participants=(),
+        g_committed=(),
+    )
+
+
+def init(config: ZkConfig):
+    return [initial_state(config)]
+
+
+def state_constraint(config: ZkConfig, state: State) -> bool:
+    """TLC CONSTRAINT: bound epochs (txns/crashes/partitions are bounded
+    by their budget variables directly)."""
+    return max(state["accepted_epoch"]) <= config.max_epoch

@@ -1,0 +1,227 @@
+"""Specification factories: SysSpec and the mixed-grained mSpec-1..mSpec-4.
+
+This is the composition matrix of Table 1:
+
+=========  =========  =========  ==================  ==============
+Spec       Election   Discovery  Synchronization     Broadcast
+=========  =========  =========  ==================  ==============
+SysSpec    baseline   baseline   baseline            baseline
+mSpec-1    coarsened  coarsened  baseline            baseline
+mSpec-2    coarsened  coarsened  fine (atomicity)    baseline
+mSpec-3    coarsened  coarsened  fine (atom+concur)  fine (concur)
+mSpec-4    baseline   baseline   fine (atom+concur)  fine (concur)
+=========  =========  =========  ==================  ==============
+
+plus the Table 6 variants: mSpec-3+ (mSpec-3 with the ZK-4712 fix) and
+the four PR specifications, and the §5.4 final-fix specification.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.tla.composition import CompositionError, compose
+from repro.tla.module import Module
+from repro.tla.spec import Specification
+from repro.tla.state import State
+from repro.zab.invariants import protocol_invariants
+from repro.zookeeper import constants as C
+from repro.zookeeper.broadcast import (
+    broadcast_baseline_module,
+    broadcast_fine_module,
+)
+from repro.zookeeper.coarse import coarse_election_module
+from repro.zookeeper.code_invariants import code_invariants
+from repro.zookeeper.config import (
+    FINAL_FIX,
+    PR_1848,
+    PR_1930,
+    PR_1993,
+    PR_2111,
+    SpecVariant,
+    V391,
+    V391_PLUS_4712,
+    ZkConfig,
+)
+from repro.zookeeper.discovery import discovery_module
+from repro.zookeeper.election import election_module
+from repro.zookeeper.faults import faults_module
+from repro.zookeeper.schema import SCHEMA, init, state_constraint
+from repro.zookeeper.sync_baseline import sync_baseline_module
+from repro.zookeeper.sync_fine import (
+    sync_fine_atomic_module,
+    sync_fine_concurrent_module,
+)
+
+#: module name -> granularity -> factory
+MODULE_FACTORIES: Dict[str, Dict[str, Callable[[ZkConfig], Module]]] = {
+    "Election": {
+        "baseline": election_module,
+        # "coarsened" merges Election+Discovery; see build_spec.
+    },
+    "Discovery": {
+        "baseline": discovery_module,
+    },
+    "Synchronization": {
+        "baseline": sync_baseline_module,
+        "fine_atomic": sync_fine_atomic_module,
+        "fine_concurrent": sync_fine_concurrent_module,
+    },
+    "Broadcast": {
+        "baseline": broadcast_baseline_module,
+        "fine_concurrent": broadcast_fine_module,
+    },
+}
+
+#: Table 1 rows, as granularity selections.
+SELECTIONS: Dict[str, Dict[str, str]] = {
+    "SysSpec": {
+        "Election": "baseline",
+        "Discovery": "baseline",
+        "Synchronization": "baseline",
+        "Broadcast": "baseline",
+    },
+    "mSpec-1": {
+        "Election": "coarsened",
+        "Discovery": "coarsened",
+        "Synchronization": "baseline",
+        "Broadcast": "baseline",
+    },
+    "mSpec-2": {
+        "Election": "coarsened",
+        "Discovery": "coarsened",
+        "Synchronization": "fine_atomic",
+        "Broadcast": "baseline",
+    },
+    "mSpec-3": {
+        "Election": "coarsened",
+        "Discovery": "coarsened",
+        "Synchronization": "fine_concurrent",
+        "Broadcast": "fine_concurrent",
+    },
+    "mSpec-4": {
+        "Election": "baseline",
+        "Discovery": "baseline",
+        "Synchronization": "fine_concurrent",
+        "Broadcast": "fine_concurrent",
+    },
+}
+
+
+def zk4394_mask(state: State) -> bool:
+    """Mask predicate for the known-but-unfixed ZK-4394 (§4.1): states on
+    its error path are neither reported nor explored further."""
+    return any(
+        err.code == C.ERR_COMMIT_UNMATCHED_IN_SYNC for err in state["errors"]
+    )
+
+
+def build_spec(
+    name: str,
+    selection: Dict[str, str],
+    config: ZkConfig,
+) -> Specification:
+    """Compose a mixed-grained specification from a granularity selection
+    (the Remix composition step, §3.5.1), with automatically selected
+    invariants."""
+    ele = selection["Election"]
+    dis = selection["Discovery"]
+    if (ele == "coarsened") != (dis == "coarsened"):
+        raise CompositionError(
+            "Election and Discovery must be coarsened together: the "
+            "coarse action spans both phases"
+        )
+    if selection["Broadcast"] == "fine_concurrent" and selection[
+        "Synchronization"
+    ] != "fine_concurrent":
+        raise CompositionError(
+            "fine-grained Broadcast needs the fine-concurrent "
+            "Synchronization module: the worker threads that drain the "
+            "queues are defined there"
+        )
+
+    modules: List[Module] = []
+    if ele == "coarsened":
+        modules.append(coarse_election_module(config))
+    else:
+        modules.append(election_module(config))
+        modules.append(discovery_module(config))
+    modules.append(
+        MODULE_FACTORIES["Synchronization"][selection["Synchronization"]](config)
+    )
+    modules.append(MODULE_FACTORIES["Broadcast"][selection["Broadcast"]](config))
+    modules.append(faults_module(config))
+
+    invariants = protocol_invariants() + code_invariants(selection)
+    return compose(
+        name,
+        SCHEMA,
+        init,
+        modules,
+        invariants,
+        config,
+        constraint=state_constraint,
+    )
+
+
+def make_spec(
+    name: str,
+    config: Optional[ZkConfig] = None,
+    variant: Optional[SpecVariant] = None,
+) -> Specification:
+    """Build one of the named Table 1 specifications."""
+    if name not in SELECTIONS:
+        raise KeyError(f"unknown specification {name!r}; options: {list(SELECTIONS)}")
+    config = config or ZkConfig()
+    if variant is not None:
+        config = config.with_variant(variant)
+    return build_spec(name, SELECTIONS[name], config)
+
+
+def sys_spec(config: Optional[ZkConfig] = None) -> Specification:
+    return make_spec("SysSpec", config)
+
+
+def mspec1(config: Optional[ZkConfig] = None) -> Specification:
+    return make_spec("mSpec-1", config)
+
+
+def mspec2(config: Optional[ZkConfig] = None) -> Specification:
+    return make_spec("mSpec-2", config)
+
+
+def mspec3(config: Optional[ZkConfig] = None) -> Specification:
+    return make_spec("mSpec-3", config)
+
+
+def mspec4(config: Optional[ZkConfig] = None) -> Specification:
+    return make_spec("mSpec-4", config)
+
+
+def mspec3_plus(config: Optional[ZkConfig] = None) -> Specification:
+    """mSpec-3+ of Table 6: mSpec-3 with the verified ZK-4712 fix."""
+    config = (config or ZkConfig()).with_variant(V391_PLUS_4712)
+    spec = build_spec("mSpec-3+", SELECTIONS["mSpec-3"], config)
+    return spec
+
+#: Table 6: the four fix PRs, each as an update of mSpec-3+.
+PR_VARIANTS: Dict[str, SpecVariant] = {
+    "PR-1848": PR_1848,
+    "PR-1930": PR_1930,
+    "PR-1993": PR_1993,
+    "PR-2111": PR_2111,
+}
+
+
+def pr_spec(pr: str, config: Optional[ZkConfig] = None) -> Specification:
+    if pr not in PR_VARIANTS:
+        raise KeyError(f"unknown PR {pr!r}; options: {list(PR_VARIANTS)}")
+    config = (config or ZkConfig()).with_variant(PR_VARIANTS[pr])
+    return build_spec(pr, SELECTIONS["mSpec-3"], config)
+
+
+def final_fix_spec(config: Optional[ZkConfig] = None) -> Specification:
+    """The §5.4 resolution: history-before-epoch ordering, synchronous
+    logging and commit, fixed shutdown and commit matching."""
+    config = (config or ZkConfig()).with_variant(FINAL_FIX)
+    return build_spec("FinalFix", SELECTIONS["mSpec-3"], config)

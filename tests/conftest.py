@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.tla.values import Rec, Txn, Zxid
+from repro.zookeeper.config import ZkConfig
+from repro.zookeeper.schema import initial_state
+
+
+def txn(epoch, counter, value=None):
+    """Shorthand transaction constructor."""
+    return Txn(Zxid(epoch, counter), value if value is not None else counter)
+
+
+def zk_state(config=None, **overrides):
+    """The ZooKeeper initial state with some variables overridden."""
+    config = config or ZkConfig()
+    state = initial_state(config)
+    if overrides:
+        state = state.set(**overrides)
+    return state
+
+
+def established(epoch, initial=(), committed=()):
+    """A g_established record."""
+    return Rec(epoch=epoch, initial=tuple(initial), committed=tuple(committed))
+
+
+@pytest.fixture
+def config():
+    return ZkConfig()
+
+
+@pytest.fixture
+def small_config():
+    """The standard small model-checking configuration used by the bug
+    reproduction tests."""
+    return ZkConfig(max_txns=1, max_crashes=1, max_partitions=0, max_epoch=3)

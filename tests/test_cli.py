@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_check_spec_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check", "nope"])
+
+    def test_config_args(self):
+        args = build_parser().parse_args(
+            ["check", "mSpec-2", "--txns", "2", "--crashes", "3"]
+        )
+        assert args.txns == 2 and args.crashes == 3
+
+
+class TestCommands:
+    def test_check_finds_zk4394(self, capsys):
+        code = main(
+            [
+                "check",
+                "mSpec-1",
+                "--unmask-zk4394",
+                "--max-states",
+                "50000",
+                "--max-time",
+                "60",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1  # violation found
+        assert "I-14" in out
+
+    def test_check_with_trace(self, capsys):
+        code = main(
+            [
+                "check",
+                "mSpec-1",
+                "--unmask-zk4394",
+                "--trace",
+                "--max-states",
+                "50000",
+                "--max-time",
+                "60",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "State 0 (initial):" in out
+
+    def test_check_masked_passes(self, capsys):
+        code = main(
+            ["check", "mSpec-1", "--max-states", "30000", "--max-time", "30"]
+        )
+        assert code == 0
+
+    def test_conformance(self, capsys):
+        code = main(
+            ["conformance", "mSpec-3", "--traces", "10", "--steps", "15"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 discrepancies" in out
+
+    def test_efforts(self, capsys):
+        assert main(["efforts"]) == 0
+        out = capsys.readouterr().out
+        assert "mSpec-1 - SysSpec" in out
+
+    def test_lineage(self, capsys):
+        assert main(["lineage"]) == 0
+        out = capsys.readouterr().out
+        assert "ZK-2678" in out

@@ -1,0 +1,56 @@
+"""Smoke tests: the example scripts run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, timeout=300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_quickstart():
+    result = run_example("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "ZK-4394" in result.stdout
+    assert "NullPointerException" in result.stdout
+
+
+def test_conformance_checking():
+    result = run_example("conformance_checking.py")
+    assert result.returncode == 0, result.stderr
+    assert "0 discrepancies" in result.stdout
+    assert "current_epoch" in result.stdout
+
+
+@pytest.mark.slow
+def test_custom_composition():
+    result = run_example("custom_composition.py", timeout=420)
+    assert result.returncode == 0, result.stderr
+    assert "I-8" in result.stdout
+    assert "CompositionError" in result.stdout
+
+
+@pytest.mark.slow
+def test_protocol_improvement():
+    result = run_example("protocol_improvement.py", timeout=600)
+    assert result.returncode == 0, result.stderr
+    assert "passes all ten protocol invariants" in result.stdout
+    assert "VIOLATES I-8" in result.stdout
+
+
+@pytest.mark.slow
+def test_verify_bug_fix():
+    result = run_example("verify_bug_fix.py", timeout=900)
+    assert result.returncode == 0, result.stderr
+    assert "REJECTED" in result.stdout
+    assert "PASSED" in result.stdout

@@ -1,0 +1,287 @@
+"""Unit tests for the implementation simulator (repro.impl)."""
+
+import pytest
+
+from conftest import txn
+from repro.impl import (
+    Ensemble,
+    Network,
+    NullPointerException,
+    SyncAssertionError,
+    UnrecognizedAckError,
+)
+from repro.tla.values import Rec, Zxid, ZXID_ZERO
+from repro.zookeeper import constants as C
+from repro.zookeeper.config import FINAL_FIX, SpecVariant, V391
+
+
+class TestNetwork:
+    def test_fifo(self):
+        net = Network(2)
+        net.send(0, 1, Rec(mtype="A"), Rec(mtype="B"))
+        assert net.recv(0, 1).mtype == "A"
+        assert net.peek(0, 1).mtype == "B"
+
+    def test_partition_drops(self):
+        net = Network(2)
+        net.partition(0, 1)
+        net.send(0, 1, Rec(mtype="A"))
+        assert net.peek(0, 1) is None
+        net.heal(0, 1)
+        net.send(0, 1, Rec(mtype="A"))
+        assert net.peek(0, 1) is not None
+
+    def test_down_node_unreachable(self):
+        net = Network(2)
+        net.mark_down(1)
+        net.send(0, 1, Rec(mtype="A"))
+        assert net.peek(0, 1) is None
+
+    def test_clear_server(self):
+        net = Network(3)
+        net.send(0, 1, Rec(mtype="A"))
+        net.send(2, 0, Rec(mtype="B"))
+        net.clear_server(0)
+        assert net.peek(0, 1) is None and net.peek(2, 0) is None
+
+    def test_snapshot_shape(self):
+        net = Network(2)
+        net.send(0, 1, Rec(mtype="A"))
+        snap = net.snapshot()
+        assert snap[0][1][0].mtype == "A"
+        assert snap[1][0] == ()
+
+
+def synced_pair(variant=V391, divergence=""):
+    """Leader 2 + follower 0, synced to BROADCAST."""
+    ens = Ensemble(3, variant, divergence)
+    assert ens.run_election(2, (0, 2))
+    assert ens.nodes[2].leader_sync_follower(0)
+    assert ens.nodes[0].follower_process_sync_message(2)
+    assert ens.nodes[0].follower_process_newleader_atomic(2)
+    assert ens.nodes[2].leader_process_ack(0)
+    assert ens.nodes[0].follower_process_uptodate_baseline(2)
+    return ens
+
+
+class TestEnsembleLifecycle:
+    def test_election_requires_max_credentials(self):
+        ens = Ensemble(3)
+        assert not ens.run_election(0, (0, 1, 2))
+        assert ens.run_election(2, (0, 1, 2))
+
+    def test_election_refuses_non_member_leader(self):
+        ens = Ensemble(3)
+        assert not ens.run_election(2, (0, 1))
+
+    def test_sync_round_reaches_broadcast(self):
+        ens = synced_pair()
+        assert ens.nodes[2].zab_state == C.BROADCAST
+        assert ens.nodes[0].zab_state == C.BROADCAST
+
+    def test_commit_round(self):
+        ens = synced_pair()
+        assert ens.client_request(2)
+        assert ens.nodes[0].follower_process_proposal_atomic(2)
+        # skip the UPTODATE ack, then the txn ack commits at the leader
+        assert ens.nodes[2].leader_process_ack_baseline(0)
+        assert ens.nodes[2].last_committed == 1
+        assert ens.nodes[0].follower_process_commit_atomic(2)
+        assert ens.nodes[0].last_committed == 1
+
+    def test_crash_loses_volatile_keeps_log(self):
+        ens = synced_pair()
+        ens.client_request(2)
+        ens.nodes[0].follower_process_proposal(2)  # queued only
+        ens.crash(0)
+        assert ens.nodes[0].queued_requests == []
+        ens.restart(0)
+        assert ens.nodes[0].state == C.LOOKING
+        assert ens.nodes[0].current_epoch == 1
+
+    def test_follower_shutdown_keeps_queue_in_v391(self):
+        ens = synced_pair()
+        ens.client_request(2)
+        ens.nodes[0].follower_process_proposal(2)
+        ens.crash(2)
+        assert ens.follower_shutdown(0)
+        assert ens.nodes[0].queued_requests  # ZK-4712
+
+    def test_fixed_shutdown_clears_queue(self):
+        ens = synced_pair(variant=SpecVariant(fix_follower_shutdown=True))
+        ens.client_request(2)
+        ens.nodes[0].follower_process_proposal(2)
+        ens.crash(2)
+        assert ens.follower_shutdown(0)
+        assert ens.nodes[0].queued_requests == []
+
+    def test_leader_shutdown_on_quorum_loss(self):
+        ens = synced_pair()
+        ens.crash(0)
+        ens.crash(1)
+        assert ens.leader_shutdown(2)
+        assert ens.nodes[2].state == C.LOOKING
+
+    def test_snapshot_is_model_shaped(self):
+        snap = synced_pair().snapshot()
+        assert snap["state"] == (C.FOLLOWING, C.LOOKING, C.LEADING)
+        assert snap["current_epoch"] == (1, 0, 1)
+        assert isinstance(snap["history"], tuple)
+
+
+class TestBugSymptoms:
+    def test_zk4394_null_pointer(self):
+        """COMMIT between NEWLEADER and UPTODATE with no matching packet."""
+        ens = Ensemble(3, V391)
+        ens.run_election(2, (0, 2))
+        ens.nodes[2].leader_sync_follower(0)
+        ens.nodes[0].follower_process_sync_message(2)
+        ens.nodes[0].follower_process_newleader_atomic(2)
+        ens.network.send(2, 0, Rec(mtype=C.COMMIT, zxid=Zxid(1, 1)))
+        with pytest.raises(NullPointerException):
+            ens.nodes[0].follower_process_commit_in_sync(2)
+
+    def test_zk4394_fixed_by_commit_matching(self):
+        variant = SpecVariant(match_commit_in_sync=True)
+        ens = Ensemble(3, variant)
+        ens.run_election(2, (0, 2))
+        t = txn(1, 1)
+        ens.nodes[2].history = [t]
+        ens.nodes[2].ackepoch_recv = {(0, 0, ZXID_ZERO)}
+        ens.nodes[2].leader_sync_follower(0)
+        ens.nodes[0].follower_process_sync_message(2)
+        ens.nodes[0].follower_process_newleader_atomic(2)
+        ens.network.send(2, 0, Rec(mtype=C.COMMIT, zxid=t.zxid))
+        assert ens.nodes[0].follower_process_commit_in_sync(2)
+        assert ens.nodes[0].last_committed == 1
+
+    def test_zk4685_unrecognized_ack(self):
+        """A txn ACK while the leader waits for the NEWLEADER ACK."""
+        ens = Ensemble(3, V391)
+        ens.run_election(2, (0, 2))
+        ens.nodes[2].leader_sync_follower(0)
+        ens.network.send(0, 2, Rec(mtype=C.ACK, zxid=Zxid(1, 5)))
+        with pytest.raises(UnrecognizedAckError):
+            ens.nodes[2].leader_process_ack(0)
+
+    def test_zk3023_sync_assertion(self):
+        """ACK of UPTODATE while the follower's commits are pending."""
+        ens = Ensemble(3, V391)
+        ens.run_election(2, (0, 2))
+        ens.nodes[2].history = [txn(1, 1)]
+        ens.nodes[2].last_committed = 1  # already committed pre-election
+        ens.nodes[2].ackepoch_recv = {(0, 0, ZXID_ZERO)}
+        ens.nodes[2].leader_sync_follower(0)
+        ens.nodes[0].follower_process_sync_message(2)
+        ens.nodes[0].follower_process_newleader_atomic(2)
+        ens.nodes[2].leader_process_ack(0)  # establish, commit_count = 1
+        assert ens.nodes[0].follower_process_uptodate(2)
+        assert ens.nodes[0].committed_requests  # async commit pending
+        with pytest.raises(SyncAssertionError):
+            ens.nodes[2].leader_process_ack(0)
+
+    def test_zk3023_fixed_by_synchronous_commit(self):
+        variant = SpecVariant(synchronous_commit=True)
+        ens = Ensemble(3, variant)
+        ens.run_election(2, (0, 2))
+        ens.nodes[2].history = [txn(1, 1)]
+        ens.nodes[2].last_committed = 1
+        ens.nodes[2].ackepoch_recv = {(0, 0, ZXID_ZERO)}
+        ens.nodes[2].leader_sync_follower(0)
+        ens.nodes[0].follower_process_sync_message(2)
+        ens.nodes[0].follower_process_newleader_atomic(2)
+        ens.nodes[2].leader_process_ack(0)
+        assert ens.nodes[0].follower_process_uptodate(2)
+        assert ens.nodes[2].leader_process_ack(0)  # assertion holds
+
+    def test_zk4643_crash_window(self):
+        """Epoch persisted, history not: the v3.9.1 order."""
+        ens = Ensemble(3, V391)
+        ens.run_election(2, (0, 2))
+        t = txn(1, 1)
+        ens.nodes[2].history = [t]
+        ens.nodes[2].ackepoch_recv = {(0, 0, ZXID_ZERO)}
+        ens.nodes[2].leader_sync_follower(0)
+        ens.nodes[0].follower_process_sync_message(2)
+        assert ens.nodes[0].step_update_epoch(2)
+        # crash before the log step: high epoch, stale history
+        ens.crash(0)
+        assert ens.nodes[0].current_epoch == 1
+        assert ens.nodes[0].history == []
+
+    def test_zk4643_window_closed_by_ordering(self):
+        variant = SpecVariant(history_before_epoch="full")
+        ens = Ensemble(3, variant)
+        ens.run_election(2, (0, 2))
+        t = txn(1, 1)
+        ens.nodes[2].history = [t]
+        ens.nodes[2].ackepoch_recv = {(0, 0, ZXID_ZERO)}
+        ens.nodes[2].leader_sync_follower(0)
+        ens.nodes[0].follower_process_sync_message(2)
+        assert not ens.nodes[0].step_update_epoch(2)  # must log first
+        assert ens.nodes[0].step_log(2)
+        # with asynchronous logging, "logged" means the queue is drained
+        assert not ens.nodes[0].step_update_epoch(2)
+        assert ens.nodes[0].sync_processor_step()
+        assert ens.nodes[0].step_update_epoch(2)
+
+    def test_final_fix_synchronous_logging(self):
+        ens = Ensemble(3, FINAL_FIX)
+        ens.run_election(2, (0, 2))
+        t = txn(1, 1)
+        ens.nodes[2].history = [t]
+        ens.nodes[2].ackepoch_recv = {(0, 0, ZXID_ZERO)}
+        ens.nodes[2].leader_sync_follower(0)
+        ens.nodes[0].follower_process_sync_message(2)
+        ens.nodes[0].step_log(2)
+        assert ens.nodes[0].history == [t]  # on disk, not queued
+        assert ens.nodes[0].queued_requests == []
+
+
+class TestDiscardStale:
+    def test_drops_ack_at_non_leader(self):
+        ens = Ensemble(3, V391)
+        ens.network.send(1, 0, Rec(mtype=C.ACK, zxid=ZXID_ZERO))
+        assert ens.discard_stale(0, 1)
+        assert ens.network.peek(1, 0) is None
+
+    def test_keeps_current_leader_traffic(self):
+        ens = synced_pair()
+        ens.network.send(2, 0, Rec(mtype=C.COMMIT, zxid=ZXID_ZERO))
+        assert not ens.discard_stale(0, 2)
+
+    def test_drops_stale_leader_traffic(self):
+        ens = synced_pair()
+        # node 1 never joined: a COMMIT from 2 is stale for it
+        ens.network.send(2, 1, Rec(mtype=C.COMMIT, zxid=ZXID_ZERO))
+        assert ens.discard_stale(1, 2)
+
+    def test_empty_channel(self):
+        assert not Ensemble(3, V391).discard_stale(0, 1)
+
+
+class TestFaultEnabledness:
+    def test_crash_twice_refused(self):
+        ens = Ensemble(3, V391)
+        assert ens.crash(0)
+        assert not ens.crash(0)
+
+    def test_restart_up_node_refused(self):
+        ens = Ensemble(3, V391)
+        assert not ens.restart(0)
+        ens.crash(0)
+        assert ens.restart(0)
+
+    def test_partition_twice_refused(self):
+        ens = Ensemble(3, V391)
+        assert ens.partition(0, 1)
+        assert not ens.partition(0, 1)
+        assert ens.heal(0, 1)
+        assert not ens.heal(0, 1)
+
+    def test_leader_sync_refused_when_disconnected(self):
+        ens = Ensemble(3, V391)
+        ens.run_election(2, (0, 1, 2))
+        ens.partition(2, 0)
+        assert not ens.nodes[2].leader_sync_follower(0)
+        assert ens.nodes[2].leader_sync_follower(1)

@@ -1,0 +1,115 @@
+"""Property-based tests over the model's reachable states.
+
+Random walks (seeded by hypothesis) explore the specification and check
+structural invariants of the state representation on every visited state
+-- properties that must hold at *every* granularity and variant, bug or
+no bug:
+
+- committed watermarks never exceed history lengths;
+- per-server delivery sequences are consistent with the global commit
+  sequence (the order in which a server delivers is a subsequence of
+  g_committed, up to late local deliveries of earlier commits);
+- zxids within a history are strictly increasing;
+- the fixed (final) variant additionally preserves all ten protocol
+  invariants along every random walk.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.checker import RandomWalker
+from repro.zab.invariants import protocol_invariants
+from repro.zookeeper import FINAL_FIX, ZkConfig, make_spec
+from repro.zookeeper.specs import build_spec, SELECTIONS
+
+SPEC_NAMES = ("mSpec-1", "mSpec-2", "mSpec-3")
+
+_CFG = ZkConfig(max_txns=2, max_crashes=1, max_partitions=1, max_epoch=3)
+_SPECS = {name: make_spec(name, _CFG) for name in SPEC_NAMES}
+_FIXED = build_spec(
+    "FinalFix", SELECTIONS["mSpec-3"], _CFG.with_variant(FINAL_FIX)
+)
+
+walk_params = st.tuples(
+    st.sampled_from(SPEC_NAMES), st.integers(min_value=0, max_value=10_000)
+)
+
+
+def states_of_walk(spec, seed, steps=25):
+    return RandomWalker(spec, seed=seed).walk(max_steps=steps).states
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(walk_params)
+def test_commit_watermark_bounded(params):
+    name, seed = params
+    spec = _SPECS[name]
+    for state in states_of_walk(spec, seed):
+        for i in spec.config.servers:
+            assert 0 <= state["last_committed"][i] <= len(state["history"][i])
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(walk_params)
+def test_zxids_strictly_increase_within_history(params):
+    name, seed = params
+    spec = _SPECS[name]
+    for state in states_of_walk(spec, seed):
+        for history in state["history"]:
+            zxids = [t.zxid for t in history]
+            assert zxids == sorted(zxids)
+            assert len(set(zxids)) == len(zxids)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(walk_params)
+def test_delivery_is_subsequence_of_global_commit(params):
+    name, seed = params
+    spec = _SPECS[name]
+    for state in states_of_walk(spec, seed):
+        committed = list(state["g_committed"])
+        for delivered in state["g_delivered"]:
+            assert set(delivered) <= set(committed)
+            positions = [committed.index(t) for t in delivered]
+            assert positions == sorted(positions)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(walk_params)
+def test_epochs_monotone(params):
+    name, seed = params
+    spec = _SPECS[name]
+    trace = RandomWalker(spec, seed=seed).walk(max_steps=25)
+    for before, _, after in trace.steps():
+        for i in spec.config.servers:
+            assert after["accepted_epoch"][i] >= before["accepted_epoch"][i]
+            assert after["current_epoch"][i] >= before["current_epoch"][i]
+        # the global commit sequence is append-only
+        n = len(before["g_committed"])
+        assert after["g_committed"][:n] == before["g_committed"]
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=50_000))
+def test_final_fix_preserves_protocol_invariants(seed):
+    invariants = protocol_invariants()
+    for state in states_of_walk(_FIXED, seed, steps=30):
+        for inv in invariants:
+            assert inv.holds(_FIXED.config, state), inv.ident
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(walk_params)
+def test_durable_state_survives_crash(params):
+    name, seed = params
+    spec = _SPECS[name]
+    trace = RandomWalker(spec, seed=seed).walk(max_steps=25)
+    for before, label, after in trace.steps():
+        if label.name != "NodeCrash":
+            continue
+        i = label.args["i"]
+        assert after["history"][i] == before["history"][i]
+        assert after["current_epoch"][i] == before["current_epoch"][i]
+        assert after["accepted_epoch"][i] == before["accepted_epoch"][i]
+        # volatile state is gone
+        assert after["queued_requests"][i] == ()
+        assert after["committed_requests"][i] == ()

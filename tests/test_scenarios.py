@@ -1,0 +1,62 @@
+"""Tests for the scenario builder."""
+
+import pytest
+
+from repro.zookeeper import ZkConfig, make_spec
+from repro.zookeeper import constants as C
+from repro.zookeeper.scenarios import Scenario, ScenarioError
+
+CFG = ZkConfig(max_txns=2, max_crashes=2, max_partitions=0, max_epoch=3)
+
+
+@pytest.fixture(params=["mSpec-1", "mSpec-2", "mSpec-3"])
+def spec(request):
+    return make_spec(request.param, CFG)
+
+
+class TestScenario:
+    def test_serving_cluster_reaches_broadcast(self, spec):
+        scenario = Scenario(spec).serving_cluster()
+        assert scenario.state["zab_state"] == (C.BROADCAST,) * 3
+        assert scenario.state["state"][2] == C.LEADING
+
+    def test_commit_transaction(self, spec):
+        scenario = (
+            Scenario(spec).serving_cluster().commit_transaction(2, 0)
+        )
+        state = scenario.state
+        assert state["last_committed"][2] == 1
+        assert state["last_committed"][0] == 1
+        assert state["g_committed"]
+
+    def test_disabled_action_raises(self, spec):
+        with pytest.raises(ScenarioError, match="not enabled"):
+            Scenario(spec).apply("LeaderProcessRequest", i=0)
+
+    def test_unknown_action_raises(self, spec):
+        with pytest.raises(ScenarioError, match="no action instance"):
+            Scenario(spec).apply("Bogus", i=0)
+
+    def test_trace_is_replayable(self, spec):
+        scenario = Scenario(spec).serving_cluster()
+        trace = scenario.trace()
+        states = spec.replay(trace.labels, trace.initial)
+        assert states[-1] == scenario.state
+
+    def test_crash_restart(self, spec):
+        scenario = Scenario(spec).serving_cluster().crash(0).restart(0)
+        assert scenario.state["state"][0] == C.LOOKING
+
+    def test_scenarios_preserve_protocol_invariants(self, spec):
+        from repro.zab.invariants import protocol_invariants
+
+        scenario = (
+            Scenario(spec)
+            .serving_cluster()
+            .commit_transaction(2, 0)
+            .crash(1)
+            .restart(1)
+        )
+        for state in scenario.states:
+            for inv in protocol_invariants():
+                assert inv.holds(spec.config, state), inv.ident

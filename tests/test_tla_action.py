@@ -1,0 +1,106 @@
+"""Unit tests for repro.tla.action."""
+
+import pytest
+
+from repro.tla.action import Action, ActionInstance, ActionLabel, action
+from repro.tla.state import Schema, State
+
+SCHEMA = Schema(("x", "y"))
+
+
+def make_state(x=0, y=0):
+    return State.make(SCHEMA, x=x, y=y)
+
+
+def inc_x(config, state, amount=None):
+    if amount is None:
+        amount = 1
+    if state.x + amount > config["max"]:
+        return None
+    return {"x": state.x + amount}
+
+
+class TestAction:
+    def test_apply_enabled(self):
+        act = Action("IncX", inc_x, reads=["x"], writes=["x"])
+        nxt = act.apply({"max": 5}, make_state(), ())
+        assert nxt.x == 1
+
+    def test_apply_disabled_returns_none(self):
+        act = Action("IncX", inc_x, reads=["x"], writes=["x"])
+        assert act.apply({"max": 0}, make_state(), ()) is None
+
+    def test_undeclared_write_rejected(self):
+        bad = Action("Bad", lambda cfg, s: {"y": 1}, writes=["x"])
+        with pytest.raises(ValueError, match="undeclared"):
+            bad.apply({}, make_state(), ())
+
+    def test_bindings_product(self):
+        act = Action(
+            "P",
+            lambda cfg, s, i, j: None,
+            params={"i": lambda c: [0, 1], "j": lambda c: ["a", "b"]},
+        )
+        bindings = list(act.bindings(None))
+        assert len(bindings) == 4
+        assert (("i", 0), ("j", "a")) in bindings
+
+    def test_bindings_no_params(self):
+        act = Action("N", lambda cfg, s: None)
+        assert list(act.bindings(None)) == [()]
+
+    def test_binding_values_passed_through(self):
+        act = Action(
+            "IncBy",
+            inc_x,
+            params={"amount": lambda c: [1, 2]},
+            reads=["x"],
+            writes=["x"],
+        )
+        nxt = act.apply({"max": 5}, make_state(), (("amount", 2),))
+        assert nxt.x == 2
+
+    def test_reads_writes_frozen(self):
+        act = Action("A", inc_x, reads=["x"], writes=["x"])
+        assert act.reads == frozenset({"x"})
+        assert act.writes == frozenset({"x"})
+
+
+class TestActionLabel:
+    def test_str_no_binding(self):
+        assert str(ActionLabel("Tick")) == "Tick"
+
+    def test_str_with_binding(self):
+        label = ActionLabel("Step", (("i", 1), ("j", 2)))
+        assert str(label) == "Step(i=1, j=2)"
+
+    def test_args(self):
+        assert ActionLabel("Step", (("i", 1),)).args == {"i": 1}
+
+    def test_hashable(self):
+        a = ActionLabel("A", (("i", 1),))
+        b = ActionLabel("A", (("i", 1),))
+        assert a == b and hash(a) == hash(b)
+
+
+class TestActionInstance:
+    def test_label(self):
+        act = Action("IncX", inc_x, reads=["x"], writes=["x"])
+        inst = ActionInstance(act, (("amount", 2),))
+        assert inst.label == ActionLabel("IncX", (("amount", 2),))
+
+    def test_apply(self):
+        act = Action("IncX", inc_x, reads=["x"], writes=["x"])
+        inst = ActionInstance(act, ())
+        assert inst.apply({"max": 3}, make_state()).x == 1
+
+
+class TestDecorator:
+    def test_decorator_builds_action(self):
+        @action("Tick", reads=["x"], writes=["x"])
+        def tick(config, state):
+            return {"x": state.x + 1}
+
+        assert isinstance(tick, Action)
+        assert tick.name == "Tick"
+        assert tick.apply({}, make_state(), ()).x == 1

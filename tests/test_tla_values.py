@@ -1,0 +1,170 @@
+"""Unit and property tests for repro.tla.values."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tla.values import (
+    Rec,
+    Txn,
+    Zxid,
+    ZXID_ZERO,
+    comparable,
+    is_prefix,
+    last_zxid,
+    seq,
+    seq_append,
+    seq_concat,
+    seq_head,
+    seq_tail,
+    updated,
+)
+
+
+class TestRec:
+    def test_attribute_access(self):
+        record = Rec(mtype="ACK", zxid=Zxid(1, 2))
+        assert record.mtype == "ACK"
+        assert record.zxid == Zxid(1, 2)
+
+    def test_item_access(self):
+        record = Rec(a=1)
+        assert record["a"] == 1
+        with pytest.raises(KeyError):
+            record["b"]
+
+    def test_missing_attribute(self):
+        with pytest.raises(AttributeError):
+            Rec(a=1).b
+
+    def test_immutable(self):
+        record = Rec(a=1)
+        with pytest.raises(TypeError):
+            record.a = 2
+
+    def test_equality_is_field_order_independent(self):
+        assert Rec(a=1, b=2) == Rec(b=2, a=1)
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(Rec(a=1, b=2)) == hash(Rec(b=2, a=1))
+
+    def test_inequality(self):
+        assert Rec(a=1) != Rec(a=2)
+        assert Rec(a=1) != Rec(a=1, b=2)
+
+    def test_replace_creates_new_record(self):
+        record = Rec(a=1, b=2)
+        other = record.replace(a=3)
+        assert other.a == 3 and other.b == 2
+        assert record.a == 1
+
+    def test_replace_can_add_fields(self):
+        assert Rec(a=1).replace(b=2).b == 2
+
+    def test_mapping_protocol(self):
+        record = Rec(a=1, b=2)
+        assert set(record) == {"a", "b"}
+        assert len(record) == 2
+        assert dict(record) == {"a": 1, "b": 2}
+
+    def test_fields(self):
+        assert Rec(b=1, a=2).fields() == ("a", "b")
+
+    def test_repr_roundtrips_fields(self):
+        assert "mtype='ACK'" in repr(Rec(mtype="ACK"))
+
+    def test_usable_in_sets(self):
+        assert len({Rec(a=1), Rec(a=1), Rec(a=2)}) == 2
+
+
+class TestZxid:
+    def test_total_order_epoch_first(self):
+        assert Zxid(2, 1) > Zxid(1, 99)
+
+    def test_total_order_counter_second(self):
+        assert Zxid(1, 2) > Zxid(1, 1)
+
+    def test_zero(self):
+        assert ZXID_ZERO == Zxid(0, 0)
+        assert ZXID_ZERO < Zxid(0, 1)
+
+    def test_repr(self):
+        assert repr(Zxid(1, 2)) == "<1,2>"
+
+
+class TestSequences:
+    def test_seq(self):
+        assert seq(1, 2, 3) == (1, 2, 3)
+
+    def test_append(self):
+        assert seq_append((1,), 2) == (1, 2)
+
+    def test_concat(self):
+        assert seq_concat((1,), [2, 3]) == (1, 2, 3)
+
+    def test_head_tail(self):
+        assert seq_head((1, 2)) == 1
+        assert seq_tail((1, 2)) == (2,)
+
+    def test_head_of_empty_raises(self):
+        with pytest.raises(IndexError):
+            seq_head(())
+
+    def test_updated(self):
+        assert updated((1, 2, 3), 1, 9) == (1, 9, 3)
+
+    def test_last_zxid_empty(self):
+        assert last_zxid(()) == ZXID_ZERO
+
+    def test_last_zxid(self):
+        history = (Txn(Zxid(1, 1), 1), Txn(Zxid(1, 2), 2))
+        assert last_zxid(history) == Zxid(1, 2)
+
+
+class TestPrefix:
+    def test_empty_is_prefix_of_all(self):
+        assert is_prefix((), (1, 2))
+
+    def test_proper_prefix(self):
+        assert is_prefix((1,), (1, 2))
+        assert not is_prefix((2,), (1, 2))
+
+    def test_equal_sequences(self):
+        assert is_prefix((1, 2), (1, 2))
+
+    def test_longer_is_not_prefix(self):
+        assert not is_prefix((1, 2, 3), (1, 2))
+
+    def test_comparable(self):
+        assert comparable((1,), (1, 2))
+        assert comparable((1, 2), (1,))
+        assert not comparable((1, 3), (1, 2))
+
+
+@given(st.lists(st.integers(), max_size=8), st.lists(st.integers(), max_size=8))
+def test_prefix_iff_slice(left, right):
+    left, right = tuple(left), tuple(right)
+    assert is_prefix(left, right) == (right[: len(left)] == left)
+
+
+@given(st.lists(st.integers(), max_size=8), st.lists(st.integers(), max_size=4))
+def test_extension_preserves_prefix(base, extra):
+    base, extra = tuple(base), tuple(extra)
+    assert is_prefix(base, base + extra)
+
+
+@given(
+    st.lists(st.integers(), max_size=6),
+    st.lists(st.integers(), max_size=6),
+    st.lists(st.integers(), max_size=6),
+)
+def test_prefix_transitive(a, b, c):
+    a, b, c = tuple(a), tuple(b), tuple(c)
+    if is_prefix(a, b) and is_prefix(b, c):
+        assert is_prefix(a, c)
+
+
+@given(st.lists(st.integers(), max_size=8), st.lists(st.integers(), max_size=8))
+def test_comparable_symmetric(left, right):
+    assert comparable(tuple(left), tuple(right)) == comparable(
+        tuple(right), tuple(left)
+    )

@@ -1,0 +1,96 @@
+"""Tests for bottom-up trace validation (§6's alternative approach)."""
+
+import pytest
+
+from repro.impl import Ensemble
+from repro.remix import ImplExplorer, TraceValidator, mapping_for
+from repro.zookeeper import V391, ZkConfig, make_spec
+from repro.zookeeper.specs import SELECTIONS
+
+CFG = ZkConfig(max_txns=1, max_crashes=1, max_partitions=0, max_epoch=3)
+
+
+def validator(name, divergence="", seed=5, config=CFG):
+    spec = make_spec(name, config)
+    return TraceValidator(
+        spec,
+        mapping_for(SELECTIONS[name]),
+        lambda: Ensemble(config.n_servers, V391, divergence),
+        seed=seed,
+    )
+
+
+class TestImplExplorer:
+    def test_explore_progresses(self):
+        spec = make_spec("mSpec-3", CFG)
+        explorer = ImplExplorer(
+            spec,
+            mapping_for(SELECTIONS["mSpec-3"]),
+            lambda: Ensemble(3, V391),
+            seed=1,
+        )
+        executed, ensemble, error = explorer.explore(max_steps=15)
+        assert len(executed) >= 5
+        assert error is None
+
+    def test_respects_fault_budgets(self):
+        spec = make_spec("mSpec-3", CFG)
+        explorer = ImplExplorer(
+            spec,
+            mapping_for(SELECTIONS["mSpec-3"]),
+            lambda: Ensemble(3, V391),
+            seed=2,
+        )
+        for _ in range(5):
+            executed, _, _ = explorer.explore(max_steps=20)
+            crashes = sum(1 for l in executed if l.name == "NodeCrash")
+            partitions = sum(
+                1 for l in executed if l.name == "PartitionStart"
+            )
+            txns = sum(
+                1 for l in executed if l.name == "LeaderProcessRequest"
+            )
+            assert crashes <= CFG.max_crashes
+            assert partitions <= CFG.max_partitions
+            assert txns <= CFG.max_txns
+
+    def test_deterministic_by_seed(self):
+        spec = make_spec("mSpec-1", CFG)
+        mapping = mapping_for(SELECTIONS["mSpec-1"])
+        runs = []
+        for _ in range(2):
+            explorer = ImplExplorer(
+                spec, mapping, lambda: Ensemble(3, V391), seed=9
+            )
+            executed, _, _ = explorer.explore(max_steps=12)
+            runs.append(executed)
+        assert runs[0] == runs[1]
+
+
+class TestTraceValidator:
+    @pytest.mark.parametrize("name", ["mSpec-1", "mSpec-2", "mSpec-3"])
+    def test_shipped_impl_validates(self, name):
+        report = validator(name).validate(runs=10, max_steps=18)
+        assert report.valid, [str(i) for i in report.issues[:3]]
+        assert report.steps_validated > 50
+
+    def test_divergent_impl_rejected(self):
+        report = validator("mSpec-3", divergence="skip_epoch_update").validate(
+            runs=20, max_steps=18
+        )
+        assert not report.valid
+        assert any(
+            issue.kind == "state_mismatch"
+            and issue.variable == "current_epoch"
+            for issue in report.issues
+        )
+
+    def test_eager_broadcast_rejected(self):
+        report = validator("mSpec-3", divergence="eager_broadcast").validate(
+            runs=20, max_steps=18
+        )
+        assert not report.valid
+
+    def test_summary(self):
+        report = validator("mSpec-1").validate(runs=3, max_steps=10)
+        assert "3 runs" in report.summary()

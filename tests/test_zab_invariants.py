@@ -1,0 +1,210 @@
+"""Unit tests for the ten protocol invariants (Table 2, I-1..I-10).
+
+Each invariant is exercised with a hand-built satisfying state and a
+hand-built violating state, using the ZooKeeper schema's ghost variables.
+"""
+
+from conftest import established, txn, zk_state
+
+from repro.zab.invariants import (
+    i1_primary_uniqueness,
+    i2_integrity,
+    i3_agreement,
+    i4_total_order,
+    i5_local_primary_order,
+    i6_global_primary_order,
+    i7_primary_integrity,
+    i8_initial_history_integrity,
+    i9_commit_consistency,
+    i10_history_consistency,
+    protocol_invariants,
+)
+
+T1 = txn(1, 1)
+T2 = txn(1, 2)
+T3 = txn(2, 1)
+
+
+class TestI1PrimaryUniqueness:
+    def test_holds_with_distinct_epochs(self):
+        state = zk_state(g_leaders=((1, 0), (2, 1)))
+        assert i1_primary_uniqueness(None, state)
+
+    def test_duplicate_establishment_same_leader_ok(self):
+        state = zk_state(g_leaders=((1, 0), (1, 0)))
+        assert i1_primary_uniqueness(None, state)
+
+    def test_violated_by_two_leaders_in_one_epoch(self):
+        state = zk_state(g_leaders=((1, 0), (1, 2)))
+        assert not i1_primary_uniqueness(None, state)
+
+
+class TestI2Integrity:
+    def test_holds_when_delivered_was_proposed(self):
+        state = zk_state(
+            g_proposed=frozenset({T1}), g_delivered=((T1,), (), ())
+        )
+        assert i2_integrity(None, state)
+
+    def test_violated_by_phantom_delivery(self):
+        state = zk_state(g_delivered=((T1,), (), ()))
+        assert not i2_integrity(None, state)
+
+
+class TestI3Agreement:
+    def test_holds_on_subset_deliveries(self):
+        state = zk_state(g_delivered=((T1, T2), (T1,), ()))
+        assert i3_agreement(None, state)
+
+    def test_violated_by_incomparable_sets(self):
+        state = zk_state(g_delivered=((T1,), (T2,), ()))
+        assert not i3_agreement(None, state)
+
+
+class TestI4TotalOrder:
+    def test_holds_on_same_order(self):
+        state = zk_state(g_delivered=((T1, T2), (T1, T2), (T1,)))
+        assert i4_total_order(None, state)
+
+    def test_violated_by_swapped_order(self):
+        state = zk_state(g_delivered=((T1, T2), (T2, T1), ()))
+        assert not i4_total_order(None, state)
+
+    def test_violated_by_skipped_predecessor(self):
+        # server 0 delivers T1 before T2; server 1 delivers T2 without T1.
+        state = zk_state(g_delivered=((T1, T2), (T2,), ()))
+        assert not i4_total_order(None, state)
+
+
+class TestI5LocalPrimaryOrder:
+    def test_holds_in_counter_order(self):
+        state = zk_state(
+            g_proposed=frozenset({T1, T2}), g_delivered=((T1, T2), (), ())
+        )
+        assert i5_local_primary_order(None, state)
+
+    def test_violated_by_skipping_earlier_broadcast(self):
+        state = zk_state(
+            g_proposed=frozenset({T1, T2}), g_delivered=((T2,), (), ())
+        )
+        assert not i5_local_primary_order(None, state)
+
+
+class TestI6GlobalPrimaryOrder:
+    def test_holds_with_nondecreasing_epochs(self):
+        state = zk_state(g_delivered=((T1, T3), (), ()))
+        assert i6_global_primary_order(None, state)
+
+    def test_violated_by_epoch_regression(self):
+        state = zk_state(g_delivered=((T3, T1), (), ()))
+        assert not i6_global_primary_order(None, state)
+
+
+class TestI7PrimaryIntegrity:
+    def test_holds_when_leader_delivered_older_first(self):
+        state = zk_state(
+            g_leaders=((2, 1),),
+            g_proposed=frozenset({T1, T3}),
+            g_delivered=((T1,), (T1, T3), ()),
+        )
+        assert i7_primary_integrity(None, state)
+
+    def test_violated_when_leader_missed_older_delivery(self):
+        # leader of epoch 2 broadcast T3 but never delivered T1, which
+        # server 0 delivered in epoch 1.
+        state = zk_state(
+            g_leaders=((2, 1),),
+            g_proposed=frozenset({T1, T3}),
+            g_delivered=((T1,), (T3,), ()),
+        )
+        assert not i7_primary_integrity(None, state)
+
+
+class TestI8InitialHistoryIntegrity:
+    def test_holds_when_initial_extends_committed(self):
+        state = zk_state(
+            g_established=(established(2, initial=(T1, T2), committed=(T1,)),)
+        )
+        assert i8_initial_history_integrity(None, state)
+
+    def test_violated_by_lost_committed_txn(self):
+        # the ZK-4643 / ZK-4646 shape: epoch established with an initial
+        # history missing a committed transaction.
+        state = zk_state(
+            g_established=(established(3, initial=(), committed=(T1,)),)
+        )
+        assert not i8_initial_history_integrity(None, state)
+
+
+class TestI9CommitConsistency:
+    def test_holds_when_delivery_extends_initial(self):
+        state = zk_state(
+            current_epoch=(2, 0, 0),
+            g_established=(established(2, initial=(T1,), committed=()),),
+            g_delivered=((T1, T3), (), ()),
+        )
+        assert i9_commit_consistency(None, state)
+
+    def test_not_applicable_before_epoch_delivery(self):
+        state = zk_state(
+            current_epoch=(2, 0, 0),
+            g_established=(established(2, initial=(T1,), committed=()),),
+            g_delivered=((), (), ()),
+        )
+        assert i9_commit_consistency(None, state)
+
+    def test_violated_when_initial_skipped(self):
+        state = zk_state(
+            current_epoch=(2, 0, 0),
+            g_established=(established(2, initial=(T1,), committed=()),),
+            g_delivered=((T3,), (), ()),
+        )
+        assert not i9_commit_consistency(None, state)
+
+
+class TestI10HistoryConsistency:
+    def test_holds_on_prefix_histories(self):
+        state = zk_state(
+            history=((T1, T2), (T1,), ()),
+            current_epoch=(1, 1, 0),
+            zab_state=("BROADCAST", "BROADCAST", "ELECTION"),
+            g_participants=((1, frozenset({0, 1})),),
+        )
+        assert i10_history_consistency(None, state)
+
+    def test_violated_by_divergent_active_histories(self):
+        state = zk_state(
+            history=((T1, T2), (T1, T3), ()),
+            current_epoch=(1, 1, 0),
+            zab_state=("BROADCAST", "BROADCAST", "ELECTION"),
+            g_participants=((1, frozenset({0, 1})),),
+        )
+        assert not i10_history_consistency(None, state)
+
+    def test_syncing_participant_excluded(self):
+        # A participant still synchronizing into a newer epoch is not
+        # compared (its history may legally be mid-truncation).
+        state = zk_state(
+            history=((T1, T2), (T1, T3), ()),
+            current_epoch=(1, 1, 0),
+            zab_state=("BROADCAST", "SYNCHRONIZATION", "ELECTION"),
+            g_participants=((1, frozenset({0, 1})),),
+        )
+        assert i10_history_consistency(None, state)
+
+
+class TestCatalog:
+    def test_ten_invariants(self):
+        invariants = protocol_invariants()
+        assert len(invariants) == 10
+        assert [inv.ident for inv in invariants] == [
+            f"I-{k}" for k in range(1, 11)
+        ]
+
+    def test_all_protocol_sourced(self):
+        assert all(inv.source == "protocol" for inv in protocol_invariants())
+
+    def test_initial_state_satisfies_all(self, config=None):
+        state = zk_state()
+        for inv in protocol_invariants():
+            assert inv.holds(None, state), inv.ident

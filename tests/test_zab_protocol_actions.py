@@ -1,0 +1,160 @@
+"""Scripted action-level tests for the Zab protocol specification."""
+
+import pytest
+
+from repro.tla.action import ActionLabel
+from repro.zab import ZabConfig, zab_spec
+
+
+def run(spec, state, name, **args):
+    for inst in spec.action_instances():
+        if inst.label.name == name and inst.label.args == args:
+            nxt = inst.apply(spec.config, state)
+            assert nxt is not None, f"{name}{args} not enabled"
+            return nxt
+    raise KeyError(f"{name}{args}")
+
+
+def disabled(spec, state, name, **args):
+    for inst in spec.action_instances():
+        if inst.label.name == name and inst.label.args == args:
+            return inst.apply(spec.config, state) is None
+    raise KeyError(f"{name}{args}")
+
+
+@pytest.fixture
+def original():
+    return zab_spec(ZabConfig(max_txns=2, max_crashes=1, variant="original"))
+
+
+@pytest.fixture
+def improved():
+    return zab_spec(ZabConfig(max_txns=2, max_crashes=1, variant="improved"))
+
+
+def oracle(spec, leader=2, quorum=(0, 1, 2)):
+    state = spec.initial_states()[0]
+    return run(spec, state, "ElectionOracle", i=leader, Q=tuple(quorum))
+
+
+class TestElectionOracle:
+    def test_elects_max_credential_holder(self, original):
+        state = oracle(original)
+        assert state["role"][2] == "LEADING"
+        assert state["role"][0] == "FOLLOWING"
+        assert state["epoch"] == (1, 1, 1)
+
+    def test_sends_full_history_newleader(self, original):
+        state = oracle(original)
+        msg = state["msgs"][2][0][0]
+        assert msg.mtype == "NEWLEADER"
+        assert msg.hist == ()
+
+    def test_refuses_stale_candidate(self, original):
+        state = original.initial_states()[0]
+        assert disabled(original, state, "ElectionOracle", i=0, Q=(0, 1, 2))
+
+
+class TestPhase2Original:
+    def test_atomic_accept(self, original):
+        spec = original
+        state = oracle(spec)
+        state = run(spec, state, "FollowerAcceptNEWLEADER", pair=(0, 2))
+        assert state["current_epoch"][0] == 1
+        ack = state["msgs"][0][2][0]
+        assert ack.mtype == "ACKLD"
+
+    def test_establishment_on_quorum(self, original):
+        spec = original
+        state = oracle(spec)
+        state = run(spec, state, "FollowerAcceptNEWLEADER", pair=(0, 2))
+        state = run(spec, state, "LeaderProcessACKLD", pair=(2, 0))
+        assert state["g_leaders"] == ((1, 2),)
+        assert state["phase"][2] == "BROADCAST"
+        commitld = state["msgs"][2][0][0]
+        assert commitld.mtype == "COMMITLD"
+
+    def test_split_actions_disabled(self, original):
+        state = oracle(original)
+        assert disabled(original, state, "FollowerUpdateHistory", pair=(0, 2))
+        assert disabled(
+            original, state, "FollowerUpdateEpochFirst", pair=(0, 2)
+        )
+
+
+class TestPhase2Improved:
+    def test_history_must_precede_epoch(self, improved):
+        spec = improved
+        state = oracle(spec)
+        assert disabled(spec, state, "FollowerUpdateEpoch", pair=(0, 2))
+        state = run(spec, state, "FollowerUpdateHistory", pair=(0, 2))
+        assert state["serving_state"][0] == "HISTORY_SYNCED"
+        assert state["current_epoch"][0] == 0  # not yet
+        state = run(spec, state, "FollowerUpdateEpoch", pair=(0, 2))
+        assert state["current_epoch"][0] == 1
+
+    def test_atomic_accept_disabled(self, improved):
+        state = oracle(improved)
+        assert disabled(
+            improved, state, "FollowerAcceptNEWLEADER", pair=(0, 2)
+        )
+
+
+class TestPhase3:
+    def serving(self, spec):
+        state = oracle(spec)
+        state = run(spec, state, "FollowerAcceptNEWLEADER", pair=(0, 2))
+        state = run(spec, state, "FollowerAcceptNEWLEADER", pair=(1, 2))
+        state = run(spec, state, "LeaderProcessACKLD", pair=(2, 0))
+        state = run(spec, state, "LeaderProcessACKLD", pair=(2, 1))
+        state = run(spec, state, "FollowerProcessCOMMITLD", pair=(0, 2))
+        state = run(spec, state, "FollowerProcessCOMMITLD", pair=(1, 2))
+        return state
+
+    def test_propose_ack_commit_deliver(self, original):
+        spec = original
+        state = self.serving(spec)
+        state = run(spec, state, "LeaderPropose", i=2)
+        assert len(state["g_proposed"]) == 1
+        state = run(spec, state, "FollowerAcceptProposal", pair=(0, 2))
+        state = run(spec, state, "LeaderCommit", pair=(2, 0))
+        assert state["last_committed"][2] == 1
+        assert state["g_delivered"][2]
+        state = run(spec, state, "FollowerDeliver", pair=(0, 2))
+        assert state["last_committed"][0] == 1
+
+    def test_txn_budget(self, original):
+        spec = original
+        state = self.serving(spec)
+        state = run(spec, state, "LeaderPropose", i=2)
+        state = run(spec, state, "LeaderPropose", i=2)
+        assert disabled(spec, state, "LeaderPropose", i=2)
+
+
+class TestFaults:
+    def test_crash_preserves_durable_state(self, original):
+        spec = original
+        state = oracle(spec)
+        state = run(spec, state, "FollowerAcceptNEWLEADER", pair=(0, 2))
+        state = run(spec, state, "NodeCrash", i=0)
+        assert state["role"][0] == "DOWN"
+        assert state["current_epoch"][0] == 1  # durable
+
+    def test_follower_abandons_dead_leader(self, original):
+        spec = original
+        state = oracle(spec)
+        state = run(spec, state, "NodeCrash", i=2)
+        state = run(spec, state, "FollowerAbandon", i=0)
+        assert state["role"][0] == "LOOKING"
+
+    def test_leader_abandons_without_followers(self):
+        spec = zab_spec(
+            ZabConfig(max_txns=1, max_crashes=2, variant="original")
+        )
+        state = oracle(spec)
+        state = run(spec, state, "NodeCrash", i=0)
+        # with a quorum remaining the leader stays put
+        assert disabled(spec, state, "LeaderAbandon", i=2)
+        state = run(spec, state, "NodeCrash", i=1)
+        state = run(spec, state, "LeaderAbandon", i=2)
+        assert state["role"][2] == "LOOKING"

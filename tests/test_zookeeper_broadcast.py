@@ -1,0 +1,219 @@
+"""Scripted model-level tests for the Broadcast modules and the
+code-invariant error paths (I-12, I-13, I-14)."""
+
+import pytest
+
+from conftest import txn, zk_state
+from repro.tla.values import Rec, Zxid
+from repro.zookeeper import constants as C
+from repro.zookeeper import prims as P
+from repro.zookeeper.code_invariants import INSTANCE_TABLE, code_invariants
+from repro.zookeeper.config import ZkConfig
+from repro.zookeeper.specs import SELECTIONS, build_spec
+from test_zookeeper_sync import disabled, elected, run, spec_for
+
+
+@pytest.fixture
+def baseline():
+    return spec_for("mSpec-1")
+
+
+@pytest.fixture
+def concurrent():
+    return spec_for("mSpec-3")
+
+
+def serving_cluster(spec, quorum=(0, 1, 2)):
+    """Elect leader 2 and bring the quorum to BROADCAST."""
+    state = elected(spec, quorum=quorum)
+    followers = [f for f in quorum if f != 2]
+    for f in followers:
+        state = run(spec, state, "LeaderSyncFollower", pair=(2, f))
+        state = run(spec, state, "FollowerProcessSyncMessage", pair=(f, 2))
+        if spec.name == "mSpec-3":
+            state = run(
+                spec, state, "FollowerProcessNEWLEADER_UpdateEpoch", pair=(f, 2)
+            )
+            state = run(
+                spec, state, "FollowerProcessNEWLEADER_ReplyAck", pair=(f, 2)
+            )
+        else:
+            state = run(spec, state, "FollowerProcessNEWLEADER", pair=(f, 2))
+        state = run(spec, state, "LeaderProcessACKLD", pair=(2, f))
+        state = run(spec, state, "FollowerProcessUPTODATE", pair=(f, 2))
+    return state
+
+
+class TestBaselineBroadcast:
+    def test_full_commit_round(self, baseline):
+        spec = baseline
+        state = serving_cluster(spec)
+        state = run(spec, state, "LeaderProcessRequest", i=2)
+        t = state["history"][2][0]
+        assert t in state["g_proposed"]
+        state = run(spec, state, "FollowerProcessPROPOSAL", pair=(0, 2))
+        assert state["history"][0] == (t,)
+        state = run(spec, state, "LeaderProcessACK", pair=(2, 0))
+        # quorum {2, 0}: committed at the leader, COMMIT broadcast
+        assert state["last_committed"][2] == 1
+        assert state["g_delivered"][2] == (t,)
+        state = run(spec, state, "FollowerProcessCOMMIT", pair=(0, 2))
+        assert state["last_committed"][0] == 1
+
+    def test_txn_budget_respected(self, baseline):
+        spec = baseline
+        state = serving_cluster(spec)
+        for _ in range(spec.config.max_txns):
+            state = run(spec, state, "LeaderProcessRequest", i=2)
+        assert disabled(spec, state, "LeaderProcessRequest", i=2)
+
+    def test_follower_does_not_propose(self, baseline):
+        spec = baseline
+        state = serving_cluster(spec)
+        assert disabled(spec, state, "LeaderProcessRequest", i=0)
+
+    def test_duplicate_commit_ignored(self, baseline):
+        spec = baseline
+        state = serving_cluster(spec)
+        state = run(spec, state, "LeaderProcessRequest", i=2)
+        state = run(spec, state, "FollowerProcessPROPOSAL", pair=(0, 2))
+        state = run(spec, state, "LeaderProcessACK", pair=(2, 0))
+        t = state["history"][2][0]
+        # inject a duplicate COMMIT ahead of the real one
+        state = state.set(
+            msgs=P.send(state["msgs"], 2, 0, Rec(mtype=C.COMMIT, zxid=t.zxid))
+        )
+        state = run(spec, state, "FollowerProcessCOMMIT", pair=(0, 2))
+        state = run(spec, state, "FollowerProcessCOMMIT", pair=(0, 2))
+        assert state["last_committed"][0] == 1
+        assert not state["errors"]
+
+
+class TestErrorPaths:
+    def test_unknown_commit_raises_i14(self, baseline):
+        spec = baseline
+        state = serving_cluster(spec)
+        state = state.set(
+            msgs=P.send(
+                state["msgs"], 2, 0, Rec(mtype=C.COMMIT, zxid=Zxid(9, 9))
+            )
+        )
+        state = run(spec, state, "FollowerProcessCOMMIT", pair=(0, 2))
+        assert P.has_error(state, C.ERR_COMMIT_UNKNOWN_TXN)
+
+    def test_out_of_order_commit_raises_i14(self, baseline):
+        spec = baseline
+        t1, t2 = txn(1, 1), txn(1, 2)
+        state = serving_cluster(spec)
+        state = state.set(
+            history=P.up(state["history"], 0, (t1, t2)),
+            msgs=P.send(state["msgs"], 2, 0, Rec(mtype=C.COMMIT, zxid=t2.zxid)),
+        )
+        state = run(spec, state, "FollowerProcessCOMMIT", pair=(0, 2))
+        assert P.has_error(state, C.ERR_COMMIT_OUT_OF_ORDER)
+
+    def test_proposal_gap_raises_i13(self, baseline):
+        spec = baseline
+        state = serving_cluster(spec)
+        gap_txn = txn(1, 7)
+        state = state.set(
+            history=P.up(state["history"], 0, (txn(1, 1),)),
+            msgs=P.send(state["msgs"], 2, 0, Rec(mtype=C.PROPOSAL, txn=gap_txn)),
+        )
+        state = run(spec, state, "FollowerProcessPROPOSAL", pair=(0, 2))
+        assert P.has_error(state, C.ERR_PROPOSAL_GAP)
+
+    def test_ack_before_newleader_ack_raises_i12(self, concurrent):
+        spec = concurrent
+        state = elected(spec, quorum=(0, 2))
+        state = run(spec, state, "LeaderSyncFollower", pair=(2, 0))
+        # an ACK for a txn zxid while the leader still waits for the
+        # NEWLEADER ACK of follower 0 (ZK-4685's shape)
+        state = state.set(
+            msgs=P.send(state["msgs"], 0, 2, Rec(mtype=C.ACK, zxid=Zxid(1, 5)))
+        )
+        state = run(spec, state, "LeaderProcessACK", pair=(2, 0))
+        assert P.has_error(state, C.ERR_ACK_BEFORE_NEWLEADER_ACK)
+
+    def test_ack_unknown_proposal_raises_i12(self, baseline):
+        spec = baseline
+        state = serving_cluster(spec, quorum=(0, 2))
+        state = state.set(
+            msgs=P.send(state["msgs"], 0, 2, Rec(mtype=C.ACK, zxid=Zxid(7, 7)))
+        )
+        state = run(spec, state, "LeaderProcessACK", pair=(2, 0))
+        assert P.has_error(state, C.ERR_ACK_UNKNOWN_PROPOSAL)
+
+
+class TestFineBroadcast:
+    def test_proposal_queued_not_logged(self, concurrent):
+        spec = concurrent
+        state = serving_cluster(spec)
+        state = run(spec, state, "LeaderProcessRequest", i=2)
+        state = run(spec, state, "FollowerProcessPROPOSAL", pair=(0, 2))
+        assert state["history"][0] == ()
+        assert len(state["queued_requests"][0]) == 1
+
+    def test_commit_queued_and_blocked_until_logged(self, concurrent):
+        spec = concurrent
+        state = serving_cluster(spec)
+        state = run(spec, state, "LeaderProcessRequest", i=2)
+        state = run(spec, state, "FollowerProcessPROPOSAL", pair=(0, 2))
+        state = run(spec, state, "FollowerSyncProcessorLogRequest", i=0)
+        # the UPTODATE ACK is still at the channel head
+        state = run(spec, state, "LeaderProcessACKUPTODATE", pair=(2, 0))
+        state = run(spec, state, "LeaderProcessACK", pair=(2, 0))
+        state = run(spec, state, "FollowerProcessCOMMIT", pair=(0, 2))
+        assert state["committed_requests"][0]
+        state = run(spec, state, "FollowerCommitProcessorCommit", i=0)
+        assert state["last_committed"][0] == 1
+
+    def test_commit_processor_waits_for_logging(self, concurrent):
+        spec = concurrent
+        state = serving_cluster(spec)
+        state = run(spec, state, "LeaderProcessRequest", i=2)
+        state = run(spec, state, "FollowerProcessPROPOSAL", pair=(0, 2))
+        t = state["queued_requests"][0][0].txn
+        # force the COMMIT in before the txn is logged
+        state = state.set(
+            committed_requests=P.up(
+                state["committed_requests"], 0, (t.zxid,)
+            )
+        )
+        assert disabled(spec, state, "FollowerCommitProcessorCommit", i=0)
+
+
+class TestInvariantSelection:
+    def test_eleven_instances_total(self):
+        assert len(INSTANCE_TABLE) == 11
+        assert len(code_invariants(None)) == 11
+
+    def test_family_sizes_match_table2(self):
+        families = {}
+        for code, (family, _, _) in INSTANCE_TABLE.items():
+            families.setdefault(family, []).append(code)
+        assert len(families["I-11"]) == 4
+        assert len(families["I-12"]) == 2
+        assert len(families["I-13"]) == 2
+        assert len(families["I-14"]) == 3
+
+    def test_concurrent_instances_need_concurrent_modules(self):
+        baseline_sel = SELECTIONS["mSpec-1"]
+        concurrent_sel = SELECTIONS["mSpec-3"]
+        baseline_ids = {
+            inv.instance for inv in code_invariants(baseline_sel)
+        }
+        concurrent_ids = {
+            inv.instance for inv in code_invariants(concurrent_sel)
+        }
+        assert C.ERR_ACK_UPTODATE_OUT_OF_SYNC not in baseline_ids
+        assert C.ERR_ACK_UPTODATE_OUT_OF_SYNC in concurrent_ids
+        assert C.ERR_ACK_BEFORE_NEWLEADER_ACK not in baseline_ids
+        assert baseline_ids < concurrent_ids
+
+    def test_spec_invariant_counts(self):
+        cfg = ZkConfig()
+        m1 = build_spec("mSpec-1", SELECTIONS["mSpec-1"], cfg)
+        m3 = build_spec("mSpec-3", SELECTIONS["mSpec-3"], cfg)
+        assert len(m1.invariants) == 10 + 9
+        assert len(m3.invariants) == 10 + 11

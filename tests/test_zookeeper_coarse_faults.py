@@ -1,0 +1,226 @@
+"""Unit tests for the coarse ElectionAndDiscovery action and the fault
+module."""
+
+from conftest import txn, zk_state
+from repro.tla.values import ZXID_ZERO
+from repro.zookeeper import constants as C
+from repro.zookeeper.coarse import election_and_discovery
+from repro.zookeeper.config import SpecVariant, ZkConfig
+from repro.zookeeper.faults import (
+    discard_stale_message,
+    follower_shutdown,
+    leader_shutdown,
+    node_crash,
+    node_restart,
+    partition_heal,
+    partition_start,
+)
+from repro.zookeeper import prims as P
+from repro.tla.values import Rec
+
+CFG = ZkConfig()
+
+
+class TestElectionAndDiscovery:
+    def test_elects_max_vote_holder(self):
+        state = zk_state()
+        updates = election_and_discovery(CFG, state, 2, (0, 1, 2))
+        assert updates is not None
+        assert updates["state"] == (C.FOLLOWING, C.FOLLOWING, C.LEADING)
+        assert updates["zab_state"] == (
+            C.SYNCHRONIZATION,
+        ) * 3
+
+    def test_refuses_non_maximal_candidate(self):
+        assert election_and_discovery(CFG, zk_state(), 0, (0, 1, 2)) is None
+
+    def test_epoch_wins_over_history(self):
+        # ZK-4643's enabling interaction: higher currentEpoch with an
+        # empty history beats a longer history at a lower epoch.
+        state = zk_state(
+            current_epoch=(2, 1, 1),
+            history=((), (txn(1, 1),), ()),
+        )
+        assert election_and_discovery(CFG, state, 0, (0, 1)) is not None
+        assert election_and_discovery(CFG, state, 1, (0, 1)) is None
+
+    def test_refuses_non_quorum(self):
+        assert election_and_discovery(CFG, zk_state(), 2, (2,)) is None
+
+    def test_requires_all_looking(self):
+        state = zk_state(state=(C.LOOKING, C.LEADING, C.LOOKING))
+        assert election_and_discovery(CFG, state, 2, (1, 2)) is None
+
+    def test_refuses_partitioned_quorum(self):
+        state = zk_state(disconnected=frozenset({frozenset({1, 2})}))
+        assert election_and_discovery(CFG, state, 2, (1, 2)) is None
+
+    def test_bumps_epoch_for_quorum_members(self):
+        state = zk_state(accepted_epoch=(2, 1, 1))
+        updates = election_and_discovery(CFG, state, 2, (1, 2))
+        assert updates["accepted_epoch"] == (2, 2, 2)
+        assert updates["current_epoch"][2] == 2
+
+    def test_leader_learns_follower_credentials(self):
+        state = zk_state(
+            history=((), (txn(1, 1),), (txn(1, 1), txn(1, 2))),
+            current_epoch=(0, 1, 1),
+        )
+        updates = election_and_discovery(CFG, state, 2, (1, 2))
+        assert updates["ackepoch_recv"][2] == frozenset(
+            {(1, 1, txn(1, 1).zxid)}
+        )
+
+    def test_respects_epoch_bound(self):
+        cfg = ZkConfig(max_epoch=1)
+        state = zk_state(cfg, accepted_epoch=(1, 1, 1))
+        assert election_and_discovery(cfg, state, 2, (1, 2)) is None
+
+    def test_outsiders_untouched(self):
+        state = zk_state()
+        updates = election_and_discovery(CFG, state, 2, (1, 2))
+        assert updates["state"][0] == C.LOOKING
+        assert updates["accepted_epoch"][0] == 0
+
+
+class TestCrashRestart:
+    def test_crash_clears_volatile_keeps_durable(self):
+        t = txn(1, 1)
+        state = zk_state(
+            state=(C.FOLLOWING, C.LEADING, C.LOOKING),
+            history=((t,), (), ()),
+            current_epoch=(1, 1, 0),
+            queued_requests=(((t, 1),), (), ()),
+        )
+        updates = node_crash(CFG, state, 0)
+        assert updates["state"][0] == C.DOWN
+        assert updates["queued_requests"][0] == ()
+        assert "history" not in updates  # durable
+        assert updates["crash_budget"] == CFG.max_crashes - 1
+
+    def test_crash_respects_budget(self):
+        state = zk_state(crash_budget=0)
+        assert node_crash(CFG, state, 0) is None
+
+    def test_crash_requires_up(self):
+        state = zk_state(state=(C.DOWN, C.LOOKING, C.LOOKING))
+        assert node_crash(CFG, state, 0) is None
+
+    def test_restart_rejoins_looking_with_own_vote(self):
+        t = txn(1, 1)
+        state = zk_state(
+            state=(C.DOWN, C.LOOKING, C.LOOKING),
+            history=((t,), (), ()),
+            current_epoch=(1, 0, 0),
+        )
+        updates = node_restart(CFG, state, 0)
+        assert updates["state"][0] == C.LOOKING
+        vote = updates["current_vote"][0]
+        assert (vote.epoch, vote.zxid, vote.sid) == (1, t.zxid, 0)
+
+    def test_restart_requires_down(self):
+        assert node_restart(CFG, zk_state(), 0) is None
+
+
+class TestPartitions:
+    def test_partition_uses_budget_and_clears_channels(self):
+        state = zk_state()
+        state = state.set(msgs=P.send(state["msgs"], 0, 1, Rec(mtype="A")))
+        updates = partition_start(CFG, state, 0, 1)
+        assert frozenset({0, 1}) in updates["disconnected"]
+        assert updates["msgs"][0][1] == ()
+        assert updates["partition_budget"] == CFG.max_partitions - 1
+
+    def test_partition_budget_exhausted(self):
+        state = zk_state(partition_budget=0)
+        assert partition_start(CFG, state, 0, 1) is None
+
+    def test_heal(self):
+        state = zk_state(disconnected=frozenset({frozenset({0, 1})}))
+        updates = partition_heal(CFG, state, 0, 1)
+        assert updates["disconnected"] == frozenset()
+
+    def test_heal_requires_partition(self):
+        assert partition_heal(CFG, zk_state(), 0, 1) is None
+
+
+class TestShutdowns:
+    def follower_state(self, leader_state=C.DOWN, **extra):
+        return zk_state(
+            state=(C.FOLLOWING, leader_state, C.LOOKING),
+            my_leader=(1, -1, -1),
+            queued_requests=(((txn(1, 1), 1),), (), ()),
+            **extra,
+        )
+
+    def test_shutdown_on_dead_leader_keeps_queue(self):
+        updates = follower_shutdown(CFG, self.follower_state(), 0)
+        assert updates["state"][0] == C.LOOKING
+        assert "queued_requests" not in updates  # ZK-4712: queue survives
+
+    def test_fixed_shutdown_clears_queue(self):
+        cfg = ZkConfig(variant=SpecVariant(fix_follower_shutdown=True))
+        updates = follower_shutdown(cfg, self.follower_state(), 0)
+        assert updates["queued_requests"][0] == ()
+
+    def test_no_shutdown_while_leader_alive(self):
+        state = zk_state(
+            state=(C.FOLLOWING, C.LEADING, C.LOOKING), my_leader=(1, -1, -1)
+        )
+        assert follower_shutdown(CFG, state, 0) is None
+
+    def test_shutdown_when_leader_moved_to_new_epoch(self):
+        state = zk_state(
+            state=(C.FOLLOWING, C.LEADING, C.LOOKING),
+            my_leader=(1, -1, -1),
+            accepted_epoch=(1, 2, 2),
+        )
+        assert follower_shutdown(CFG, state, 0) is not None
+
+    def test_leader_shutdown_on_quorum_loss(self):
+        state = zk_state(
+            state=(C.DOWN, C.LEADING, C.DOWN), my_leader=(-1, 1, -1)
+        )
+        updates = leader_shutdown(CFG, state, 1)
+        assert updates["state"][1] == C.LOOKING
+
+    def test_leader_keeps_leading_with_quorum(self):
+        state = zk_state(
+            state=(C.FOLLOWING, C.LEADING, C.DOWN), my_leader=(1, 1, -1)
+        )
+        assert leader_shutdown(CFG, state, 1) is None
+
+
+class TestDiscardStale:
+    def test_drops_followerinfo_at_non_leader(self):
+        state = zk_state()
+        state = state.set(
+            msgs=P.send(state["msgs"], 1, 0, Rec(mtype=C.FOLLOWERINFO, epoch=0))
+        )
+        updates = discard_stale_message(CFG, state, 0, 1)
+        assert updates["msgs"][1][0] == ()
+
+    def test_keeps_message_from_current_leader(self):
+        state = zk_state(
+            state=(C.FOLLOWING, C.LEADING, C.LOOKING), my_leader=(1, -1, -1)
+        )
+        state = state.set(
+            msgs=P.send(state["msgs"], 1, 0, Rec(mtype=C.COMMIT, zxid=ZXID_ZERO))
+        )
+        assert discard_stale_message(CFG, state, 0, 1) is None
+
+    def test_drops_leader_message_from_stale_leader(self):
+        state = zk_state(
+            state=(C.FOLLOWING, C.LEADING, C.LOOKING), my_leader=(-1, -1, -1)
+        )
+        state = state.set(
+            msgs=P.send(state["msgs"], 1, 0, Rec(mtype=C.COMMIT, zxid=ZXID_ZERO))
+        )
+        assert discard_stale_message(CFG, state, 0, 1) is not None
+
+    def test_drops_ack_from_non_learner(self):
+        state = zk_state(state=(C.LEADING, C.LOOKING, C.LOOKING))
+        state = state.set(
+            msgs=P.send(state["msgs"], 1, 0, Rec(mtype=C.ACK, zxid=ZXID_ZERO))
+        )
+        assert discard_stale_message(CFG, state, 0, 1) is not None

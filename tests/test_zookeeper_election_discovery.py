@@ -1,0 +1,157 @@
+"""Scripted tests for the baseline (fine-grained) Election and Discovery
+modules -- the eight actions that the coarse ElectionAndDiscovery action
+summarizes (Figure 5a)."""
+
+import pytest
+
+from conftest import txn, zk_state
+from repro.zookeeper import constants as C
+from repro.zookeeper.specs import SELECTIONS, build_spec
+from repro.zookeeper.config import ZkConfig
+from test_zookeeper_sync import disabled, run
+
+
+@pytest.fixture
+def spec():
+    config = ZkConfig(max_txns=1, max_crashes=1, max_partitions=0, max_epoch=3)
+    return build_spec("SysSpec", SELECTIONS["SysSpec"], config)
+
+
+def run_full_election(spec, state):
+    """Drive FLE to completion: server 2 (max sid) wins."""
+    for i in (0, 1, 2):
+        state = run(spec, state, "FLEBroadcastNotmsg", i=i)
+    # everyone receives everyone's votes; all adopt the vote for 2
+    for i in (0, 1, 2):
+        for j in (0, 1, 2):
+            if i != j:
+                state = run(spec, state, "FLEReceiveNotmsg", pair=(i, j))
+    # re-broadcast adopted votes so supporters are counted
+    for i in (0, 1):
+        state = run(spec, state, "FLEBroadcastNotmsg", i=i)
+    for i in (0, 1, 2):
+        for j in (0, 1):
+            if i != j:
+                state = run(spec, state, "FLEReceiveNotmsg", pair=(i, j))
+    for i in (2, 0, 1):
+        state = run(spec, state, "FLEDecide", i=i)
+    return state
+
+
+class TestFLE:
+    def test_full_election_converges_on_max_sid(self, spec):
+        state = run_full_election(spec, zk_state(spec.config))
+        assert state["state"][2] == C.LEADING
+        assert state["state"][0] == C.FOLLOWING
+        assert state["my_leader"] == (2, 2, 2)
+        assert all(z == C.DISCOVERY for z in state["zab_state"])
+
+    def test_vote_adoption_resets_broadcast_flag(self, spec):
+        state = zk_state(spec.config)
+        state = run(spec, state, "FLEBroadcastNotmsg", i=2)
+        state = run(spec, state, "FLEReceiveNotmsg", pair=(0, 2))
+        # 0 adopted 2's vote and must re-broadcast it
+        assert state["current_vote"][0].sid == 2
+        assert not state["vote_sent"][0]
+
+    def test_weaker_vote_not_adopted(self, spec):
+        state = zk_state(spec.config)
+        state = run(spec, state, "FLEBroadcastNotmsg", i=0)
+        state = run(spec, state, "FLEReceiveNotmsg", pair=(2, 0))
+        assert state["current_vote"][2].sid == 2
+
+    def test_decide_needs_quorum(self, spec):
+        state = zk_state(spec.config)
+        state = run(spec, state, "FLEBroadcastNotmsg", i=2)
+        assert disabled(spec, state, "FLEDecide", i=2)
+
+    def test_higher_epoch_vote_wins(self, spec):
+        state = zk_state(
+            spec.config,
+            current_epoch=(1, 0, 0),
+            current_vote=(
+                __import__("repro.zookeeper.schema", fromlist=["empty_vote"]).empty_vote(0).replace(epoch=1),
+                __import__("repro.zookeeper.schema", fromlist=["empty_vote"]).empty_vote(1),
+                __import__("repro.zookeeper.schema", fromlist=["empty_vote"]).empty_vote(2),
+            ),
+        )
+        state = run(spec, state, "FLEBroadcastNotmsg", i=0)
+        state = run(spec, state, "FLEReceiveNotmsg", pair=(2, 0))
+        assert state["current_vote"][2].sid == 0
+
+    def test_non_looking_node_replies_with_leader_vote(self, spec):
+        state = run_full_election(spec, zk_state(spec.config))
+        # a late notification to the leader gets answered
+        state = state.set(
+            state=tuple(
+                C.LOOKING if s == 0 else state["state"][s] for s in range(3)
+            ),
+            vote_sent=(False, True, True),
+        )
+        state = run(spec, state, "FLEBroadcastNotmsg", i=0)
+        state = run(spec, state, "FLEReplyNotmsg", pair=(2, 0))
+        reply = state["msgs"][2][0][-1]
+        assert reply.mtype == C.NOTIFICATION and reply.vote.sid == 2
+
+
+class TestDiscovery:
+    def after_election(self, spec):
+        return run_full_election(spec, zk_state(spec.config))
+
+    def test_followerinfo_leaderinfo_ackepoch_round(self, spec):
+        state = self.after_election(spec)
+        state = run(
+            spec, state, "ConnectAndFollowerSendFOLLOWERINFO", pair=(0, 2)
+        )
+        state = run(
+            spec, state, "ConnectAndFollowerSendFOLLOWERINFO", pair=(1, 2)
+        )
+        state = run(spec, state, "LeaderProcessFOLLOWERINFO", pair=(2, 0))
+        # quorum of FOLLOWERINFO ({0} + leader): epoch proposed
+        assert state["accepted_epoch"][2] == 1
+        leaderinfo = state["msgs"][2][0][0]
+        assert leaderinfo.mtype == C.LEADERINFO and leaderinfo.epoch == 1
+        state = run(spec, state, "FollowerProcessLEADERINFO", pair=(0, 2))
+        assert state["accepted_epoch"][0] == 1
+        assert state["zab_state"][0] == C.SYNCHRONIZATION
+        state = run(spec, state, "LeaderProcessACKEPOCH", pair=(2, 0))
+        assert state["zab_state"][2] == C.SYNCHRONIZATION
+        assert state["current_epoch"][2] == 1
+        assert any(e[0] == 0 for e in state["ackepoch_recv"][2])
+
+    def test_late_joiner_gets_leaderinfo_directly(self, spec):
+        state = self.after_election(spec)
+        for f in (0, 1):
+            state = run(
+                spec, state, "ConnectAndFollowerSendFOLLOWERINFO", pair=(f, 2)
+            )
+        state = run(spec, state, "LeaderProcessFOLLOWERINFO", pair=(2, 0))
+        # the second FOLLOWERINFO arrives after the epoch was proposed
+        state = run(spec, state, "LeaderProcessFOLLOWERINFO", pair=(2, 1))
+        leaderinfo = state["msgs"][2][1][-1]
+        assert leaderinfo.mtype == C.LEADERINFO and leaderinfo.epoch == 1
+
+    def test_followerinfo_sent_once(self, spec):
+        state = self.after_election(spec)
+        state = run(
+            spec, state, "ConnectAndFollowerSendFOLLOWERINFO", pair=(0, 2)
+        )
+        assert disabled(
+            spec, state, "ConnectAndFollowerSendFOLLOWERINFO", pair=(0, 2)
+        )
+
+    def test_leader_abdicates_to_better_follower(self, spec):
+        # A follower whose ACKEPOCH carries better credentials forces the
+        # leader back to election (the implementation shuts down).
+        state = self.after_election(spec)
+        state = state.set(
+            history=((txn(1, 1),), (), ()),
+            current_epoch=(1, 0, 0),
+        )
+        state = run(
+            spec, state, "ConnectAndFollowerSendFOLLOWERINFO", pair=(0, 2)
+        )
+        state = run(spec, state, "LeaderProcessFOLLOWERINFO", pair=(2, 0))
+        state = run(spec, state, "FollowerProcessLEADERINFO", pair=(0, 2))
+        state = run(spec, state, "LeaderProcessACKEPOCH", pair=(2, 0))
+        assert state["state"][2] == C.LOOKING

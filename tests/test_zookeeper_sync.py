@@ -1,0 +1,313 @@
+"""Scripted model-level tests for the Synchronization modules.
+
+Each test drives the specification action-by-action through a scenario
+and asserts the intermediate states -- the model-level analogue of an
+integration test.
+"""
+
+import pytest
+
+from conftest import txn, zk_state
+from repro.tla.action import ActionLabel
+from repro.zookeeper import constants as C
+from repro.zookeeper.config import SpecVariant, ZkConfig
+from repro.zookeeper.specs import SELECTIONS, build_spec
+
+
+def _instance(spec, name, args):
+    for inst in spec.action_instances():
+        if inst.label.name == name and inst.label.args == args:
+            return inst
+    raise KeyError(f"no instance {name}{args}")
+
+
+def run(spec, state, name, **args):
+    """Apply one named action instance; fail the test if disabled."""
+    inst = _instance(spec, name, args)
+    nxt = inst.apply(spec.config, state)
+    assert nxt is not None, f"{name}{args} not enabled"
+    return nxt
+
+
+def disabled(spec, state, name, **args):
+    return _instance(spec, name, args).apply(spec.config, state) is None
+
+
+def spec_for(name, variant=None, **cfg):
+    config = ZkConfig(
+        max_txns=cfg.pop("max_txns", 2),
+        max_crashes=cfg.pop("max_crashes", 2),
+        max_partitions=0,
+        max_epoch=cfg.pop("max_epoch", 3),
+    )
+    if variant is not None:
+        config = config.with_variant(variant)
+    return build_spec(name, SELECTIONS[name], config)
+
+
+@pytest.fixture
+def baseline():
+    return spec_for("mSpec-1")
+
+
+@pytest.fixture
+def atomic_split():
+    return spec_for("mSpec-2")
+
+
+@pytest.fixture
+def concurrent():
+    return spec_for("mSpec-3")
+
+
+def elected(spec, leader=2, quorum=(0, 1, 2), state=None):
+    state = state or zk_state(spec.config)
+    return run(spec, state, "ElectionAndDiscovery", i=leader, Q=quorum)
+
+
+class TestLeaderSyncFollower:
+    def test_empty_diff_for_matching_follower(self, baseline):
+        spec = baseline
+        state = elected(spec)
+        state = run(spec, state, "LeaderSyncFollower", pair=(2, 0))
+        sync_msg, nl = state["msgs"][2][0]
+        assert sync_msg.mtype == C.DIFF and sync_msg.txns == ()
+        assert nl.mtype == C.NEWLEADER and nl.epoch == 1
+
+    def test_snap_for_empty_follower_of_nonempty_leader(self, baseline):
+        spec = baseline
+        t = txn(1, 1)
+        state = zk_state(spec.config, history=((), (), (t,)), current_epoch=(1, 1, 1))
+        state = elected(spec, state=state)
+        state = run(spec, state, "LeaderSyncFollower", pair=(2, 0))
+        sync_msg = state["msgs"][2][0][0]
+        assert sync_msg.mtype == C.SNAP and sync_msg.txns == (t,)
+
+    def test_trunc_for_follower_ahead(self, baseline):
+        spec = baseline
+        t = txn(1, 1)
+        state = zk_state(
+            spec.config,
+            history=((t,), (), ()),
+            current_epoch=(1, 1, 1),
+            last_committed=(0, 0, 0),
+        )
+        # server 2 must win despite 0's longer history: bump its epoch
+        state = state.set(current_epoch=(1, 1, 2))
+        state = elected(spec, state=state)
+        state = run(spec, state, "LeaderSyncFollower", pair=(2, 0))
+        sync_msg = state["msgs"][2][0][0]
+        assert sync_msg.mtype == C.TRUNC
+
+    def test_diff_payload_after_known_zxid(self, baseline):
+        spec = baseline
+        t1, t2 = txn(1, 1), txn(1, 2)
+        state = zk_state(
+            spec.config,
+            history=((t1,), (t1, t2), (t1, t2)),
+            current_epoch=(1, 1, 1),
+        )
+        state = elected(spec, state=state)
+        state = run(spec, state, "LeaderSyncFollower", pair=(2, 0))
+        sync_msg = state["msgs"][2][0][0]
+        assert sync_msg.mtype == C.DIFF and sync_msg.txns == (t2,)
+
+    def test_sync_sent_only_once(self, baseline):
+        spec = baseline
+        state = elected(spec)
+        state = run(spec, state, "LeaderSyncFollower", pair=(2, 0))
+        assert disabled(spec, state, "LeaderSyncFollower", pair=(2, 0))
+
+
+class TestBaselineNewLeader:
+    def test_atomic_newleader_updates_everything(self, baseline):
+        spec = baseline
+        t = txn(1, 1)
+        state = zk_state(
+            spec.config,
+            history=((), (), (t,)),
+            current_epoch=(0, 0, 1),
+            accepted_epoch=(0, 0, 1),
+        )
+        state = elected(spec, quorum=(0, 2), state=state)
+        state = run(spec, state, "LeaderSyncFollower", pair=(2, 0))
+        state = run(spec, state, "FollowerProcessSyncMessage", pair=(0, 2))
+        assert state["packets_sync"][0].not_committed == (t,)
+        state = run(spec, state, "FollowerProcessNEWLEADER", pair=(0, 2))
+        assert state["current_epoch"][0] == 2
+        assert state["history"][0] == (t,)
+        assert state["packets_sync"][0].not_committed == ()
+        assert state["newleader_recv"][0]
+        ack = state["msgs"][0][2][0]
+        assert ack.mtype == C.ACK and ack.zxid == t.zxid
+
+    def test_establishment_records_ghosts(self, baseline):
+        spec = baseline
+        state = elected(spec, quorum=(0, 2))
+        state = run(spec, state, "LeaderSyncFollower", pair=(2, 0))
+        state = run(spec, state, "FollowerProcessSyncMessage", pair=(0, 2))
+        state = run(spec, state, "FollowerProcessNEWLEADER", pair=(0, 2))
+        state = run(spec, state, "LeaderProcessACKLD", pair=(2, 0))
+        assert state["zab_state"][2] == C.BROADCAST
+        assert state["g_leaders"] == ((1, 2),)
+        (record,) = state["g_established"]
+        assert record.epoch == 1 and record.initial == ()
+        assert state["g_participants"] == ((1, frozenset({0, 2})),)
+        # UPTODATE queued for the acked follower
+        assert state["msgs"][2][0][0].mtype == C.UPTODATE
+
+    def test_uptodate_starts_serving(self, baseline):
+        spec = baseline
+        state = elected(spec, quorum=(0, 2))
+        state = run(spec, state, "LeaderSyncFollower", pair=(2, 0))
+        state = run(spec, state, "FollowerProcessSyncMessage", pair=(0, 2))
+        state = run(spec, state, "FollowerProcessNEWLEADER", pair=(0, 2))
+        state = run(spec, state, "LeaderProcessACKLD", pair=(2, 0))
+        state = run(spec, state, "FollowerProcessUPTODATE", pair=(0, 2))
+        assert state["zab_state"][0] == C.BROADCAST
+
+    def test_late_ackld_gets_uptodate(self, baseline):
+        spec = baseline
+        state = elected(spec)
+        for f in (0, 1):
+            state = run(spec, state, "LeaderSyncFollower", pair=(2, f))
+            state = run(spec, state, "FollowerProcessSyncMessage", pair=(f, 2))
+            state = run(spec, state, "FollowerProcessNEWLEADER", pair=(f, 2))
+        state = run(spec, state, "LeaderProcessACKLD", pair=(2, 0))
+        assert state["zab_state"][2] == C.BROADCAST
+        state = run(spec, state, "LeaderProcessACKLD", pair=(2, 1))
+        assert state["uptodate_sent"][2] == frozenset({0, 1})
+        assert state["g_participants"][0][1] == frozenset({0, 1, 2})
+
+
+class TestAtomicitySplit:
+    def script_to_sync(self, spec, payload=True):
+        t = txn(1, 1)
+        histories = ((), (), (t,)) if payload else ((), (), ())
+        state = zk_state(
+            spec.config,
+            history=histories,
+            current_epoch=(0, 0, 1) if payload else (0, 0, 0),
+            accepted_epoch=(0, 0, 1) if payload else (0, 0, 0),
+        )
+        state = elected(spec, quorum=(0, 2), state=state)
+        state = run(spec, state, "LeaderSyncFollower", pair=(2, 0))
+        state = run(spec, state, "FollowerProcessSyncMessage", pair=(0, 2))
+        return state, t
+
+    def test_epoch_first_order_v391(self, atomic_split):
+        spec = atomic_split
+        state, t = self.script_to_sync(spec)
+        # v3.9.1: the log step is blocked until the epoch is updated.
+        assert disabled(spec, state, "FollowerProcessNEWLEADER_Log", pair=(0, 2))
+        state = run(spec, state, "FollowerProcessNEWLEADER_UpdateEpoch", pair=(0, 2))
+        assert state["current_epoch"][0] == 2
+        assert state["history"][0] == ()  # the ZK-4643 window is open
+        state = run(spec, state, "FollowerProcessNEWLEADER_Log", pair=(0, 2))
+        assert state["history"][0] == (t,)
+        state = run(spec, state, "FollowerProcessNEWLEADER_ReplyAck", pair=(0, 2))
+        assert state["newleader_recv"][0]
+
+    def test_reply_ack_requires_epoch_and_log(self, atomic_split):
+        spec = atomic_split
+        state, _ = self.script_to_sync(spec)
+        assert disabled(
+            spec, state, "FollowerProcessNEWLEADER_ReplyAck", pair=(0, 2)
+        )
+
+    def test_history_before_epoch_variant_reverses_order(self):
+        spec = spec_for("mSpec-2", variant=SpecVariant(history_before_epoch="full"))
+        state, t = TestAtomicitySplit().script_to_sync(spec)
+        # fixed order: epoch update blocked until the history is logged
+        assert disabled(
+            spec, state, "FollowerProcessNEWLEADER_UpdateEpoch", pair=(0, 2)
+        )
+        state = run(spec, state, "FollowerProcessNEWLEADER_Log", pair=(0, 2))
+        assert state["current_epoch"][0] == 0
+        state = run(spec, state, "FollowerProcessNEWLEADER_UpdateEpoch", pair=(0, 2))
+        assert state["current_epoch"][0] == 2
+
+    def test_diff_only_variant_fixes_diff_keeps_snap(self):
+        spec = spec_for(
+            "mSpec-2", variant=SpecVariant(history_before_epoch="diff_only")
+        )
+        # SNAP path (empty follower, non-empty leader): still epoch-first.
+        state, _ = TestAtomicitySplit().script_to_sync(spec)
+        assert state["packets_sync"][0].mode == C.SNAP
+        assert not disabled(
+            spec, state, "FollowerProcessNEWLEADER_UpdateEpoch", pair=(0, 2)
+        )
+        assert disabled(spec, state, "FollowerProcessNEWLEADER_Log", pair=(0, 2))
+
+
+class TestConcurrentSync:
+    def script_to_sync(self, spec):
+        t = txn(1, 1)
+        state = zk_state(
+            spec.config,
+            history=((), (), (t,)),
+            current_epoch=(0, 0, 1),
+            accepted_epoch=(0, 0, 1),
+        )
+        state = elected(spec, quorum=(0, 2), state=state)
+        state = run(spec, state, "LeaderSyncFollower", pair=(2, 0))
+        state = run(spec, state, "FollowerProcessSyncMessage", pair=(0, 2))
+        state = run(spec, state, "FollowerProcessNEWLEADER_UpdateEpoch", pair=(0, 2))
+        return state, t
+
+    def test_log_async_queues_to_sync_processor(self, concurrent):
+        spec = concurrent
+        state, t = self.script_to_sync(spec)
+        state = run(spec, state, "FollowerProcessNEWLEADER_LogAsync", pair=(0, 2))
+        assert state["history"][0] == ()
+        assert [e.txn for e in state["queued_requests"][0]] == [t]
+
+    def test_early_ack_with_queued_txns(self, concurrent):
+        # The ZK-4646 window: ACK of NEWLEADER while txns are unlogged.
+        spec = concurrent
+        state, _ = self.script_to_sync(spec)
+        state = run(spec, state, "FollowerProcessNEWLEADER_LogAsync", pair=(0, 2))
+        state = run(spec, state, "FollowerProcessNEWLEADER_ReplyAck", pair=(0, 2))
+        assert state["queued_requests"][0]  # still unlogged!
+        assert state["newleader_recv"][0]
+
+    def test_sync_processor_logs_and_acks(self, concurrent):
+        spec = concurrent
+        state, t = self.script_to_sync(spec)
+        state = run(spec, state, "FollowerProcessNEWLEADER_LogAsync", pair=(0, 2))
+        state = run(spec, state, "FollowerSyncProcessorLogRequest", i=0)
+        assert state["history"][0] == (t,)
+        # the per-txn ACK that can overtake the NEWLEADER ACK (ZK-4685)
+        acks = [m for m in state["msgs"][0][2] if m.mtype == C.ACK]
+        assert acks and acks[-1].zxid == t.zxid
+
+    def test_synchronous_logging_variant_closes_the_window(self):
+        spec = spec_for(
+            "mSpec-3", variant=SpecVariant(synchronous_sync_logging=True)
+        )
+        state, t = TestConcurrentSync().script_to_sync(spec)
+        state = run(spec, state, "FollowerProcessNEWLEADER_LogAsync", pair=(0, 2))
+        assert state["history"][0] == (t,)  # logged directly
+        assert state["queued_requests"][0] == ()
+
+    def test_stale_queue_entry_logs_without_ack(self, concurrent):
+        # ZK-4712: an entry enqueued under an older session is logged
+        # after the follower rejoined, but its ACK path is gone.
+        spec = concurrent
+        t = txn(1, 1)
+        state = zk_state(
+            spec.config,
+            state=(C.FOLLOWING, C.LOOKING, C.LEADING),
+            zab_state=(C.BROADCAST, C.ELECTION, C.BROADCAST),
+            my_leader=(2, -1, 2),
+            accepted_epoch=(2, 0, 2),
+            current_epoch=(2, 0, 2),
+            queued_requests=(
+                (__import__("repro.zookeeper.prims", fromlist=["QEntry"]).QEntry(t, 1),),
+                (),
+                (),
+            ),
+        )
+        state = run(spec, state, "FollowerSyncProcessorLogRequest", i=0)
+        assert state["history"][0] == (t,)
+        assert state["msgs"][0][2] == ()  # no ACK: session 1 is dead
