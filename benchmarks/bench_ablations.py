@@ -10,7 +10,7 @@
 
 import pytest
 
-from conftest import bench_config, once, print_table
+from bench_common import once, print_table
 from repro.checker import BFSChecker, DFSChecker, IterativeDeepeningChecker
 from repro.zookeeper import ZkConfig, make_spec, zk4394_mask
 

@@ -5,18 +5,30 @@ and prints it side by side with the paper-reported values (EXPERIMENTS.md
 records the comparison).  Absolute numbers differ -- pure-Python
 exploration at laptop scale vs TLC on a 96-core server -- but the *shape*
 (who finds what, which invariant fires, relative ordering) must match.
+
+This module used to be ``benchmarks/conftest.py``; it was renamed so the
+top-level module name ``conftest`` unambiguously resolves to
+``tests/conftest.py`` when the two directories are collected together
+(the seed suite failed collection over exactly that clash).
+
+Environment knobs:
+
+- ``REPRO_BENCH_SCALE=small`` keeps every bench under ~1 min;
+- ``REPRO_BENCH_WORKERS=N`` runs the engine's sharded-frontier mode;
+- ``REPRO_BENCH_REPORT`` redirects the rendered tables.
 """
 
 import os
 
-import pytest
-
-from repro.checker import BFSChecker
+from repro.checker.engine import ExplorationEngine
 from repro.zookeeper import ZkConfig, zk4394_mask
 from repro.zookeeper.specs import SELECTIONS, build_spec
 
 #: Scale knob: REPRO_BENCH_SCALE=small keeps every bench under ~1 min.
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "normal")
+
+#: Worker processes for the exploration engine (1 = in-process).
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
 def bench_config(**kw):
@@ -40,6 +52,8 @@ def hunt(
     variant=None,
     stop_at_first=True,
     violation_limit=10_000,
+    strategy="bfs",
+    workers=None,
 ):
     """One model-checking run, optionally restricted to an invariant
     family (how Table 4 reports per-bug rows)."""
@@ -54,17 +68,22 @@ def hunt(
             and (instance is None or inv.instance == instance)
         ]
     if SCALE == "small":
-        max_states = min(max_states, 150_000)
-        max_time = min(max_time, 45)
-    checker = BFSChecker(
+        # Calibrated to the engine's ~8-9k states/sec: big enough that
+        # mSpec-2 still reaches its I-8 violation (~300k states), small
+        # enough to keep each bench under ~1 min.
+        max_states = min(max_states, 320_000)
+        max_time = min(max_time, 60)
+    engine = ExplorationEngine(
         spec,
+        strategy=strategy,
+        workers=WORKERS if workers is None else workers,
         max_states=max_states,
         max_time=max_time,
         mask=zk4394_mask if masked else None,
         stop_at_first=stop_at_first,
         violation_limit=violation_limit,
     )
-    return checker.run()
+    return engine.run()
 
 
 REPORT_FILE = os.environ.get(

@@ -9,7 +9,7 @@ reproduces.
 
 import pytest
 
-from conftest import once, print_table
+from bench_common import once, print_table
 from repro.checker import BFSChecker
 from repro.impl import Ensemble
 from repro.remix import ConformanceChecker

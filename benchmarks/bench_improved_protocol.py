@@ -7,7 +7,7 @@ reports states/time/outcome.
 
 import pytest
 
-from conftest import once, print_table
+from bench_common import once, print_table
 from repro.checker import BFSChecker
 from repro.zab import ZabConfig, zab_spec
 

@@ -6,7 +6,7 @@ step itself (Remix's "composing them is straightforward").
 
 import pytest
 
-from conftest import bench_config, print_table
+from bench_common import bench_config, print_table
 from repro.remix import SpecRegistry
 from repro.zookeeper.specs import SELECTIONS
 

@@ -5,13 +5,11 @@ instances in four families) and benchmarks invariant evaluation over the
 reachable states -- the per-state cost TLC pays during checking.
 """
 
-import pytest
-
-from conftest import bench_config, print_table
+from bench_common import bench_config, print_table
 from repro.checker import RandomWalker
 from repro.zab.invariants import protocol_invariants
 from repro.zookeeper import make_spec
-from repro.zookeeper.code_invariants import INSTANCE_TABLE, code_invariants
+from repro.zookeeper.code_invariants import INSTANCE_TABLE
 
 
 def test_protocol_census():

@@ -5,7 +5,7 @@ instrumentation pointcuts) from this repository's modules and benchmarks
 the measurement itself.
 """
 
-from conftest import print_table, once
+from bench_common import print_table, once
 from repro.analysis import table3
 
 PAPER = {

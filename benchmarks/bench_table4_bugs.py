@@ -8,7 +8,7 @@ values.
 
 import pytest
 
-from conftest import bench_config, hunt, once, print_table
+from bench_common import bench_config, hunt, once, print_table
 from repro.zookeeper import PR_1930
 
 #: bug -> (spec, config kwargs, invariant family, instance, variant,

@@ -8,11 +8,28 @@ within the budgets.  The paper's shape to reproduce:
   except mSpec-4 which eventually finds one -- paper 8h32m);
 - mSpec-1 finishes without violations (ZK-4394 masked);
 - mSpec-2 finds I-8, mSpec-3 finds a violation fastest.
+
+Besides the pytest-benchmark entry points, this file doubles as a CLI
+smoke benchmark for CI::
+
+    python benchmarks/bench_table5_efficiency.py \
+        --max-states 2000 --max-time 10 --json bench-smoke.json
+
+which runs all five specs through the exploration engine under a tiny
+budget and writes a JSON artifact (states, transitions, states/sec,
+violated invariant).  ``--compare-legacy`` additionally runs the seed
+checker (:mod:`repro.checker.legacy`) on the same workload and reports
+the engine-vs-legacy throughput ratio.
 """
+
+import argparse
+import json
+import sys
+import time
 
 import pytest
 
-from conftest import bench_config, hunt, once, print_table
+from bench_common import bench_config, hunt, once, print_table
 
 #: spec -> paper row for mode (a): (time, depth, states, invariant)
 PAPER_A = {
@@ -115,3 +132,107 @@ def test_zz_report(benchmark):
     assert _FIRST["mSpec-3"].elapsed_seconds <= _FIRST["mSpec-2"].elapsed_seconds
     if _COMPLETE:
         assert len(_COMPLETE["mSpec-3"].violated_invariant_ids()) >= 1
+
+
+# --------------------------------------------------------------- CLI smoke
+
+
+def _smoke_row(result):
+    found = result.first_violation
+    rate = (
+        result.states_explored / result.elapsed_seconds
+        if result.elapsed_seconds > 0
+        else 0.0
+    )
+    return {
+        "states_explored": result.states_explored,
+        "transitions": result.transitions,
+        "max_depth": result.max_depth,
+        "elapsed_seconds": round(result.elapsed_seconds, 3),
+        "states_per_second": round(rate, 1),
+        "violated": found.invariant.ident if found else None,
+        "budget_exhausted": result.budget_exhausted,
+        "completed": result.completed,
+    }
+
+
+def run_smoke(max_states, max_time, workers, strategy, compare_legacy):
+    """Run the five Table 5 specs under a small budget; return a report."""
+    from repro.checker.legacy import LegacyBFSChecker
+    from repro.zookeeper import zk4394_mask
+    from repro.zookeeper.specs import SELECTIONS, build_spec
+
+    config = bench_config()
+    report = {
+        "workload": {
+            "max_states": max_states,
+            "max_time": max_time,
+            "workers": workers,
+            "strategy": strategy,
+        },
+        "specs": {},
+    }
+    for name in PAPER_A:
+        result = hunt(
+            name,
+            config,
+            masked=True,
+            max_states=max_states,
+            max_time=max_time,
+            workers=workers,
+            strategy=strategy,
+        )
+        row = _smoke_row(result)
+        if compare_legacy:
+            spec = build_spec(name, SELECTIONS[name], config)
+            checker = LegacyBFSChecker(
+                spec, max_states=max_states, max_time=max_time, mask=zk4394_mask
+            )
+            t0 = time.monotonic()
+            legacy = checker.run()
+            elapsed = time.monotonic() - t0
+            legacy_rate = legacy.states_explored / elapsed if elapsed > 0 else 0.0
+            row["legacy_states_per_second"] = round(legacy_rate, 1)
+            row["engine_speedup"] = (
+                round(row["states_per_second"] / legacy_rate, 2)
+                if legacy_rate
+                else None
+            )
+        report["specs"][name] = row
+    return report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Table 5 efficiency smoke benchmark (engine-based)"
+    )
+    parser.add_argument("--max-states", type=int, default=2_000)
+    parser.add_argument("--max-time", type=float, default=15.0)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument(
+        "--strategy", choices=("bfs", "portfolio"), default="bfs"
+    )
+    parser.add_argument("--json", dest="json_path", default=None)
+    parser.add_argument(
+        "--compare-legacy",
+        action="store_true",
+        help="also run the seed checker and report the speedup ratio",
+    )
+    args = parser.parse_args(argv)
+    report = run_smoke(
+        args.max_states,
+        args.max_time,
+        args.workers,
+        args.strategy,
+        args.compare_legacy,
+    )
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            fh.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,9 +7,9 @@ reports for each PR; the §5.4 resolution passes.
 
 import pytest
 
-from conftest import bench_config, hunt, once, print_table
+from bench_common import bench_config, hunt, once, print_table
 from repro.checker import BFSChecker
-from repro.zookeeper import ZkConfig, final_fix_spec, zk4394_mask
+from repro.zookeeper import final_fix_spec, zk4394_mask
 from repro.zookeeper.specs import PR_VARIANTS
 
 #: PR -> (targeted invariant family, paper row (time, depth, states, inv))

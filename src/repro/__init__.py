@@ -6,8 +6,9 @@ The package provides:
 - :mod:`repro.tla` -- a pure-Python specification framework in the style of
   TLA+: immutable states, guarded actions, modules, and composition with
   interaction-preservation checking.
-- :mod:`repro.checker` -- explicit-state model checkers (BFS and random
-  walk) playing the role of TLC.
+- :mod:`repro.checker` -- the explicit-state exploration engine playing
+  the role of TLC: fingerprinted BFS/DFS/random-walk/portfolio
+  strategies, optional multiprocess frontier sharding.
 - :mod:`repro.zab` -- the Zab protocol specification and the improved
   protocol of the paper's Section 5.4.
 - :mod:`repro.zookeeper` -- the multi-grained ZooKeeper system
@@ -21,10 +22,10 @@ The package provides:
   graph (Figure 8).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.tla import Action, Module, Specification, State
-from repro.checker import BFSChecker, CheckResult
+from repro.checker import BFSChecker, CheckResult, ExplorationEngine, explore
 
 __all__ = [
     "Action",
@@ -33,5 +34,7 @@ __all__ = [
     "State",
     "BFSChecker",
     "CheckResult",
+    "ExplorationEngine",
+    "explore",
     "__version__",
 ]

@@ -1,9 +1,12 @@
-"""Explicit-state model checkers: BFS (the TLC substitute), DFS and
-iterative deepening, random walk, coverage, shrinking and rendering."""
+"""Explicit-state model checkers built on the unified exploration engine:
+BFS (the TLC substitute), DFS and iterative deepening, random walk,
+portfolio racing, coverage, shrinking and rendering."""
 
 from repro.checker.bfs import BFSChecker, check
 from repro.checker.coverage import CoverageReport, measure_coverage
 from repro.checker.dfs import DFSChecker, IterativeDeepeningChecker
+from repro.checker.engine import STRATEGIES, CompiledSpec, ExplorationEngine, explore
+from repro.checker.fingerprint import Fingerprinter, fingerprint_state
 from repro.checker.pretty import format_state, format_trace
 from repro.checker.random_walk import RandomWalker
 from repro.checker.result import CheckResult, Violation
@@ -13,13 +16,19 @@ from repro.checker.trace import Trace, traces_project_equal
 __all__ = [
     "BFSChecker",
     "CheckResult",
+    "CompiledSpec",
     "CoverageReport",
     "DFSChecker",
+    "ExplorationEngine",
+    "Fingerprinter",
     "IterativeDeepeningChecker",
     "RandomWalker",
+    "STRATEGIES",
     "Trace",
     "Violation",
     "check",
+    "explore",
+    "fingerprint_state",
     "format_state",
     "format_trace",
     "measure_coverage",

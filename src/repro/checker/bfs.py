@@ -1,27 +1,24 @@
-"""Breadth-first explicit-state model checker (the TLC substitute).
+"""Breadth-first explicit-state model checking (the TLC substitute).
 
-The checker implements the TLC semantics the paper relies on:
+:class:`BFSChecker` keeps the original seed API -- breadth-first
+exploration with minimal-depth counterexamples (§4.4), invariants checked
+on every distinct reachable state, state constraints, stop-at-first vs
+run-to-completion modes, budgets and state masking (§3.5.2) -- but since
+the engine refactor it is a thin compatibility wrapper over
+:class:`repro.checker.engine.ExplorationEngine` with ``strategy="bfs"``.
 
-- breadth-first exploration, so counterexamples have minimal depth (§4.4);
-- invariants checked on every distinct reachable state;
-- an optional state constraint bounding the model (txn/crash budgets);
-- stop-at-first-violation and run-to-completion modes with a violation
-  limit (Table 5a vs 5b);
-- budgets on states, wall-clock time and depth so that "cannot finish in
-  24 hours" (the paper's Baseline row) is reproducible at laptop scale;
-- state masking, used by Remix to skip traces of known-but-unfixed bugs
-  (§3.5.2, the masked ZK-4394 in mSpec-1).
+The engine deduplicates by 64-bit fingerprint instead of storing full
+:class:`~repro.tla.state.State` objects, evaluates invariants once per
+distinct state, short-circuits guards via declared read sets, and can
+shard the frontier across worker processes (``workers=N``).
 """
 
 from __future__ import annotations
 
-import time
-from collections import deque
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Optional
 
-from repro.checker.result import CheckResult, Violation
-from repro.checker.trace import Trace
-from repro.tla.action import ActionLabel
+from repro.checker.engine import ExplorationEngine
+from repro.checker.result import CheckResult
 from repro.tla.spec import Specification
 from repro.tla.state import State
 
@@ -46,6 +43,8 @@ class BFSChecker:
     mask:
         Optional predicate; states where it returns True are treated as
         already-known bad states: they are neither reported nor expanded.
+    workers:
+        Worker processes for frontier sharding (1 = in-process).
     """
 
     def __init__(
@@ -57,6 +56,7 @@ class BFSChecker:
         violation_limit: int = 10_000,
         stop_at_first: bool = True,
         mask: Optional[Callable[[State], bool]] = None,
+        workers: int = 1,
     ):
         self.spec = spec
         self.max_states = max_states
@@ -65,106 +65,20 @@ class BFSChecker:
         self.violation_limit = violation_limit
         self.stop_at_first = stop_at_first
         self.mask = mask
+        self.workers = workers
 
     def run(self) -> CheckResult:
-        spec = self.spec
-        result = CheckResult(spec_name=spec.name)
-        start = time.monotonic()
-
-        # parent[state] = (parent_state, label); None marks initial states.
-        parent: Dict[State, Optional[Tuple[State, ActionLabel]]] = {}
-        depth_of: Dict[State, int] = {}
-        frontier: deque = deque()
-
-        def over_budget() -> Optional[str]:
-            if self.max_states is not None and len(parent) >= self.max_states:
-                return "max_states"
-            if self.max_time is not None and (
-                time.monotonic() - start
-            ) >= self.max_time:
-                return "max_time"
-            return None
-
-        def record_violations(state: State) -> bool:
-            """Check invariants; return True when exploration should stop."""
-            for inv in spec.violated_invariants(state):
-                result.violations.append(
-                    Violation(invariant=inv, trace=self._trace_to(state, parent))
-                )
-                if self.stop_at_first:
-                    return True
-                if len(result.violations) >= self.violation_limit:
-                    result.budget_exhausted = "violation_limit"
-                    return True
-            return False
-
-        stop = False
-        for init in spec.initial_states():
-            if init in parent:
-                continue
-            parent[init] = None
-            depth_of[init] = 0
-            if self.mask is not None and self.mask(init):
-                continue
-            if record_violations(init):
-                stop = True
-                break
-            frontier.append(init)
-
-        while frontier and not stop:
-            budget = over_budget()
-            if budget:
-                result.budget_exhausted = budget
-                break
-            state = frontier.popleft()
-            depth = depth_of[state]
-            if self.max_depth is not None and depth >= self.max_depth:
-                continue
-            if not spec.within_constraint(state):
-                continue
-            if spec.violated_invariants(state):
-                # Error states are terminal: do not explore past them.
-                continue
-            for label, nxt in spec.successors(state):
-                result.transitions += 1
-                if nxt in parent:
-                    continue
-                parent[nxt] = (state, label)
-                depth_of[nxt] = depth + 1
-                if depth + 1 > result.max_depth:
-                    result.max_depth = depth + 1
-                if self.mask is not None and self.mask(nxt):
-                    continue
-                if record_violations(nxt):
-                    stop = True
-                    break
-                frontier.append(nxt)
-
-        result.states_explored = len(parent)
-        result.elapsed_seconds = time.monotonic() - start
-        result.completed = not frontier and not stop and result.budget_exhausted is None
-        return result
-
-    @staticmethod
-    def _trace_to(
-        state: State,
-        parent: Dict[State, Optional[Tuple[State, ActionLabel]]],
-    ) -> Trace:
-        """Reconstruct the minimal-depth trace to ``state`` from parents."""
-        states: List[State] = [state]
-        labels: List[ActionLabel] = []
-        current = state
-        while True:
-            link = parent[current]
-            if link is None:
-                break
-            prev, label = link
-            states.append(prev)
-            labels.append(label)
-            current = prev
-        states.reverse()
-        labels.reverse()
-        return Trace(states=states, labels=labels)
+        return ExplorationEngine(
+            self.spec,
+            strategy="bfs",
+            workers=self.workers,
+            max_states=self.max_states,
+            max_time=self.max_time,
+            max_depth=self.max_depth,
+            violation_limit=self.violation_limit,
+            stop_at_first=self.stop_at_first,
+            mask=self.mask,
+        ).run()
 
 
 def check(

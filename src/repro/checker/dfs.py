@@ -5,16 +5,19 @@ DFS reaches deep states cheaply (useful for quick bug smoke-tests before
 an expensive BFS run) at the cost of non-minimal traces.  TLC offers the
 same trade-off via its ``-dfid`` mode, which the iterative-deepening
 variant mirrors.
+
+Since the engine refactor, :class:`DFSChecker` is a thin compatibility
+wrapper over :class:`repro.checker.engine.ExplorationEngine` with
+``strategy="dfs"`` (fingerprinted visited set, replay-based traces).
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Optional
 
-from repro.checker.result import CheckResult, Violation
-from repro.checker.trace import Trace
-from repro.tla.action import ActionLabel
+from repro.checker.engine import ExplorationEngine
+from repro.checker.result import CheckResult
 from repro.tla.spec import Specification
 from repro.tla.state import State
 
@@ -37,88 +40,14 @@ class DFSChecker:
         self.mask = mask
 
     def run(self) -> CheckResult:
-        spec = self.spec
-        result = CheckResult(spec_name=spec.name)
-        start = time.monotonic()
-        visited: Set[State] = set()
-
-        # Iterative DFS with an explicit stack of (state, path) where the
-        # path carries (label, state) pairs for trace reconstruction.
-        stack: List[Tuple[State, List[Tuple[ActionLabel, State]]]] = []
-        for init in spec.initial_states():
-            stack.append((init, []))
-
-        while stack:
-            if self.max_states is not None and len(visited) >= self.max_states:
-                result.budget_exhausted = "max_states"
-                break
-            if self.max_time is not None and (
-                time.monotonic() - start > self.max_time
-            ):
-                result.budget_exhausted = "max_time"
-                break
-            state, path = stack.pop()
-            if state in visited:
-                continue
-            visited.add(state)
-            result.max_depth = max(result.max_depth, len(path))
-            if self.mask is not None and self.mask(state):
-                continue
-            violated = spec.violated_invariants(state)
-            if violated:
-                states = [p for _, p in path]
-                initial = path[0][1] if path else state
-                # rebuild the full state list from the recorded path
-                trace_states: List[State] = []
-                labels: List[ActionLabel] = []
-                if path:
-                    # path[k] = (label into state_k, state_k); prepend init
-                    first_label, _ = path[0]
-                    # find the originating initial state by replay
-                    trace_states = [self._initial_of(path)]
-                    for label, st in path:
-                        labels.append(label)
-                        trace_states.append(st)
-                else:
-                    trace_states = [state]
-                result.violations.append(
-                    Violation(
-                        invariant=violated[0],
-                        trace=Trace(states=trace_states, labels=labels),
-                    )
-                )
-                break
-            if len(path) >= self.max_depth:
-                continue
-            if not spec.within_constraint(state):
-                continue
-            for label, nxt in spec.successors(state):
-                result.transitions += 1
-                if nxt not in visited:
-                    stack.append((nxt, path + [(label, nxt)]))
-
-        result.states_explored = len(visited)
-        result.elapsed_seconds = time.monotonic() - start
-        result.completed = (
-            not stack
-            and not result.violations
-            and result.budget_exhausted is None
-        )
-        return result
-
-    def _initial_of(self, path) -> State:
-        """Recover the initial state a DFS path started from by replaying
-        backwards: the first path entry's pre-state is an initial state of
-        the spec (we track only one initial state per stack entry)."""
-        # Replay forward from each initial state until the first step of
-        # the path matches; specs here have a single initial state, so
-        # this is cheap.
-        first_label, first_state = path[0]
-        for init in self.spec.initial_states():
-            inst = self.spec.instance_for(first_label)
-            if inst.apply(self.spec.config, init) == first_state:
-                return init
-        raise ValueError("could not reconstruct the DFS trace origin")
+        return ExplorationEngine(
+            self.spec,
+            strategy="dfs",
+            max_states=self.max_states,
+            max_time=self.max_time,
+            max_depth=self.max_depth,
+            mask=self.mask,
+        ).run()
 
 
 class IterativeDeepeningChecker:

@@ -1,0 +1,895 @@
+"""The unified state-space exploration engine.
+
+:class:`ExplorationEngine` is the scheduler every checking strategy plugs
+into; the legacy :class:`~repro.checker.bfs.BFSChecker` and
+:class:`~repro.checker.dfs.DFSChecker` are thin wrappers over it.
+
+Strategies
+----------
+
+``bfs``
+    Layered (round-synchronous) breadth-first search.  The visited set
+    stores 64-bit fingerprints (:mod:`repro.checker.fingerprint`) instead
+    of full states; parent links are kept per fingerprint as compact
+    ``fp -> (parent_fp, instance_index)`` integers and counterexamples are
+    rebuilt by replaying the label chain from the initial state.  With
+    ``workers > 1`` each round's frontier is sharded across forked worker
+    processes (:mod:`repro.checker.parallel`) and the newly discovered
+    fingerprints are merged between rounds; results are bitwise identical
+    to the sequential run on deterministic budgets.
+``dfs``
+    Bounded depth-first search for a quick first violation.
+``random``
+    Seeded random walks that check invariants along the way.
+``portfolio``
+    Races BFS against a band of differently-seeded random walks and
+    returns the first violation any of them finds (with ``workers > 1``
+    the contenders run in parallel processes).
+
+Hot-path engineering (where the >=2x over the seed checker comes from;
+``incremental=False`` switches the analysis-based parts off for A/B
+soundness checks):
+
+- invariants are evaluated once per distinct state (the seed evaluated
+  them at discovery *and* again at expansion), and their verdicts are
+  memoized per projection of the state onto their declared read sets
+  (``Invariant.reads``);
+- guard memoization: each action declares the variables its enabling
+  condition reads (the paper's dependency variables, Appendix B).
+  Instances sharing a read set form a group whose projection is hashed
+  once per state; the memo stores the disabled-instance bitmask per
+  projection value.  On top of that, an instance disabled in the parent
+  whose reads miss the taken action's write set is known-disabled in
+  the child without any lookup (the ``affects`` interference matrix);
+- successor fingerprints are updated incrementally from the parent's
+  per-slot digest tuple (one digest lookup per changed slot), and
+  ``State`` objects are only materialized for successors that survive
+  the fingerprint dedup;
+- action parameter bindings are pre-bound with ``functools.partial``
+  instead of rebuilding a kwargs dict per application;
+- the cyclic garbage collector is suspended during exploration (states
+  are immutable; exploration allocates millions of short-lived tuples
+  that the generational GC would repeatedly scan).
+"""
+
+from __future__ import annotations
+
+import gc
+import random
+import time
+from functools import partial
+from operator import itemgetter
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.checker.fingerprint import Fingerprinter
+from repro.checker.result import CheckResult, Violation
+from repro.checker.trace import Trace
+from repro.tla.spec import Specification
+from repro.tla.state import State
+
+#: Strategy names accepted by the engine (and the CLI ``--strategy`` flag).
+STRATEGIES = ("bfs", "dfs", "random", "portfolio")
+
+#: Candidate successor record produced by :meth:`CompiledSpec.expand`:
+#: (instance_index, successor_state, fingerprint, child_known_disabled,
+#:  violated_invariant_indices, masked, within_constraint, slot_digests)
+Candidate = Tuple[int, Any, int, int, Tuple[int, ...], bool, bool, Tuple[int, ...]]
+
+
+class CompiledSpec:
+    """A specification pre-resolved for the exploration hot path.
+
+    Everything the per-state inner loop needs is flattened into parallel
+    lists indexed by action-instance position: the pre-bound applier
+    callables, trace labels, and the read/write interference matrix
+    ``affects`` (bit *i* of ``affects[j]`` is set when instance *i* reads
+    a variable instance *j* writes).
+    """
+
+    __slots__ = (
+        "spec",
+        "config",
+        "schema",
+        "fingerprinter",
+        "labels",
+        "appliers",
+        "affects",
+        "guard_groups",
+        "guard_memos",
+        "ungrouped",
+        "invariant_fns",
+        "invariants",
+        "inv_groups",
+        "inv_memos",
+        "inv_ungrouped",
+        "constraint",
+        "mask",
+        "n_instances",
+    )
+
+    #: Disabled-guard memo entries kept per instance before reset.
+    GUARD_MEMO_LIMIT = 1 << 18
+
+    def __init__(
+        self,
+        spec: Specification,
+        fingerprinter: Optional[Fingerprinter] = None,
+        mask: Optional[Callable[[State], bool]] = None,
+        incremental: bool = True,
+    ):
+        self.spec = spec
+        self.config = spec.config
+        self.schema = spec.schema
+        self.fingerprinter = fingerprinter or Fingerprinter()
+        self.mask = mask
+        instances = spec.action_instances()
+        self.n_instances = len(instances)
+        self.labels = [inst.label for inst in instances]
+        appliers = []
+        for inst in instances:
+            kwargs = dict(inst.binding)
+            appliers.append(partial(inst.action.fn, **kwargs) if kwargs else inst.action.fn)
+        self.appliers = appliers
+        if incremental:
+            reads = [inst.action.reads for inst in instances]
+            writes = [inst.action.writes for inst in instances]
+            # An action with no declared reads has an *unknown* guard
+            # dependency set (the Action API default), not an empty one:
+            # it must be re-evaluated in every state, so every writer
+            # "affects" it.  The guard memo below applies the same rule
+            # (undeclared -> ungrouped).
+            undeclared = 0
+            for i in range(self.n_instances):
+                if not reads[i]:
+                    undeclared |= 1 << i
+            affects = []
+            for j in range(self.n_instances):
+                bits = undeclared
+                write_set = writes[j]
+                for i in range(self.n_instances):
+                    if reads[i] & write_set:
+                        bits |= 1 << i
+                affects.append(bits)
+            # Guard memoization: an action's enabling condition depends
+            # only on its declared read variables (the paper's dependency
+            # variables), so a *disabled* verdict can be memoized per
+            # projection of the state onto those variables.  Only the
+            # disabled case is cached -- an enabled action's update may
+            # read beyond the guard set, so it is always re-applied.
+            # Instances sharing a read set are grouped so the projection
+            # is built and hashed once per state, and the memo stores a
+            # disabled-instance bitmask per projection value.
+            schema_index = spec.schema._index
+            by_read_set: Dict[Tuple[int, ...], List[int]] = {}
+            ungrouped: List[int] = []
+            for i, inst in enumerate(instances):
+                idxs = tuple(sorted(schema_index[name] for name in inst.action.reads))
+                if idxs:
+                    by_read_set.setdefault(idxs, []).append(i)
+                else:
+                    ungrouped.append(i)  # unread guard: never memoized
+            groups: List[Tuple[Callable[[tuple], Any], int]] = []
+            for idxs, members in by_read_set.items():
+                key_fn = itemgetter(*idxs) if len(idxs) > 1 else itemgetter(idxs[0])
+                bits = 0
+                for i in members:
+                    bits |= 1 << i
+                groups.append((key_fn, bits))
+            self.guard_groups = groups
+            self.guard_memos: List[dict] = [{} for _ in groups]
+            self.ungrouped = tuple(ungrouped)
+        else:
+            everything = (1 << self.n_instances) - 1
+            affects = [everything] * self.n_instances
+            self.guard_groups = []
+            self.guard_memos = []
+            self.ungrouped = tuple(range(self.n_instances))
+        self.affects = affects
+        self.invariants = list(spec.invariants)
+        self.invariant_fns = [inv.predicate for inv in self.invariants]
+        self.constraint = spec.constraint
+        # Invariant verdict memoization, by declared read set (see
+        # Invariant.reads).  Verdicts are pure state predicates, so both
+        # the holding and the violating outcome are cacheable per
+        # projection.  Invariants without (resolvable) read declarations
+        # are evaluated on every state.
+        inv_groups: List[Tuple[Callable[[tuple], Any], Tuple[int, ...]]] = []
+        inv_ungrouped: List[int] = []
+        if incremental:
+            schema_index = spec.schema._index
+            by_inv_reads: Dict[Tuple[int, ...], List[int]] = {}
+            for i, inv in enumerate(self.invariants):
+                if inv.reads and all(name in schema_index for name in inv.reads):
+                    idxs = tuple(sorted(schema_index[name] for name in inv.reads))
+                    by_inv_reads.setdefault(idxs, []).append(i)
+                else:
+                    inv_ungrouped.append(i)
+            for idxs, group_members in by_inv_reads.items():
+                key_fn = itemgetter(*idxs) if len(idxs) > 1 else itemgetter(idxs[0])
+                inv_groups.append((key_fn, tuple(group_members)))
+        else:
+            inv_ungrouped = list(range(len(self.invariants)))
+        self.inv_groups = inv_groups
+        self.inv_memos: List[dict] = [{} for _ in inv_groups]
+        self.inv_ungrouped = tuple(inv_ungrouped)
+
+    def classify(self, state: State) -> Tuple[Tuple[int, ...], bool, bool]:
+        """(violated invariant indices, masked, within constraint)."""
+        if self.mask is not None and self.mask(state):
+            return (), True, True
+        config = self.config
+        values = state.values
+        invariant_fns = self.invariant_fns
+        memo_limit = self.GUARD_MEMO_LIMIT
+        viol_bits = 0
+        for group_index, (key_fn, group_members) in enumerate(self.inv_groups):
+            memo = self.inv_memos[group_index]
+            key = key_fn(values)
+            hit = memo.get(key)
+            if hit is None:
+                hit = 0
+                for i in group_members:
+                    if not invariant_fns[i](config, state):
+                        hit |= 1 << i
+                if len(memo) >= memo_limit:
+                    memo.clear()
+                memo[key] = hit
+            viol_bits |= hit
+        for i in self.inv_ungrouped:
+            if not invariant_fns[i](config, state):
+                viol_bits |= 1 << i
+        if viol_bits:
+            viols = tuple(
+                i for i in range(len(invariant_fns)) if (viol_bits >> i) & 1
+            )
+        else:
+            viols = ()
+        ok = self.constraint is None or bool(self.constraint(config, state))
+        return viols, False, ok
+
+    def expand(
+        self,
+        state: State,
+        known_disabled: int,
+        seen: set,
+        state_fp: int,
+        state_digests: Tuple[int, ...],
+        classify_candidates: bool = True,
+    ) -> Tuple[int, List[Candidate]]:
+        """Expand one frontier state.
+
+        ``known_disabled`` carries the instances proven disabled by the
+        parent's dependency analysis.  ``seen`` is the caller's
+        fingerprint set; candidate fingerprints are added to it so the
+        same successor is emitted at most once per expansion context (the
+        merge step performs the authoritative cross-context dedup).
+        ``state_fp``/``state_digests`` are the parent's fingerprint and
+        per-slot digests: each successor fingerprint costs one digest
+        lookup per *changed* slot (``fp ^ old_digest ^ new_digest``), and
+        successor ``State`` objects are only materialized for candidates
+        that survive the fingerprint dedup.
+
+        Returns ``(transitions, candidates)`` where ``transitions``
+        counts every state-changing successor (including already-seen
+        ones, matching the seed checker's transition count).
+        """
+        config = self.config
+        appliers = self.appliers
+        memo_limit = self.GUARD_MEMO_LIMIT
+        values = state.values
+        schema = self.schema
+        schema_index = schema._index
+        slot_digest = self.fingerprinter.slot_digest
+        transitions = 0
+        disabled = known_disabled
+        raw: List[Tuple[int, List[Tuple[int, Any]]]] = []
+        pending: List[Tuple[dict, Any, int]] = []
+        for group_index, (key_fn, bits) in enumerate(self.guard_groups):
+            memo = self.guard_memos[group_index]
+            key = key_fn(values)
+            hit = memo.get(key)
+            if hit is not None:
+                disabled |= hit
+            else:
+                pending.append((memo, key, bits))
+            todo = bits & ~disabled
+            while todo:
+                low = todo & -todo
+                todo ^= low
+                idx = low.bit_length() - 1
+                updates = appliers[idx](config, state)
+                if updates is None:
+                    disabled |= low
+                    continue
+                changes = [
+                    (slot, value)
+                    for slot, value in (
+                        (schema_index[name], value)
+                        for name, value in updates.items()
+                    )
+                    if values[slot] is not value and values[slot] != value
+                ]
+                if changes:
+                    raw.append((idx, changes))
+        for idx in self.ungrouped:
+            if (disabled >> idx) & 1:
+                continue
+            updates = appliers[idx](config, state)
+            if updates is None:
+                disabled |= 1 << idx
+                continue
+            changes = [
+                (slot, value)
+                for slot, value in (
+                    (schema_index[name], value) for name, value in updates.items()
+                )
+                if values[slot] is not value and values[slot] != value
+            ]
+            if changes:
+                raw.append((idx, changes))
+        for memo, key, bits in pending:
+            if len(memo) >= memo_limit:
+                memo.clear()
+            memo[key] = disabled & bits
+        raw.sort(key=itemgetter(0))  # successor order = instance order
+        candidates: List[Candidate] = []
+        affects = self.affects
+        for idx, changes in raw:
+            transitions += 1
+            fp = state_fp
+            new_digests = []
+            for slot, value in changes:
+                digest = slot_digest(slot, value)
+                fp ^= state_digests[slot] ^ digest
+                new_digests.append(digest)
+            if fp in seen:
+                continue
+            seen.add(fp)
+            successor_values = list(values)
+            digests = list(state_digests)
+            for (slot, value), digest in zip(changes, new_digests):
+                successor_values[slot] = value
+                digests[slot] = digest
+            nxt = State(schema, tuple(successor_values))
+            if classify_candidates:
+                viols, masked, ok = self.classify(nxt)
+            else:
+                viols, masked, ok = (), False, True
+            candidates.append(
+                (
+                    idx,
+                    nxt,
+                    fp,
+                    disabled & ~affects[idx],
+                    viols,
+                    masked,
+                    ok,
+                    tuple(digests),
+                )
+            )
+        return transitions, candidates
+
+
+class ExplorationEngine:
+    """Scheduler for explicit-state exploration strategies.
+
+    Parameters
+    ----------
+    spec:
+        The specification to check.
+    strategy:
+        One of ``"bfs"``, ``"dfs"``, ``"random"``, ``"portfolio"``.
+    workers:
+        Number of worker processes for the parallel BFS / portfolio
+        modes.  ``1`` runs in-process; higher values require the
+        ``fork`` start method (engine falls back to 1 otherwise).
+    max_states / max_time / max_depth / violation_limit / stop_at_first /
+    mask:
+        The familiar budgets, with the seed checker's semantics.
+    seed:
+        Seed for the random and portfolio strategies.
+    fingerprinter:
+        Override the 64-bit default (tests use narrow widths to force
+        collisions).
+    incremental:
+        Enable the declared-reads guard short-circuiting (on by default;
+        switch off to force full guard re-evaluation on every state).
+    """
+
+    def __init__(
+        self,
+        spec: Specification,
+        strategy: str = "bfs",
+        workers: int = 1,
+        max_states: Optional[int] = None,
+        max_time: Optional[float] = None,
+        max_depth: Optional[int] = None,
+        violation_limit: int = 10_000,
+        stop_at_first: bool = True,
+        mask: Optional[Callable[[State], bool]] = None,
+        seed: int = 0,
+        fingerprinter: Optional[Fingerprinter] = None,
+        incremental: bool = True,
+    ):
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; options: {list(STRATEGIES)}"
+            )
+        self.spec = spec
+        self.strategy = strategy
+        self.workers = max(1, int(workers))
+        self.max_states = max_states
+        self.max_time = max_time
+        self.max_depth = max_depth
+        self.violation_limit = violation_limit
+        self.stop_at_first = stop_at_first
+        self.mask = mask
+        self.seed = seed
+        self.fingerprinter = fingerprinter
+        self.incremental = incremental
+
+    def run(self) -> CheckResult:
+        was_collecting = gc.isenabled()
+        gc.disable()
+        try:
+            if self.strategy == "bfs":
+                return self._run_bfs()
+            if self.strategy == "dfs":
+                return self._run_dfs()
+            if self.strategy == "random":
+                return self._run_random()
+            return self._run_portfolio()
+        finally:
+            if was_collecting:
+                gc.enable()
+
+    def _compile(self) -> CompiledSpec:
+        return CompiledSpec(
+            self.spec,
+            fingerprinter=self.fingerprinter,
+            mask=self.mask,
+            incremental=self.incremental,
+        )
+
+    # ------------------------------------------------------------- BFS
+
+    def _run_bfs(self) -> CheckResult:
+        core = self._compile()
+        spec = self.spec
+        result = CheckResult(spec_name=spec.name)
+        start = time.monotonic()
+
+        parent_link: Dict[int, Optional[Tuple[int, int]]] = {}
+        init_by_fp: Dict[int, State] = {}
+        seen: set = set()  # expansion-side fingerprint set (sequential)
+        stop = False
+
+        def trace_to(fp: int) -> Trace:
+            chain: List[int] = []
+            cursor = fp
+            while True:
+                link = parent_link[cursor]
+                if link is None:
+                    break
+                cursor, idx = link
+                chain.append(idx)
+            chain.reverse()
+            labels = [core.labels[i] for i in chain]
+            states = spec.replay(labels, init_by_fp[cursor])
+            return Trace(states=states, labels=labels)
+
+        def record(fp: int, viols: Sequence[int]) -> bool:
+            for i in viols:
+                result.violations.append(
+                    Violation(invariant=core.invariants[i], trace=trace_to(fp))
+                )
+                if self.stop_at_first:
+                    return True
+                if len(result.violations) >= self.violation_limit:
+                    result.budget_exhausted = "violation_limit"
+                    return True
+            return False
+
+        # Round 0: the initial states.
+        # Frontier entries: (fp, payload, known_disabled, slot_digests).
+        frontier: List[Tuple[int, Any, int, Tuple[int, ...]]] = []
+        delta: List[int] = []
+        for init in spec.initial_states():
+            fp, digests = core.fingerprinter.of_values_with_digests(init.values)
+            if fp in parent_link:
+                continue
+            parent_link[fp] = None
+            init_by_fp[fp] = init
+            seen.add(fp)
+            delta.append(fp)
+            viols, masked, ok = core.classify(init)
+            if masked:
+                continue
+            if viols and record(fp, viols):
+                stop = True
+                break
+            if viols or not ok:
+                continue
+            frontier.append((fp, init, 0, digests))
+        if (
+            not stop
+            and self.max_states is not None
+            and len(parent_link) >= self.max_states
+        ):
+            result.budget_exhausted = "max_states"
+            stop = True
+
+        pool = None
+        if self.workers > 1 and frontier and not stop:
+            from repro.checker import parallel
+
+            if parallel.available():
+                pool = parallel.WorkerPool(core, self.workers)
+
+        depth = 0
+        try:
+            while frontier and not stop and result.budget_exhausted is None:
+                if (
+                    self.max_time is not None
+                    and time.monotonic() - start >= self.max_time
+                ):
+                    result.budget_exhausted = "max_time"
+                    break
+
+                if pool is not None:
+                    # Frontier payloads are State objects in round 1
+                    # (the initial states) and raw value tuples after.
+                    payload_frontier = [
+                        (
+                            fp,
+                            payload.values if isinstance(payload, State) else payload,
+                            known,
+                            digests,
+                        )
+                        for fp, payload, known, digests in frontier
+                    ]
+                    rounds = pool.round(delta, payload_frontier)
+                    results_iter = iter(rounds)
+                else:
+                    def _sequential():
+                        for fp, state, known, digests in frontier:
+                            transitions, cands = core.expand(
+                                state, known, seen, fp, digests
+                            )
+                            yield fp, transitions, cands
+
+                    results_iter = _sequential()
+
+                delta = []
+                next_frontier: List[Tuple[int, Any, int, Tuple[int, ...]]] = []
+                child_depth = depth + 1
+                expandable_depth = (
+                    self.max_depth is None or child_depth < self.max_depth
+                )
+                for entry_fp, transitions, candidates in results_iter:
+                    if stop or result.budget_exhausted is not None:
+                        break
+                    if (
+                        self.max_time is not None
+                        and time.monotonic() - start >= self.max_time
+                    ):
+                        result.budget_exhausted = "max_time"
+                        break
+                    result.transitions += transitions
+                    for idx, payload, fp, known, viols, masked, ok, digests in candidates:
+                        if fp in parent_link:
+                            continue
+                        parent_link[fp] = (entry_fp, idx)
+                        if child_depth > result.max_depth:
+                            result.max_depth = child_depth
+                        delta.append(fp)
+                        if not masked:
+                            if viols:
+                                if record(fp, viols):
+                                    stop = True
+                                    break
+                            elif ok and expandable_depth:
+                                next_frontier.append((fp, payload, known, digests))
+                        if (
+                            self.max_states is not None
+                            and len(parent_link) >= self.max_states
+                        ):
+                            result.budget_exhausted = "max_states"
+                            break
+                frontier = next_frontier
+                depth += 1
+        finally:
+            if pool is not None:
+                pool.close()
+
+        result.states_explored = len(parent_link)
+        result.elapsed_seconds = time.monotonic() - start
+        result.completed = (
+            not frontier and not stop and result.budget_exhausted is None
+        )
+        return result
+
+    # ------------------------------------------------------------- DFS
+
+    def _run_dfs(self) -> CheckResult:
+        core = self._compile()
+        spec = self.spec
+        result = CheckResult(spec_name=spec.name)
+        start = time.monotonic()
+        max_depth = self.max_depth if self.max_depth is not None else 40
+        visited: set = set()
+        throwaway: set = set()
+
+        # Stack entries:
+        # (state, fp, labels-so-far, initial state, known_disabled, digests)
+        stack: List[
+            Tuple[State, int, Tuple[int, ...], State, int, Tuple[int, ...]]
+        ] = []
+        for init in spec.initial_states():
+            fp, digests = core.fingerprinter.of_values_with_digests(init.values)
+            stack.append((init, fp, (), init, 0, digests))
+
+        while stack:
+            if self.max_states is not None and len(visited) >= self.max_states:
+                result.budget_exhausted = "max_states"
+                break
+            if (
+                self.max_time is not None
+                and time.monotonic() - start > self.max_time
+            ):
+                result.budget_exhausted = "max_time"
+                break
+            state, fp, chain, init, known, digests = stack.pop()
+            if fp in visited:
+                continue
+            visited.add(fp)
+            depth = len(chain)
+            if depth > result.max_depth:
+                result.max_depth = depth
+            viols, masked, ok = core.classify(state)
+            if masked:
+                continue
+            if viols:
+                labels = [core.labels[i] for i in chain]
+                states = spec.replay(labels, init)
+                result.violations.append(
+                    Violation(
+                        invariant=core.invariants[viols[0]],
+                        trace=Trace(states=states, labels=labels),
+                    )
+                )
+                break
+            if depth >= max_depth or not ok:
+                continue
+            throwaway.clear()
+            transitions, candidates = core.expand(
+                state, known, throwaway, fp, digests, classify_candidates=False
+            )
+            result.transitions += transitions
+            for idx, nxt, nfp, nknown, _, _, _, ndigests in candidates:
+                if nfp not in visited:
+                    stack.append((nxt, nfp, chain + (idx,), init, nknown, ndigests))
+
+        result.states_explored = len(visited)
+        result.elapsed_seconds = time.monotonic() - start
+        result.completed = (
+            not stack
+            and not result.violations
+            and result.budget_exhausted is None
+        )
+        return result
+
+    # ---------------------------------------------------------- random
+
+    def _run_random(self, rng: Optional[random.Random] = None) -> CheckResult:
+        core = self._compile()
+        spec = self.spec
+        result = CheckResult(spec_name=spec.name)
+        start = time.monotonic()
+        rng = rng or random.Random(self.seed)
+        max_steps = self.max_depth if self.max_depth is not None else 60
+        # Without any budget a random search would never terminate; cap
+        # the number of walks as a final backstop.
+        max_walks = None
+        if self.max_states is None and self.max_time is None:
+            max_walks = 1_000
+        seen: set = set()
+        fp_of = core.fingerprinter.of_state
+        initials = spec.initial_states()
+        walks = 0
+        stop = False
+
+        while not stop:
+            if max_walks is not None and walks >= max_walks:
+                result.budget_exhausted = "max_walks"
+                break
+            if self.max_states is not None and len(seen) >= self.max_states:
+                result.budget_exhausted = "max_states"
+                break
+            if (
+                self.max_time is not None
+                and time.monotonic() - start >= self.max_time
+            ):
+                result.budget_exhausted = "max_time"
+                break
+            walks += 1
+            state = rng.choice(initials)
+            states = [state]
+            labels: List[Any] = []
+            seen.add(fp_of(state))
+            for _ in range(max_steps):
+                viols, masked, ok = core.classify(state)
+                if masked:
+                    break
+                if viols:
+                    for i in viols:
+                        result.violations.append(
+                            Violation(
+                                invariant=core.invariants[i],
+                                trace=Trace(states=list(states), labels=list(labels)),
+                            )
+                        )
+                        if self.stop_at_first:
+                            stop = True
+                            break
+                        if len(result.violations) >= self.violation_limit:
+                            result.budget_exhausted = "violation_limit"
+                            stop = True
+                            break
+                    break
+                if not ok:
+                    break
+                options = list(spec.successors(state))
+                if not options:
+                    break
+                label, nxt = rng.choice(options)
+                result.transitions += 1
+                labels.append(label)
+                states.append(nxt)
+                state = nxt
+                seen.add(fp_of(state))
+                if len(states) - 1 > result.max_depth:
+                    result.max_depth = len(states) - 1
+
+        result.states_explored = len(seen)
+        result.elapsed_seconds = time.monotonic() - start
+        return result
+
+    # ------------------------------------------------------- portfolio
+
+    def _spawn(self, strategy: str, seed: int, **overrides: Any) -> "ExplorationEngine":
+        """A contender engine sharing this engine's spec and budgets."""
+        kwargs = dict(
+            strategy=strategy,
+            workers=1,
+            max_states=self.max_states,
+            max_time=self.max_time,
+            max_depth=self.max_depth,
+            violation_limit=self.violation_limit,
+            stop_at_first=self.stop_at_first,
+            mask=self.mask,
+            seed=seed,
+            fingerprinter=self.fingerprinter,
+            incremental=self.incremental,
+        )
+        kwargs.update(overrides)
+        return ExplorationEngine(self.spec, **kwargs)
+
+    def _run_portfolio(self) -> CheckResult:
+        """Race BFS against seeded random walks; first violation wins.
+
+        With ``workers >= 2`` the contenders run as forked processes and
+        the parent returns as soon as any of them reports a violation.
+        With one worker the contenders are time-sliced in-process:
+        alternate one BFS round with a batch of random walks.
+        """
+        if self.workers > 1:
+            from repro.checker import parallel
+
+            if parallel.available():
+                return parallel.run_portfolio(self)
+        return self._run_portfolio_interleaved()
+
+    def _run_portfolio_interleaved(self) -> CheckResult:
+        """Time-sliced in-process race: a batch of random walks, then a
+        BFS slice with a geometrically growing state budget (each slice
+        restarts BFS, so doubling bounds total re-exploration at 2x)."""
+        start = time.monotonic()
+        core = self._compile()
+        rng = random.Random(self.seed + 1)
+
+        def time_left() -> Optional[float]:
+            if self.max_time is None:
+                return None
+            return max(0.05, self.max_time - (time.monotonic() - start))
+
+        slice_states = 2_000
+        walk_seen: set = set()  # distinct walk fingerprints across batches
+        while True:
+            walk_result = self._walk_batch(core, rng, 16, time_left(), walk_seen)
+            if walk_result.found_violation:
+                walk_result.elapsed_seconds = time.monotonic() - start
+                return walk_result
+            budget = (
+                slice_states
+                if self.max_states is None
+                else min(slice_states, self.max_states)
+            )
+            bfs = self._spawn(
+                "bfs", self.seed, max_states=budget, max_time=time_left()
+            )
+            bfs_result = bfs.run()
+            bfs_result.elapsed_seconds = time.monotonic() - start
+            exhausted = (
+                self.max_states is not None
+                and bfs_result.states_explored >= self.max_states
+            )
+            if (
+                bfs_result.found_violation
+                or bfs_result.completed
+                or bfs_result.budget_exhausted in ("max_time", "violation_limit")
+                or exhausted
+            ):
+                return bfs_result
+            slice_states *= 2
+
+    def _walk_batch(
+        self,
+        core: CompiledSpec,
+        rng: random.Random,
+        count: int,
+        time_budget: Optional[float],
+        seen: set,
+    ) -> CheckResult:
+        """Run ``count`` random walks, reusing the caller's RNG stream.
+
+        ``seen`` accumulates distinct state fingerprints across batches
+        so ``states_explored`` means the same thing as in the ``random``
+        strategy (distinct states, not steps taken).
+        """
+        spec = self.spec
+        result = CheckResult(spec_name=spec.name)
+        start = time.monotonic()
+        max_steps = self.max_depth if self.max_depth is not None else 60
+        fp_of = core.fingerprinter.of_state
+        initials = spec.initial_states()
+        for _ in range(count):
+            if time_budget is not None and time.monotonic() - start >= time_budget:
+                break
+            state = rng.choice(initials)
+            states = [state]
+            labels: List[Any] = []
+            seen.add(fp_of(state))
+            for _ in range(max_steps):
+                viols, masked, ok = core.classify(state)
+                if masked:
+                    break
+                if viols:
+                    result.violations.append(
+                        Violation(
+                            invariant=core.invariants[viols[0]],
+                            trace=Trace(states=list(states), labels=list(labels)),
+                        )
+                    )
+                    result.states_explored = len(seen)
+                    return result
+                if not ok:
+                    break
+                options = list(spec.successors(state))
+                if not options:
+                    break
+                label, nxt = rng.choice(options)
+                result.transitions += 1
+                labels.append(label)
+                states.append(nxt)
+                state = nxt
+                seen.add(fp_of(state))
+                if len(states) - 1 > result.max_depth:
+                    result.max_depth = len(states) - 1
+        result.states_explored = len(seen)
+        return result
+
+
+def explore(spec: Specification, **kwargs: Any) -> CheckResult:
+    """Convenience wrapper: ``explore(spec, strategy=..., workers=...)``."""
+    return ExplorationEngine(spec, **kwargs).run()

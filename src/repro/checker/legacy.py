@@ -1,0 +1,144 @@
+"""The seed breadth-first checker, kept verbatim as a benchmark baseline.
+
+This is the pre-engine implementation: full ``State`` objects stored in
+the visited dict, invariants evaluated at discovery *and* again at
+expansion, a kwargs dict rebuilt per action application.  It exists so
+the benchmarks can report the engine's speedup against a fixed baseline
+(``benchmarks/bench_table5_efficiency.py --compare-legacy``) instead of
+against a number in a commit message.  Do not use it for new checking
+code -- use :class:`repro.checker.engine.ExplorationEngine`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.checker.result import CheckResult, Violation
+from repro.checker.trace import Trace
+from repro.tla.action import ActionLabel
+from repro.tla.spec import Specification
+from repro.tla.state import State
+
+
+class LegacyBFSChecker:
+    """The seed repository's BFS checker (see module docstring)."""
+
+    def __init__(
+        self,
+        spec: Specification,
+        max_states: Optional[int] = None,
+        max_time: Optional[float] = None,
+        max_depth: Optional[int] = None,
+        violation_limit: int = 10_000,
+        stop_at_first: bool = True,
+        mask: Optional[Callable[[State], bool]] = None,
+    ):
+        self.spec = spec
+        self.max_states = max_states
+        self.max_time = max_time
+        self.max_depth = max_depth
+        self.violation_limit = violation_limit
+        self.stop_at_first = stop_at_first
+        self.mask = mask
+
+    def run(self) -> CheckResult:
+        spec = self.spec
+        result = CheckResult(spec_name=spec.name)
+        start = time.monotonic()
+
+        # parent[state] = (parent_state, label); None marks initial states.
+        parent: Dict[State, Optional[Tuple[State, ActionLabel]]] = {}
+        depth_of: Dict[State, int] = {}
+        frontier: deque = deque()
+
+        def over_budget() -> Optional[str]:
+            if self.max_states is not None and len(parent) >= self.max_states:
+                return "max_states"
+            if self.max_time is not None and (
+                time.monotonic() - start
+            ) >= self.max_time:
+                return "max_time"
+            return None
+
+        def record_violations(state: State) -> bool:
+            """Check invariants; return True when exploration should stop."""
+            for inv in spec.violated_invariants(state):
+                result.violations.append(
+                    Violation(invariant=inv, trace=self._trace_to(state, parent))
+                )
+                if self.stop_at_first:
+                    return True
+                if len(result.violations) >= self.violation_limit:
+                    result.budget_exhausted = "violation_limit"
+                    return True
+            return False
+
+        stop = False
+        for init in spec.initial_states():
+            if init in parent:
+                continue
+            parent[init] = None
+            depth_of[init] = 0
+            if self.mask is not None and self.mask(init):
+                continue
+            if record_violations(init):
+                stop = True
+                break
+            frontier.append(init)
+
+        while frontier and not stop:
+            budget = over_budget()
+            if budget:
+                result.budget_exhausted = budget
+                break
+            state = frontier.popleft()
+            depth = depth_of[state]
+            if self.max_depth is not None and depth >= self.max_depth:
+                continue
+            if not spec.within_constraint(state):
+                continue
+            if spec.violated_invariants(state):
+                # Error states are terminal: do not explore past them.
+                continue
+            for label, nxt in spec.successors(state):
+                result.transitions += 1
+                if nxt in parent:
+                    continue
+                parent[nxt] = (state, label)
+                depth_of[nxt] = depth + 1
+                if depth + 1 > result.max_depth:
+                    result.max_depth = depth + 1
+                if self.mask is not None and self.mask(nxt):
+                    continue
+                if record_violations(nxt):
+                    stop = True
+                    break
+                frontier.append(nxt)
+
+        result.states_explored = len(parent)
+        result.elapsed_seconds = time.monotonic() - start
+        result.completed = not frontier and not stop and result.budget_exhausted is None
+        return result
+
+    @staticmethod
+    def _trace_to(
+        state: State,
+        parent: Dict[State, Optional[Tuple[State, ActionLabel]]],
+    ) -> Trace:
+        """Reconstruct the minimal-depth trace to ``state`` from parents."""
+        states: List[State] = [state]
+        labels: List[ActionLabel] = []
+        current = state
+        while True:
+            link = parent[current]
+            if link is None:
+                break
+            prev, label = link
+            states.append(prev)
+            labels.append(label)
+            current = prev
+        states.reverse()
+        labels.reverse()
+        return Trace(states=states, labels=labels)

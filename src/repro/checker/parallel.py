@@ -1,0 +1,290 @@
+"""Multiprocessing back-ends for the exploration engine.
+
+Two cooperation patterns live here:
+
+:class:`WorkerPool`
+    Round-synchronous frontier sharding for the BFS strategy.  Each
+    forked worker keeps a private copy of the visited-fingerprint set;
+    every round the parent sends (a) the fingerprints accepted since the
+    previous round and (b) a contiguous shard of the frontier.  Workers
+    expand their shard, pre-filter successors against their fingerprint
+    set, and classify the survivors (invariants, mask, constraint), so
+    the parent's serial merge only performs the authoritative dedup and
+    bookkeeping.  Because shards partition the frontier in order and the
+    merge consumes results in that same order, the outcome is identical
+    to the sequential engine on deterministic budgets.
+
+:func:`run_portfolio`
+    First-to-find racing for the portfolio strategy: one forked BFS
+    contender plus ``workers - 1`` differently-seeded random walkers.
+
+Both require the ``fork`` start method (the specification holds closures
+that cannot be pickled; forked children inherit it by memory image).
+Call :func:`available` before constructing either.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as pyqueue
+import time
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.checker.result import CheckResult, Violation
+from repro.checker.trace import Trace
+from repro.tla.state import State
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.checker.engine import CompiledSpec, ExplorationEngine
+
+#: Hand-off slot for fork inheritance: set immediately before starting a
+#: child process, cleared right after.  Forked children read it once.
+_HANDOFF: Any = None
+
+
+def available() -> bool:
+    """True when fork-based worker processes can be used on this host."""
+    return "fork" in mp.get_all_start_methods()
+
+
+def default_workers() -> int:
+    """A sensible worker count: the CPU count, capped at 8."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+# ----------------------------------------------------------- BFS pool
+
+
+def _bfs_worker_main(conn) -> None:
+    """Worker loop: receive (delta_fps, frontier_shard), expand, reply."""
+    core: "CompiledSpec" = _HANDOFF
+    schema = core.schema
+    seen: set = set()
+    try:
+        while True:
+            message = conn.recv()
+            if message is None:
+                break
+            delta, entries = message
+            seen.update(delta)
+            out = []
+            for entry_fp, values, known, digests in entries:
+                state = State(schema, values)
+                transitions, candidates = core.expand(
+                    state, known, seen, entry_fp, digests
+                )
+                out.append(
+                    (
+                        entry_fp,
+                        transitions,
+                        [
+                            (idx, nxt.values, fp, mask, viols, masked, ok, nd)
+                            for idx, nxt, fp, mask, viols, masked, ok, nd in candidates
+                        ],
+                    )
+                )
+            conn.send(out)
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):  # pragma: no cover
+        pass
+    finally:
+        conn.close()
+
+
+class WorkerPool:
+    """A fixed band of forked BFS workers with per-worker pipes.
+
+    Task/worker affinity is explicit (worker *i* always receives shard
+    *i*), which is what lets each worker maintain an incrementally
+    synchronized visited-fingerprint set instead of receiving the full
+    set every round.
+    """
+
+    def __init__(self, core: "CompiledSpec", workers: int):
+        global _HANDOFF
+        context = mp.get_context("fork")
+        self.connections = []
+        self.processes = []
+        _HANDOFF = core
+        try:
+            for _ in range(max(1, workers)):
+                parent_end, child_end = context.Pipe()
+                process = context.Process(
+                    target=_bfs_worker_main, args=(child_end,), daemon=True
+                )
+                process.start()
+                child_end.close()
+                self.connections.append(parent_end)
+                self.processes.append(process)
+        finally:
+            _HANDOFF = None
+
+    def round(
+        self,
+        delta: List[int],
+        frontier: List[Tuple[int, Tuple, int, Tuple[int, ...]]],
+    ) -> List[Tuple[int, int, list]]:
+        """Expand one frontier layer; results arrive in frontier order."""
+        shard_count = len(self.connections)
+        base, extra = divmod(len(frontier), shard_count)
+        shards = []
+        cursor = 0
+        for index in range(shard_count):
+            size = base + (1 if index < extra else 0)
+            shards.append(frontier[cursor : cursor + size])
+            cursor += size
+        for connection, shard in zip(self.connections, shards):
+            connection.send((delta, shard))
+        merged: List[Tuple[int, int, list]] = []
+        for connection in self.connections:
+            merged.extend(connection.recv())
+        return merged
+
+    def close(self) -> None:
+        for connection in self.connections:
+            try:
+                connection.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self.processes:
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover
+                process.terminate()
+                process.join(timeout=1.0)
+        for connection in self.connections:
+            connection.close()
+        self.connections = []
+        self.processes = []
+
+
+# ------------------------------------------------------ portfolio race
+
+
+def _encode_result(result: CheckResult) -> Dict[str, Any]:
+    """Reduce a CheckResult to picklable primitives (invariant predicates
+    and specs hold closures, so Violation objects cannot cross a pipe)."""
+    violations = []
+    for violation in result.violations:
+        trace = violation.trace
+        violations.append(
+            (
+                violation.invariant.ident,
+                violation.invariant.instance,
+                [label for label in trace.labels],
+                trace.initial.values,
+            )
+        )
+    return {
+        "spec_name": result.spec_name,
+        "states_explored": result.states_explored,
+        "transitions": result.transitions,
+        "max_depth": result.max_depth,
+        "elapsed_seconds": result.elapsed_seconds,
+        "completed": result.completed,
+        "budget_exhausted": result.budget_exhausted,
+        "violations": violations,
+    }
+
+
+def _decode_result(engine: "ExplorationEngine", payload: Dict[str, Any]) -> CheckResult:
+    spec = engine.spec
+    result = CheckResult(spec_name=payload["spec_name"])
+    result.states_explored = payload["states_explored"]
+    result.transitions = payload["transitions"]
+    result.max_depth = payload["max_depth"]
+    result.elapsed_seconds = payload["elapsed_seconds"]
+    result.completed = payload["completed"]
+    result.budget_exhausted = payload["budget_exhausted"]
+    by_key = {(inv.ident, inv.instance): inv for inv in spec.invariants}
+    for ident, instance, labels, init_values in payload["violations"]:
+        initial = State(spec.schema, init_values)
+        states = spec.replay(labels, initial)
+        result.violations.append(
+            Violation(
+                invariant=by_key[(ident, instance)],
+                trace=Trace(states=states, labels=list(labels)),
+            )
+        )
+    return result
+
+
+def _portfolio_contender_main(queue, tag: str) -> None:
+    engine: "ExplorationEngine" = _HANDOFF
+    try:
+        result = engine.run()
+        queue.put((tag, _encode_result(result)))
+    except Exception as error:  # pragma: no cover - surfaced to parent
+        queue.put((tag, {"error": repr(error)}))
+
+
+def run_portfolio(engine: "ExplorationEngine") -> CheckResult:
+    """Race one BFS contender against seeded random walkers.
+
+    Returns the first result that carries a violation, else the BFS
+    result (the only contender able to prove completion) once every
+    contender has reported or the time budget lapses.
+    """
+    global _HANDOFF
+    context = mp.get_context("fork")
+    results_queue = context.Queue()
+    contenders = []
+    specs = [("bfs", engine._spawn("bfs", engine.seed))]
+    for index in range(1, engine.workers):
+        specs.append(
+            (f"walk-{index}", engine._spawn("random", engine.seed + index))
+        )
+    start = time.monotonic()
+    for tag, contender in specs:
+        _HANDOFF = contender
+        try:
+            process = context.Process(
+                target=_portfolio_contender_main,
+                args=(results_queue, tag),
+                daemon=True,
+            )
+            process.start()
+        finally:
+            _HANDOFF = None
+        contenders.append(process)
+
+    deadline = None if engine.max_time is None else start + engine.max_time + 5.0
+    outcomes: Dict[str, CheckResult] = {}
+    winner: Optional[CheckResult] = None
+    try:
+        while len(outcomes) < len(specs):
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            try:
+                tag, payload = results_queue.get(timeout=1.0)
+            except pyqueue.Empty:
+                # No result yet; if every contender died without
+                # reporting (killed, OOM, ...), stop waiting instead of
+                # hanging on an unbounded get.
+                if not any(process.is_alive() for process in contenders):
+                    break
+                continue
+            if "error" in payload:
+                raise RuntimeError(
+                    f"portfolio contender {tag} failed: {payload['error']}"
+                )
+            outcomes[tag] = _decode_result(engine, payload)
+            if outcomes[tag].found_violation:
+                winner = outcomes[tag]
+                break
+    finally:
+        for process in contenders:
+            if process.is_alive():
+                process.terminate()
+        for process in contenders:
+            process.join(timeout=2.0)
+        results_queue.close()
+
+    if winner is None:
+        winner = outcomes.get("bfs")
+    if winner is None and outcomes:
+        winner = next(iter(outcomes.values()))
+    if winner is None:
+        winner = CheckResult(spec_name=engine.spec.name)
+        winner.budget_exhausted = "max_time"
+    winner.elapsed_seconds = time.monotonic() - start
+    return winner

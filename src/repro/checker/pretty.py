@@ -8,7 +8,7 @@ TLC's error traces use.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.checker.trace import Trace
 from repro.tla.state import State

@@ -8,8 +8,8 @@ reported as (the TLC counterexample).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, FrozenSet, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Tuple
 
 from repro.tla.action import ActionLabel
 from repro.tla.state import State

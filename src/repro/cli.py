@@ -16,7 +16,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.checker import BFSChecker, format_trace
+from repro.checker import STRATEGIES, ExplorationEngine, format_trace
 from repro.zookeeper import ZkConfig, make_spec, zk4394_mask
 from repro.zookeeper.specs import SELECTIONS
 
@@ -29,6 +29,37 @@ def _add_config_args(parser: argparse.ArgumentParser):
     parser.add_argument("--max-epoch", type=int, default=3)
     parser.add_argument("--max-states", type=int, default=500_000)
     parser.add_argument("--max-time", type=float, default=120.0)
+
+
+def _add_engine_args(parser: argparse.ArgumentParser):
+    parser.add_argument(
+        "--strategy",
+        choices=list(STRATEGIES),
+        default="bfs",
+        help="exploration strategy (default: bfs)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the parallel BFS / portfolio modes",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the random / portfolio strategies",
+    )
+
+
+def _engine(args, spec, **overrides) -> ExplorationEngine:
+    kwargs = dict(
+        strategy=getattr(args, "strategy", "bfs"),
+        workers=getattr(args, "workers", 1),
+        seed=getattr(args, "seed", 0),
+        max_states=args.max_states,
+        max_time=args.max_time,
+    )
+    kwargs.update(overrides)
+    return ExplorationEngine(spec, **kwargs)
 
 
 def _config(args) -> ZkConfig:
@@ -44,9 +75,7 @@ def _config(args) -> ZkConfig:
 def cmd_check(args) -> int:
     spec = make_spec(args.spec, _config(args))
     mask = None if args.unmask_zk4394 else zk4394_mask
-    result = BFSChecker(
-        spec, max_states=args.max_states, max_time=args.max_time, mask=mask
-    ).run()
+    result = _engine(args, spec, mask=mask).run()
     print(result.summary())
     if result.found_violation and args.trace:
         print()
@@ -75,7 +104,7 @@ def cmd_conformance(args) -> int:
     return 0 if report.conforms else 1
 
 
-def _hunt_bug(name, spec_name, config, family, instance, masked, variant, budget):
+def _hunt_bug(args, spec_name, config, family, instance, masked, variant):
     from repro.zookeeper.specs import build_spec
 
     if variant is not None:
@@ -86,13 +115,7 @@ def _hunt_bug(name, spec_name, config, family, instance, masked, variant, budget
         for inv in spec.invariants
         if inv.ident == family and (instance is None or inv.instance == instance)
     ]
-    checker = BFSChecker(
-        spec,
-        max_states=budget[0],
-        max_time=budget[1],
-        mask=zk4394_mask if masked else None,
-    )
-    return checker.run()
+    return _engine(args, spec, mask=zk4394_mask if masked else None).run()
 
 
 def cmd_hunt(args) -> int:
@@ -116,8 +139,7 @@ def cmd_hunt(args) -> int:
     for name, spec_name, cfg_kw, family, instance, masked, variant in hunts:
         config = ZkConfig(max_partitions=0, max_epoch=3, **cfg_kw)
         result = _hunt_bug(
-            name, spec_name, config, family, instance, masked, variant,
-            (args.max_states, args.max_time),
+            args, spec_name, config, family, instance, masked, variant
         )
         if result.found_violation:
             violation = result.first_violation
@@ -141,11 +163,7 @@ def cmd_protocol(args) -> int:
         config = ZabConfig(
             max_txns=1, max_crashes=2, max_epoch=3, variant=variant
         )
-        result = BFSChecker(
-            zab_spec(config),
-            max_states=args.max_states,
-            max_time=args.max_time,
-        ).run()
+        result = _engine(args, zab_spec(config)).run()
         expected_violation = variant == "epoch_first"
         ok = result.found_violation == expected_violation
         failures += 0 if ok else 1
@@ -187,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--trace", action="store_true", help="print the counterexample")
     p_check.add_argument("--unmask-zk4394", action="store_true")
     _add_config_args(p_check)
+    _add_engine_args(p_check)
     p_check.set_defaults(fn=cmd_check)
 
     p_conf = sub.add_parser("conformance", help="conformance-check a spec")
@@ -202,11 +221,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_hunt = sub.add_parser("bugs", help="hunt the six paper bugs")
     p_hunt.add_argument("--max-states", type=int, default=1_000_000)
     p_hunt.add_argument("--max-time", type=float, default=240.0)
+    _add_engine_args(p_hunt)
     p_hunt.set_defaults(fn=cmd_hunt)
 
     p_proto = sub.add_parser("protocol", help="verify the Zab variants (§5.4)")
     p_proto.add_argument("--max-states", type=int, default=300_000)
     p_proto.add_argument("--max-time", type=float, default=180.0)
+    _add_engine_args(p_proto)
     p_proto.set_defaults(fn=cmd_protocol)
 
     sub.add_parser("efforts", help="Table 3 effort metrics").set_defaults(

@@ -12,7 +12,6 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.impl.network import Network
 from repro.impl.node import ZkNode
-from repro.tla.values import ZXID_ZERO, last_zxid
 from repro.zookeeper import constants as C
 from repro.zookeeper.config import SpecVariant
 

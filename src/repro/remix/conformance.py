@@ -24,7 +24,7 @@ from typing import Callable, List, Optional
 from repro.checker.random_walk import RandomWalker
 from repro.checker.trace import Trace
 from repro.impl.exceptions import ZkImplError
-from repro.remix.coordinator import Coordinator, Discrepancy, ReplayResult
+from repro.remix.coordinator import Coordinator, Discrepancy
 from repro.remix.mapping import ActionMapping, mapping_for
 from repro.tla.spec import Specification
 

@@ -10,7 +10,7 @@ step.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.checker.trace import Trace
 from repro.impl.ensemble import Ensemble

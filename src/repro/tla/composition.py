@@ -16,9 +16,9 @@ Two facilities, mirroring Section 3.2/3.3 and Appendix B of the paper:
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import FrozenSet, List, Sequence, Set, Tuple
 
-from repro.tla.module import Module, interaction_variables, preserved_variables
+from repro.tla.module import Module, preserved_variables
 from repro.tla.spec import Specification
 from repro.tla.state import State
 

@@ -29,6 +29,13 @@ class Invariant:
     ``ident`` is the paper's invariant id (e.g. ``"I-8"``); ``instance``
     distinguishes instances within a family (e.g. the four I-11 bad-state
     instances).
+
+    ``reads`` optionally declares the state variables the predicate
+    depends on (its dependency variables, mirroring
+    :class:`~repro.tla.action.Action` reads).  When declared, the
+    exploration engine memoizes verdicts per projection of the state
+    onto those variables; an empty set means "unknown" and the predicate
+    is evaluated on every state.
     """
 
     ident: str
@@ -36,6 +43,7 @@ class Invariant:
     predicate: Callable[[Any, State], bool]
     instance: str = ""
     source: str = "protocol"  # "protocol" or "code"
+    reads: frozenset = frozenset()
 
     def holds(self, config: Any, state: State) -> bool:
         return bool(self.predicate(config, state))

@@ -13,15 +13,36 @@ from typing import Any, Dict, Iterator, Mapping, Tuple
 
 
 class Schema:
-    """An ordered, immutable list of variable names shared by states."""
+    """An ordered, immutable list of variable names shared by states.
+
+    Schemas are interned by name tuple: ``Schema(names)`` returns the
+    same object for the same names, so the identity comparison in
+    :meth:`State.__eq__` keeps working for states rebuilt in another
+    process (the parallel checker) or restored from a pickle.
+    """
 
     __slots__ = ("names", "_index")
+
+    _interned: Dict[Tuple[str, ...], "Schema"] = {}
+
+    def __new__(cls, names: Tuple[str, ...]):
+        key = tuple(names)
+        cached = cls._interned.get(key)
+        if cached is not None and type(cached) is cls:
+            return cached
+        instance = super().__new__(cls)
+        if cls is Schema:
+            cls._interned[key] = instance
+        return instance
 
     def __init__(self, names: Tuple[str, ...]):
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate variable names in schema: {names}")
         self.names: Tuple[str, ...] = tuple(names)
         self._index: Dict[str, int] = {name: i for i, name in enumerate(self.names)}
+
+    def __reduce__(self):
+        return (Schema, (self.names,))
 
     def index(self, name: str) -> int:
         return self._index[name]
@@ -53,7 +74,10 @@ class State(Mapping):
             )
         object.__setattr__(self, "schema", schema)
         object.__setattr__(self, "values", values)
-        object.__setattr__(self, "_hash", hash(values))
+        # The hash is computed lazily: the engine fingerprints states
+        # instead of dict-keying them, so most successor states are
+        # never hashed at all.
+        object.__setattr__(self, "_hash", None)
 
     @classmethod
     def make(cls, schema: Schema, **assignments: Any) -> "State":
@@ -67,11 +91,13 @@ class State(Mapping):
         return cls(schema, tuple(assignments[name] for name in schema.names))
 
     def __getitem__(self, name: str) -> Any:
-        return self.values[self.schema.index(name)]
+        # Inlined self.schema.index(name): this accessor dominates the
+        # checker's hot path (millions of guard evaluations per run).
+        return self.values[self.schema._index[name]]
 
     def __getattr__(self, name: str) -> Any:
         try:
-            return self.values[self.schema.index(name)]
+            return self.values[self.schema._index[name]]
         except KeyError:
             raise AttributeError(name)
 
@@ -85,19 +111,29 @@ class State(Mapping):
         return len(self.schema)
 
     def __hash__(self) -> int:
-        return self._hash
+        digest = self._hash
+        if digest is None:
+            digest = hash(self.values)
+            object.__setattr__(self, "_hash", digest)
+        return digest
 
     def __eq__(self, other: Any) -> bool:
         if isinstance(other, State):
             return self.values == other.values and self.schema is other.schema
         return NotImplemented
 
+    def __reduce__(self):
+        # Default pickling would setattr through the immutability guard;
+        # rebuild through the constructor (schemas are interned, so the
+        # restored state compares equal to the original).
+        return (State, (self.schema, self.values))
+
     def set(self, **updates: Any) -> "State":
         """Functional update: a new state with some variables replaced."""
         values = list(self.values)
-        index = self.schema.index
+        index = self.schema._index
         for name, value in updates.items():
-            values[index(name)] = value
+            values[index[name]] = value
         return State(self.schema, tuple(values))
 
     def project(self, variables) -> Tuple[Any, ...]:

@@ -79,6 +79,13 @@ class Rec(Mapping):
         inner = ", ".join(f"{key}={value!r}" for key, value in self._items)
         return f"Rec({inner})"
 
+    def __reduce__(self):
+        # Default pickling would setattr on the reconstructed instance,
+        # which the immutability guard rejects; rebuild from the item
+        # tuple instead (the parallel checker ships Rec-bearing value
+        # tuples between worker processes).
+        return (_rec_from_items, (self._items,))
+
     def replace(self, **updates: Any) -> "Rec":
         """Return a copy of this record with some fields replaced."""
         fields = dict(self._items)
@@ -87,6 +94,14 @@ class Rec(Mapping):
 
     def fields(self) -> Tuple[str, ...]:
         return tuple(key for key, _ in self._items)
+
+
+def _rec_from_items(items: Tuple[Tuple[str, Any], ...]) -> "Rec":
+    """Rebuild a Rec from its sorted item tuple (pickle support)."""
+    rec = object.__new__(Rec)
+    object.__setattr__(rec, "_items", items)
+    object.__setattr__(rec, "_hash", hash(items))
+    return rec
 
 
 class Zxid(NamedTuple):

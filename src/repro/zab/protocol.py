@@ -20,13 +20,13 @@ ten protocol invariants of Table 2 apply unchanged.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Optional
 
 from repro.tla.action import Action
 from repro.tla.module import Module
 from repro.tla.spec import Specification
 from repro.tla.state import Schema, State
-from repro.tla.values import Rec, Txn, Zxid, ZXID_ZERO, last_zxid
+from repro.tla.values import Rec, Txn, Zxid, last_zxid
 from repro.zab.invariants import protocol_invariants
 
 VARIANTS = ("original", "improved", "epoch_first")

@@ -114,7 +114,12 @@ def code_invariants(granularities: Dict[str, str] = None) -> List[Invariant]:
             continue
         selected.append(
             Invariant(
-                family, name, _no_error(code), instance=code, source="code"
+                family,
+                name,
+                _no_error(code),
+                instance=code,
+                source="code",
+                reads=frozenset({"errors"}),
             )
         )
     return selected

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.tla.action import Action
 from repro.tla.module import Module
-from repro.tla.values import ZXID_ZERO, Rec, last_zxid
+from repro.tla.values import Rec, last_zxid
 from repro.zookeeper import constants as C
 from repro.zookeeper import prims as P
 from repro.zookeeper.schema import EMPTY_SYNC

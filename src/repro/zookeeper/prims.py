@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, NamedTuple, Optional, Tuple
 
-from repro.tla.values import Rec, Txn, Zxid, ZXID_ZERO, last_zxid
+from repro.tla.values import Rec, Txn, Zxid, last_zxid
 from repro.zookeeper import constants as C
 
 

@@ -14,7 +14,6 @@ from typing import Iterable, List, Optional, Tuple
 from repro.tla.action import ActionLabel
 from repro.tla.spec import Specification
 from repro.tla.state import State
-from repro.zookeeper import constants as C
 
 
 class ScenarioError(RuntimeError):

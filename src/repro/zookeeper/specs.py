@@ -39,7 +39,6 @@ from repro.zookeeper.config import (
     PR_1993,
     PR_2111,
     SpecVariant,
-    V391,
     V391_PLUS_4712,
     ZkConfig,
 )
@@ -111,9 +110,36 @@ SELECTIONS: Dict[str, Dict[str, str]] = {
 def zk4394_mask(state: State) -> bool:
     """Mask predicate for the known-but-unfixed ZK-4394 (§4.1): states on
     its error path are neither reported nor explored further."""
-    return any(
-        err.code == C.ERR_COMMIT_UNMATCHED_IN_SYNC for err in state["errors"]
-    )
+    errors = state["errors"]
+    if not errors:  # fast path: evaluated once per explored state
+        return False
+    return any(err.code == C.ERR_COMMIT_UNMATCHED_IN_SYNC for err in errors)
+
+
+def check_spec(
+    spec,
+    config: Optional[ZkConfig] = None,
+    *,
+    strategy: str = "bfs",
+    workers: int = 1,
+    masked: bool = True,
+    **engine_kwargs,
+):
+    """Model-check a specification (or a Table 1 spec name) on the
+    unified exploration engine.
+
+    This is the one entry point the CLI and the benchmarks share:
+    ``check_spec("mSpec-3", cfg, strategy="portfolio", workers=4)``.
+    ``masked=True`` applies the ZK-4394 mask (the paper's default).
+    """
+    from repro.checker.engine import ExplorationEngine
+
+    if isinstance(spec, str):
+        spec = make_spec(spec, config)
+    engine_kwargs.setdefault("mask", zk4394_mask if masked else None)
+    return ExplorationEngine(
+        spec, strategy=strategy, workers=workers, **engine_kwargs
+    ).run()
 
 
 def build_spec(

@@ -14,7 +14,7 @@ from typing import Dict, Optional
 
 from repro.tla.action import Action
 from repro.tla.module import Module
-from repro.tla.values import Rec, Txn, ZXID_ZERO, last_zxid
+from repro.tla.values import Rec, ZXID_ZERO, last_zxid
 from repro.zookeeper import constants as C
 from repro.zookeeper import prims as P
 from repro.zookeeper.config import ZkConfig

@@ -14,7 +14,6 @@ from repro.zookeeper import (
     FINAL_FIX,
     ZkConfig,
     final_fix_spec,
-    make_spec,
     mspec3_plus,
     pr_spec,
     zk4394_mask,

@@ -15,7 +15,7 @@ from repro.checker import (
     violation_predicate,
 )
 from repro.checker.trace import Trace
-from repro.tla.action import Action, ActionLabel
+from repro.tla.action import Action
 from repro.tla.module import Module
 from repro.tla.spec import Invariant, Specification
 from repro.tla.state import Schema, State

@@ -20,6 +20,22 @@ class TestParser:
         )
         assert args.txns == 2 and args.crashes == 3
 
+    def test_engine_args(self):
+        args = build_parser().parse_args(
+            ["check", "mSpec-3", "--workers", "4", "--strategy", "portfolio"]
+        )
+        assert args.workers == 4 and args.strategy == "portfolio"
+
+    def test_engine_args_on_bugs_and_protocol(self):
+        args = build_parser().parse_args(["bugs", "--workers", "2"])
+        assert args.workers == 2 and args.strategy == "bfs"
+        args = build_parser().parse_args(["protocol", "--strategy", "dfs"])
+        assert args.strategy == "dfs"
+
+    def test_strategy_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check", "mSpec-1", "--strategy", "zen"])
+
 
 class TestCommands:
     def test_check_finds_zk4394(self, capsys):
@@ -52,6 +68,7 @@ class TestCommands:
             ]
         )
         out = capsys.readouterr().out
+        assert code == 1  # violation found
         assert "State 0 (initial):" in out
 
     def test_check_masked_passes(self, capsys):
@@ -59,6 +76,42 @@ class TestCommands:
             ["check", "mSpec-1", "--max-states", "30000", "--max-time", "30"]
         )
         assert code == 0
+
+    def test_check_parallel_matches_sequential(self, capsys):
+        argv = [
+            "check",
+            "mSpec-1",
+            "--unmask-zk4394",
+            "--max-states",
+            "20000",
+            "--max-time",
+            "60",
+        ]
+        code_seq = main(argv + ["--workers", "1"])
+        out_seq = capsys.readouterr().out
+        code_par = main(argv + ["--workers", "2"])
+        out_par = capsys.readouterr().out
+        assert code_seq == code_par == 1
+        # identical states/transitions/violation counts, timing aside
+        strip = lambda s: s.split(" states")[0].split("] ")[1]  # noqa: E731
+        assert strip(out_seq) == strip(out_par)
+
+    def test_check_portfolio_strategy(self, capsys):
+        code = main(
+            [
+                "check",
+                "mSpec-3",
+                "--strategy",
+                "portfolio",
+                "--max-states",
+                "50000",
+                "--max-time",
+                "90",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "violation" in out
 
     def test_conformance(self, capsys):
         code = main(

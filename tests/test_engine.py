@@ -1,0 +1,354 @@
+"""Tests for the unified exploration engine: fingerprinting, guard and
+invariant memoization soundness, parallel determinism, portfolio racing,
+and shrink round-trips on engine-produced traces."""
+
+import pickle
+
+import pytest
+
+from repro.checker import (
+    BFSChecker,
+    ExplorationEngine,
+    Fingerprinter,
+    explore,
+    shrink_trace,
+    violation_predicate,
+)
+from repro.checker.engine import STRATEGIES, CompiledSpec
+from repro.checker.fingerprint import FingerprintError, canonical_bytes
+from repro.tla.action import Action
+from repro.tla.module import Module
+from repro.tla.spec import Invariant, Specification
+from repro.tla.state import Schema, State
+from repro.tla.values import Rec, Txn, Zxid
+from repro.zookeeper import ZkConfig, check_spec, zk4394_mask
+
+SCHEMA = Schema(("x", "y"))
+
+SMALL = ZkConfig(max_txns=1, max_crashes=1, max_partitions=0, max_epoch=3)
+
+
+def counter_spec(max_x=4, y_bound=2, constraint=None):
+    def inc_x(config, state):
+        if state.x >= max_x:
+            return None
+        return {"x": state.x + 1}
+
+    def inc_y(config, state):
+        if state.y >= state.x:
+            return None
+        return {"y": state.y + 1}
+
+    module = Module(
+        "counter",
+        [
+            Action("IncX", inc_x, reads=["x"], writes=["x"]),
+            Action("IncY", inc_y, reads=["x", "y"], writes=["y"]),
+        ],
+    )
+    return Specification(
+        "counter",
+        SCHEMA,
+        lambda cfg: [State.make(SCHEMA, x=0, y=0)],
+        [module],
+        [Invariant("I-1", "y bounded", lambda cfg, s: s.y <= y_bound)],
+        None,
+        constraint=constraint,
+    )
+
+
+class TestFingerprinter:
+    def test_deterministic_across_instances(self):
+        state = State.make(SCHEMA, x=3, y=1)
+        assert Fingerprinter().of_state(state) == Fingerprinter().of_state(state)
+
+    def test_distinct_states_differ(self):
+        a = Fingerprinter()
+        fps = {
+            a.of_state(State.make(SCHEMA, x=x, y=y))
+            for x in range(10)
+            for y in range(10)
+        }
+        assert len(fps) == 100
+
+    def test_bool_int_equivalence_matches_state_equality(self):
+        # State(True) == State(1) under tuple equality, so the
+        # fingerprints must agree too.
+        a = State(SCHEMA, (True, 0))
+        b = State(SCHEMA, (1, 0))
+        assert a == b
+        fp = Fingerprinter()
+        assert fp.of_state(a) == fp.of_state(b)
+
+    def test_namedtuple_encodes_as_tuple(self):
+        # Txn == plain tuple of its fields, mirrored by the encoding.
+        txn = Txn(Zxid(1, 2), 3)
+        assert canonical_bytes((txn,)) == canonical_bytes((((1, 2), 3),))
+
+    def test_rec_distinct_from_items_tuple(self):
+        rec = Rec(a=1)
+        assert canonical_bytes((rec,)) != canonical_bytes(((("a", 1),),))
+
+    def test_incremental_update_matches_full(self):
+        fp = Fingerprinter()
+        base = (1, (2, 3), "s")
+        schema = Schema(("a", "b", "c"))
+        full, digests = fp.of_values_with_digests(base)
+        successor = (1, (2, 4), "s")
+        incremental = fp.update(full, base, [(1, (2, 4))])
+        assert incremental == fp.of_values(successor)
+        assert len(digests) == len(schema)
+
+    def test_unknown_type_raises(self):
+        class Odd:
+            pass
+
+        with pytest.raises(FingerprintError):
+            Fingerprinter().of_values((Odd(),))
+
+    def test_narrow_width_forces_collisions(self):
+        fp = Fingerprinter(bits=2)
+        values = {fp.of_values((i,)) for i in range(64)}
+        assert values <= {0, 1, 2, 3}
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            Fingerprinter(bits=0)
+        with pytest.raises(ValueError):
+            Fingerprinter(bits=65)
+
+
+class TestEngineBFS:
+    def test_matches_bfs_checker_wrapper(self):
+        direct = explore(counter_spec(), strategy="bfs")
+        wrapped = BFSChecker(counter_spec()).run()
+        assert direct.found_violation and wrapped.found_violation
+        assert direct.first_violation.depth == wrapped.first_violation.depth == 6
+        assert direct.states_explored == wrapped.states_explored
+
+    def test_complete_space_counts_exactly(self):
+        result = explore(counter_spec(max_x=2, y_bound=5), strategy="bfs")
+        assert result.completed
+        assert result.states_explored == 6
+
+    def test_incremental_guard_analysis_is_sound(self):
+        fast = ExplorationEngine(counter_spec(max_x=6, y_bound=3)).run()
+        slow = ExplorationEngine(
+            counter_spec(max_x=6, y_bound=3), incremental=False
+        ).run()
+        assert fast.states_explored == slow.states_explored
+        assert fast.transitions == slow.transitions
+        assert [v.invariant.ident for v in fast.violations] == [
+            v.invariant.ident for v in slow.violations
+        ]
+
+    def test_undeclared_reads_are_never_pruned(self):
+        # Regression: an action that omits its reads declaration (the
+        # Action API default) has an *unknown* guard dependency set and
+        # must be re-evaluated in every state -- it must not inherit a
+        # known-disabled verdict from its parent.
+        def inc_x(config, state):
+            return {"x": state.x + 1} if state.x < 3 else None
+
+        def inc_y(config, state):  # reads x and y, but declares nothing
+            return {"y": state.y + 1} if state.y < state.x else None
+
+        module = Module(
+            "undeclared",
+            [
+                Action("IncX", inc_x, reads=["x"], writes=["x"]),
+                Action("IncY", inc_y, writes=["y"]),
+            ],
+        )
+        spec = Specification(
+            "undeclared",
+            SCHEMA,
+            lambda cfg: [State.make(SCHEMA, x=0, y=0)],
+            [module],
+            [Invariant("I-1", "y bounded", lambda cfg, s: s.y <= 99)],
+            None,
+        )
+        fast = ExplorationEngine(spec).run()
+        slow = ExplorationEngine(spec, incremental=False).run()
+        assert fast.states_explored == slow.states_explored == 10
+        assert fast.transitions == slow.transitions
+        assert fast.completed and slow.completed
+
+    def test_collision_handling_terminates_and_undercounts(self):
+        # A 3-bit fingerprint space cannot hold the 28 distinct states:
+        # colliding states are silently merged, never duplicated, and
+        # the run still terminates.
+        result = ExplorationEngine(
+            counter_spec(max_x=6, y_bound=99),
+            fingerprinter=Fingerprinter(bits=3),
+        ).run()
+        assert result.completed
+        assert result.states_explored <= 8
+
+    def test_full_width_matches_exact_dedup(self):
+        exact = ExplorationEngine(counter_spec(max_x=6, y_bound=99)).run()
+        assert exact.completed
+        assert exact.states_explored == 28  # x in 0..6, y in 0..x
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            ExplorationEngine(counter_spec(), strategy="bogus")
+        assert set(STRATEGIES) == {"bfs", "dfs", "random", "portfolio"}
+
+
+class TestEngineStrategies:
+    def test_dfs_finds_violation(self):
+        result = explore(counter_spec(), strategy="dfs", max_depth=20)
+        assert result.found_violation
+        assert result.first_violation.trace.final.y == 3
+
+    def test_random_is_seed_deterministic(self):
+        spec = counter_spec(y_bound=1)
+        a = explore(spec, strategy="random", seed=5, max_states=500)
+        b = explore(counter_spec(y_bound=1), strategy="random", seed=5, max_states=500)
+        assert a.states_explored == b.states_explored
+        assert [v.invariant.ident for v in a.violations] == [
+            v.invariant.ident for v in b.violations
+        ]
+
+    def test_portfolio_finds_violation_in_process(self):
+        result = explore(counter_spec(), strategy="portfolio", workers=1)
+        assert result.found_violation
+        assert result.first_violation.invariant.ident == "I-1"
+
+    def test_portfolio_race_across_processes(self):
+        result = explore(
+            counter_spec(), strategy="portfolio", workers=3, max_time=60
+        )
+        assert result.found_violation
+        assert result.first_violation.invariant.ident == "I-1"
+
+    def test_portfolio_trace_replays(self):
+        spec = counter_spec()
+        result = explore(spec, strategy="portfolio", workers=2, max_time=60)
+        trace = result.first_violation.trace
+        assert spec.replay(trace.labels, trace.initial)[-1] == trace.final
+
+
+class TestParallelDeterminism:
+    def test_counter_spec_workers_agree(self):
+        seq = ExplorationEngine(counter_spec(max_x=8, y_bound=99), workers=1).run()
+        par = ExplorationEngine(counter_spec(max_x=8, y_bound=99), workers=2).run()
+        assert seq.states_explored == par.states_explored
+        assert seq.transitions == par.transitions
+        assert seq.max_depth == par.max_depth
+        assert seq.completed and par.completed
+
+    def test_zookeeper_small_config_workers_agree(self):
+        # V391 small config: the parallel engine must report exactly the
+        # sequential violation set and state count.
+        budget = dict(max_states=6_000, max_time=120)
+        seq = check_spec("mSpec-3", SMALL, workers=1, **budget)
+        par = check_spec("mSpec-3", SMALL, workers=2, **budget)
+        assert seq.states_explored == par.states_explored
+        assert seq.transitions == par.transitions
+        assert [
+            (v.invariant.full_name, v.depth) for v in seq.violations
+        ] == [(v.invariant.full_name, v.depth) for v in par.violations]
+
+    @pytest.mark.slow
+    def test_zookeeper_violation_workers_agree(self):
+        budget = dict(max_states=30_000, max_time=300)
+        seq = check_spec("mSpec-3", SMALL, workers=1, **budget)
+        par = check_spec("mSpec-3", SMALL, workers=4, **budget)
+        assert seq.found_violation and par.found_violation
+        assert seq.states_explored == par.states_explored
+        assert [
+            (v.invariant.full_name, v.depth) for v in seq.violations
+        ] == [(v.invariant.full_name, v.depth) for v in par.violations]
+
+
+class TestEngineOnZooKeeper:
+    def test_engine_matches_legacy_checker(self):
+        from repro.checker.legacy import LegacyBFSChecker
+        from repro.zookeeper.specs import SELECTIONS, build_spec
+
+        budget = dict(max_states=4_000, max_time=120)
+        engine = check_spec("mSpec-2", SMALL, **budget)
+        legacy = LegacyBFSChecker(
+            build_spec("mSpec-2", SELECTIONS["mSpec-2"], SMALL),
+            mask=zk4394_mask,
+            **budget,
+        ).run()
+        # max_states semantics differ by at most the legacy overshoot
+        # (it checks the budget at dequeue time, the engine at accept
+        # time); everything else must agree exactly.
+        assert abs(engine.states_explored - legacy.states_explored) <= 32
+        assert engine.max_depth == legacy.max_depth
+        assert [v.invariant.full_name for v in engine.violations] == [
+            v.invariant.full_name for v in legacy.violations
+        ]
+
+    def test_invariant_memoization_is_sound_on_zk(self):
+        fast = check_spec("mSpec-3", SMALL, max_states=4_000, max_time=120)
+        slow = check_spec(
+            "mSpec-3", SMALL, max_states=4_000, max_time=120, incremental=False
+        )
+        assert fast.states_explored == slow.states_explored
+        assert fast.transitions == slow.transitions
+        assert [v.invariant.full_name for v in fast.violations] == [
+            v.invariant.full_name for v in slow.violations
+        ]
+
+
+class TestCompiledSpec:
+    def test_guard_groups_cover_all_instances(self):
+        spec = counter_spec()
+        core = CompiledSpec(spec)
+        grouped = 0
+        for _, bits in core.guard_groups:
+            grouped |= bits
+        for idx in core.ungrouped:
+            grouped |= 1 << idx
+        assert grouped == (1 << core.n_instances) - 1
+
+    def test_classify_reports_violations(self):
+        spec = counter_spec(y_bound=0)
+        core = CompiledSpec(spec)
+        bad = State.make(SCHEMA, x=1, y=1)
+        viols, masked, ok = core.classify(bad)
+        assert viols and not masked and ok
+
+
+class TestShrinkRoundTrip:
+    def test_dfs_trace_shrinks_to_bfs_minimum(self):
+        spec = counter_spec()
+        dfs = explore(spec, strategy="dfs", max_depth=25)
+        assert dfs.found_violation
+        shrunk = shrink_trace(
+            spec, dfs.first_violation.trace, violation_predicate(spec, "I-1")
+        )
+        assert len(shrunk) == 6  # the BFS minimum
+        replayed = spec.replay(shrunk.labels, shrunk.initial)
+        assert replayed == shrunk.states
+        assert shrunk.final.y == 3
+
+    def test_random_trace_shrinks_and_replays(self):
+        spec = counter_spec()
+        result = explore(spec, strategy="random", seed=11, max_states=5_000)
+        assert result.found_violation
+        shrunk = shrink_trace(
+            spec,
+            result.first_violation.trace,
+            violation_predicate(spec, "I-1"),
+        )
+        assert len(shrunk) <= len(result.first_violation.trace)
+        assert spec.replay(shrunk.labels, shrunk.initial)[-1] == shrunk.final
+
+
+class TestValuePickling:
+    def test_rec_round_trips(self):
+        rec = Rec(mtype="ACK", zxid=(1, 2))
+        clone = pickle.loads(pickle.dumps(rec))
+        assert clone == rec and hash(clone) == hash(rec)
+
+    def test_state_round_trips_and_compares_equal(self):
+        state = State.make(SCHEMA, x=2, y=1)
+        clone = pickle.loads(pickle.dumps(state))
+        assert clone == state
+        assert clone.schema is state.schema  # schemas are interned

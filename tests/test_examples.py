@@ -1,5 +1,6 @@
 """Smoke tests: the example scripts run end to end."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -7,14 +8,23 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+SRC = Path(__file__).resolve().parent.parent / "src"
 
 
 def run_example(name, timeout=300):
+    # The examples import repro; make the src/ layout visible to the
+    # child process whether or not the package is installed.
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        f"{SRC}{os.pathsep}{existing}" if existing else str(SRC)
+    )
     return subprocess.run(
         [sys.executable, str(EXAMPLES / name)],
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=env,
     )
 
 

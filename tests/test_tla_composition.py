@@ -16,7 +16,7 @@ from repro.tla.composition import (
     traces_equivalent_for,
 )
 from repro.tla.module import Module
-from repro.tla.spec import Invariant, Specification
+from repro.tla.spec import Specification
 from repro.tla.state import Schema, State
 
 # A toy system: an "env" module increments a shared counter through an

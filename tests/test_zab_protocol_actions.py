@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.tla.action import ActionLabel
 from repro.zab import ZabConfig, zab_spec
 
 

@@ -3,7 +3,7 @@ code-invariant error paths (I-12, I-13, I-14)."""
 
 import pytest
 
-from conftest import txn, zk_state
+from conftest import txn
 from repro.tla.values import Rec, Zxid
 from repro.zookeeper import constants as C
 from repro.zookeeper import prims as P

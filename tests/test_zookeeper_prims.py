@@ -6,7 +6,6 @@ from conftest import txn, zk_state
 from repro.tla.values import Rec, Zxid, ZXID_ZERO
 from repro.zookeeper import constants as C
 from repro.zookeeper import prims as P
-from repro.zookeeper.config import ZkConfig
 
 
 class TestNetwork:

@@ -8,7 +8,6 @@ integration test.
 import pytest
 
 from conftest import txn, zk_state
-from repro.tla.action import ActionLabel
 from repro.zookeeper import constants as C
 from repro.zookeeper.config import SpecVariant, ZkConfig
 from repro.zookeeper.specs import SELECTIONS, build_spec
