@@ -5,7 +5,21 @@ that the shipped specifications conform to the shipped implementation,
 that an injected divergence is caught, and that the ZK-4394 discrepancy
 workflow of §4.1 (model trace -> code-level NullPointerException)
 reproduces.
+
+Besides the pytest-benchmark entry points, this file doubles as a CLI
+smoke for CI::
+
+    python benchmarks/bench_conformance.py --campaign \
+        --budget 10s --workers 2 --json bench-campaign.json
+
+which runs a small conformance campaign and emits the *same*
+``repro.campaign/1`` JSON schema as ``python -m repro campaign --json``,
+so ``bench_reports.txt`` trajectories stay comparable across PRs.
 """
+
+import argparse
+import json
+import sys
 
 import pytest
 
@@ -119,3 +133,56 @@ def test_zz_report(benchmark):
         ("Spec", "Traces", "Steps replayed", "Discrepancies", "Verdict"),
         rows,
     )
+
+
+# --------------------------------------------------------------- CLI smoke
+
+
+def run_campaign_smoke(budget, workers, seed, seeds, traces, steps):
+    """Run a small conformance campaign; returns the report JSON (the
+    same ``repro.campaign/1`` schema as ``python -m repro campaign``)."""
+    from repro.remix.campaign import ConformanceCampaign, parse_budget
+
+    campaign = ConformanceCampaign(
+        seeds=seeds,
+        traces=traces,
+        max_steps=steps,
+        seed=seed,
+        workers=workers,
+        budget=parse_budget(budget) if budget else None,
+    )
+    return campaign.run().to_json()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Conformance campaign smoke benchmark"
+    )
+    parser.add_argument(
+        "--campaign", action="store_true",
+        help="run the campaign smoke (required; reserved for future modes)",
+    )
+    parser.add_argument("--budget", default=None, help='e.g. "10s"')
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--seeds", type=int, default=1)
+    parser.add_argument("--traces", type=int, default=2)
+    parser.add_argument("--steps", type=int, default=12)
+    parser.add_argument("--json", dest="json_path", default=None)
+    args = parser.parse_args(argv)
+    if not args.campaign:
+        parser.error("pass --campaign to run the CLI smoke mode")
+    report = run_campaign_smoke(
+        args.budget, args.workers, args.seed, args.seeds, args.traces,
+        args.steps,
+    )
+    text = json.dumps(report, indent=2)
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            fh.write(text + "\n")
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

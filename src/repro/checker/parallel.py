@@ -1,6 +1,13 @@
 """Multiprocessing back-ends for the exploration engine.
 
-Two cooperation patterns live here:
+Three cooperation patterns live here:
+
+:class:`TaskPool`
+    A generic fork-based task pool: independent tasks are dispatched
+    greedily to a fixed band of workers and results are merged by task
+    index, so the output list is independent of scheduling.  The
+    conformance campaign (:mod:`repro.remix.campaign`) fans its
+    (grain x scenario x fault x seed) matrix through it.
 
 :class:`WorkerPool`
     Round-synchronous frontier sharding for the BFS strategy.  Each
@@ -18,18 +25,19 @@ Two cooperation patterns live here:
     First-to-find racing for the portfolio strategy: one forked BFS
     contender plus ``workers - 1`` differently-seeded random walkers.
 
-Both require the ``fork`` start method (the specification holds closures
-that cannot be pickled; forked children inherit it by memory image).
-Call :func:`available` before constructing either.
+All require the ``fork`` start method (specifications and task closures
+hold lambdas that cannot be pickled; forked children inherit them by
+memory image).  Call :func:`available` before constructing any.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import multiprocessing.connection as mp_connection
 import os
 import queue as pyqueue
 import time
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.checker.result import CheckResult, Violation
 from repro.checker.trace import Trace
@@ -51,6 +59,144 @@ def available() -> bool:
 def default_workers() -> int:
     """A sensible worker count: the CPU count, capped at 8."""
     return max(1, min(os.cpu_count() or 1, 8))
+
+
+# ------------------------------------------------------ fork-pool base
+
+
+class ForkPool:
+    """A fixed band of forked worker processes with per-worker pipes.
+
+    Subclasses choose the worker loop (``target``) and the payload the
+    children inherit through the fork hand-off slot; this base owns the
+    process/pipe lifecycle.
+    """
+
+    def __init__(self, target: Callable, payload: Any, workers: int):
+        global _HANDOFF
+        context = mp.get_context("fork")
+        self.connections: list = []
+        self.processes: list = []
+        _HANDOFF = payload
+        try:
+            for _ in range(max(1, workers)):
+                parent_end, child_end = context.Pipe()
+                process = context.Process(
+                    target=target, args=(child_end,), daemon=True
+                )
+                process.start()
+                child_end.close()
+                self.connections.append(parent_end)
+                self.processes.append(process)
+        finally:
+            _HANDOFF = None
+
+    def close(self) -> None:
+        for connection in self.connections:
+            try:
+                connection.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self.processes:
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover
+                process.terminate()
+                process.join(timeout=1.0)
+        for connection in self.connections:
+            connection.close()
+        self.connections = []
+        self.processes = []
+
+
+# ------------------------------------------------------ generic task pool
+
+
+def _task_worker_main(conn) -> None:
+    """Worker loop: receive (index, task), apply the inherited function,
+    reply (index, ok, payload)."""
+    worker_fn: Callable[[Any], Any] = _HANDOFF
+    try:
+        while True:
+            message = conn.recv()
+            if message is None:
+                break
+            index, task = message
+            try:
+                conn.send((index, True, worker_fn(task)))
+            except Exception as error:  # surfaced in the parent
+                conn.send((index, False, repr(error)))
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):  # pragma: no cover
+        pass
+    finally:
+        conn.close()
+
+
+class TaskPool(ForkPool):
+    """Map independent tasks over forked workers, deterministically.
+
+    Dispatch is greedy -- each worker receives a new task as soon as it
+    reports the previous one -- but results are slotted by task index,
+    so :meth:`map` returns the same list whatever the scheduling or the
+    worker count.  Tasks must therefore be self-contained (carry their
+    own seeds) and results picklable.
+    """
+
+    def __init__(self, worker_fn: Callable[[Any], Any], workers: int):
+        super().__init__(_task_worker_main, worker_fn, workers)
+
+    def map(
+        self,
+        tasks: Sequence[Any],
+        deadline: Optional[float] = None,
+    ) -> List[Optional[Any]]:
+        """Run every task; results arrive in task order.
+
+        ``deadline`` is a ``time.monotonic()`` timestamp: tasks not yet
+        dispatched when it passes are skipped and come back as ``None``
+        (the caller decides how to report them).  A task that raises in
+        a worker re-raises here as :class:`RuntimeError`.  A worker that
+        dies mid-task (OOM kill, segfault) is dropped and its in-flight
+        task requeued onto the survivors; with no survivors the
+        remaining tasks come back as ``None``.
+        """
+        results: List[Optional[Any]] = [None] * len(tasks)
+        active: Dict[Any, int] = {}
+        retries: List[int] = []
+        next_task = 0
+
+        def dispatch(connection) -> None:
+            nonlocal next_task
+            while True:
+                if retries:
+                    index = retries.pop(0)
+                elif next_task < len(tasks):
+                    index = next_task
+                    next_task += 1
+                    if deadline is not None and time.monotonic() >= deadline:
+                        continue  # skipped: stays None
+                else:
+                    return
+                connection.send((index, tasks[index]))
+                active[connection] = index
+                return
+
+        for connection in self.connections:
+            dispatch(connection)
+        while active:
+            for connection in mp_connection.wait(list(active)):
+                try:
+                    index, ok, payload = connection.recv()
+                except (EOFError, OSError):
+                    # The worker died without replying: requeue its task
+                    # for a surviving worker.
+                    retries.append(active.pop(connection))
+                    continue
+                del active[connection]
+                if not ok:
+                    raise RuntimeError(f"task {index} failed: {payload}")
+                results[index] = payload
+                dispatch(connection)
+        return results
 
 
 # ----------------------------------------------------------- BFS pool
@@ -91,7 +237,7 @@ def _bfs_worker_main(conn) -> None:
         conn.close()
 
 
-class WorkerPool:
+class WorkerPool(ForkPool):
     """A fixed band of forked BFS workers with per-worker pipes.
 
     Task/worker affinity is explicit (worker *i* always receives shard
@@ -101,23 +247,7 @@ class WorkerPool:
     """
 
     def __init__(self, core: "CompiledSpec", workers: int):
-        global _HANDOFF
-        context = mp.get_context("fork")
-        self.connections = []
-        self.processes = []
-        _HANDOFF = core
-        try:
-            for _ in range(max(1, workers)):
-                parent_end, child_end = context.Pipe()
-                process = context.Process(
-                    target=_bfs_worker_main, args=(child_end,), daemon=True
-                )
-                process.start()
-                child_end.close()
-                self.connections.append(parent_end)
-                self.processes.append(process)
-        finally:
-            _HANDOFF = None
+        super().__init__(_bfs_worker_main, core, workers)
 
     def round(
         self,
@@ -139,22 +269,6 @@ class WorkerPool:
         for connection in self.connections:
             merged.extend(connection.recv())
         return merged
-
-    def close(self) -> None:
-        for connection in self.connections:
-            try:
-                connection.send(None)
-            except (BrokenPipeError, OSError):
-                pass
-        for process in self.processes:
-            process.join(timeout=2.0)
-            if process.is_alive():  # pragma: no cover
-                process.terminate()
-                process.join(timeout=1.0)
-        for connection in self.connections:
-            connection.close()
-        self.connections = []
-        self.processes = []
 
 
 # ------------------------------------------------------ portfolio race

@@ -24,14 +24,19 @@ class RandomWalker:
         self.spec = spec
         self.rng = random.Random(seed)
 
-    def walk(self, max_steps: int = 30) -> Trace:
-        """One random walk from a random initial state.
+    def walk(self, max_steps: int = 30, start: Optional[State] = None) -> Trace:
+        """One random walk from ``start`` (default: a random initial state).
 
         Stops early in deadlock states (no enabled action) or when the
-        state constraint fails.
+        state constraint fails.  Walking from an explicit start state is
+        what the conformance campaign uses to randomize the suffix of a
+        scripted scenario prefix.
         """
-        initials = self.spec.initial_states()
-        state = self.rng.choice(initials)
+        if start is not None:
+            state = start
+        else:
+            initials = self.spec.initial_states()
+            state = self.rng.choice(initials)
         states: List[State] = [state]
         labels = []
         for _ in range(max_steps):

@@ -4,6 +4,8 @@ Exposes the main workflows without writing Python:
 
 - ``check``       model-check one of the Table 1 specifications
 - ``conformance`` run conformance checking against the simulator
+- ``campaign``    run a parallel conformance campaign over the
+                  (grain x scenario x fault x seed) matrix
 - ``bugs``        hunt each of the six paper bugs (a mini Table 4)
 - ``protocol``    verify the Zab protocol variants (§5.4)
 - ``efforts``     print the Table 3 effort metrics
@@ -102,6 +104,66 @@ def cmd_conformance(args) -> int:
     for bug in report.impl_bugs[:10]:
         print(f"  {bug}")
     return 0 if report.conforms else 1
+
+
+def cmd_campaign(args) -> int:
+    import json
+
+    from repro.remix.campaign import (
+        DEFAULT_FAULTS,
+        DEFAULT_GRAINS,
+        DEFAULT_SCENARIOS,
+        ConformanceCampaign,
+        new_fingerprints,
+        parse_budget,
+    )
+
+    try:
+        campaign = ConformanceCampaign(
+            grains=args.grains or DEFAULT_GRAINS,
+            scenarios=args.scenarios or DEFAULT_SCENARIOS,
+            faults=args.faults or DEFAULT_FAULTS,
+            seeds=args.seeds,
+            traces=args.traces,
+            max_steps=args.steps,
+            seed=args.seed,
+            workers=args.workers,
+            budget=parse_budget(args.budget) if args.budget else None,
+        )
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"campaign: {message}", file=sys.stderr)
+        return 2
+    report = campaign.run()
+    payload = report.to_json()
+    if args.json_path == "-":
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.summary())
+        for finding in report.findings[:10]:
+            print(f"  [{finding['fingerprint']}] {finding['detail']}")
+        if len(report.findings) > 10:
+            print(f"  ... ({len(report.findings) - 10} more)")
+        if args.json_path:
+            with open(args.json_path, "w") as fh:
+                json.dump(payload, fh, indent=2)
+                fh.write("\n")
+            print(f"report written to {args.json_path}")
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        fresh = new_fingerprints(report, baseline)
+        # Keep stdout clean when the JSON report goes there.
+        stream = sys.stderr if args.json_path == "-" else sys.stdout
+        if fresh:
+            print(
+                f"NEW impl-bug fingerprints vs {args.baseline}: "
+                f"{', '.join(fresh)}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"no new impl-bug fingerprints vs {args.baseline}", file=stream)
+    return 0
 
 
 def _hunt_bug(args, spec_name, config, family, instance, masked, variant):
@@ -217,6 +279,55 @@ def build_parser() -> argparse.ArgumentParser:
     p_conf.add_argument("--seed", type=int, default=0)
     _add_config_args(p_conf)
     p_conf.set_defaults(fn=cmd_conformance)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="parallel conformance campaign over the fault-scenario matrix",
+    )
+    # Axis values are validated by ConformanceCampaign (not argparse
+    # choices) so the remix stack stays a lazy import like the other
+    # heavy subcommands.
+    p_camp.add_argument(
+        "--grains", nargs="+", default=None,
+        help="Table 1 grains to campaign over (default: mSpec-1..3)",
+    )
+    p_camp.add_argument(
+        "--scenarios", nargs="+", default=None,
+        help="scenario prefixes (default: election sync broadcast commit)",
+    )
+    p_camp.add_argument(
+        "--faults", nargs="+", default=None,
+        help="fault schedules (default: all canned schedules)",
+    )
+    p_camp.add_argument(
+        "--seeds", type=int, default=1,
+        help="seeds per (grain, scenario, fault) cell",
+    )
+    p_camp.add_argument(
+        "--traces", type=int, default=2, help="random suffix walks per cell"
+    )
+    p_camp.add_argument(
+        "--steps", type=int, default=12, help="max random suffix steps"
+    )
+    p_camp.add_argument(
+        "--budget", default=None,
+        help='wall-clock budget like "5s" or "2m"; undispatched cells are skipped',
+    )
+    p_camp.add_argument(
+        "--workers", type=int, default=1,
+        help="forked campaign workers (1 = inline)",
+    )
+    p_camp.add_argument("--seed", type=int, default=0)
+    p_camp.add_argument(
+        "--json", dest="json_path", nargs="?", const="-", default=None,
+        help="emit the JSON report (to stdout, or to the given path)",
+    )
+    p_camp.add_argument(
+        "--baseline", default=None,
+        help="campaign report JSON to diff impl-bug fingerprints against; "
+        "exits 2 on new ones (the nightly CI gate)",
+    )
+    p_camp.set_defaults(fn=cmd_campaign)
 
     p_hunt = sub.add_parser("bugs", help="hunt the six paper bugs")
     p_hunt.add_argument("--max-states", type=int, default=1_000_000)

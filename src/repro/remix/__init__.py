@@ -1,5 +1,10 @@
 """Remix: composition, deterministic replay and conformance checking."""
 
+from repro.remix.campaign import (
+    CampaignJob,
+    CampaignReport,
+    ConformanceCampaign,
+)
 from repro.remix.conformance import (
     ConformanceChecker,
     ConformanceReport,
@@ -13,6 +18,7 @@ from repro.remix.coordinator import (
 )
 from repro.remix.mapping import ActionMapping, MappedAction, mapping_for
 from repro.remix.registry import SpecRegistry
+from repro.remix.spec_cache import cached_mapping, cached_spec
 from repro.remix.trace_validation import (
     ImplExplorer,
     TraceValidator,
@@ -23,6 +29,9 @@ from repro.remix.trace_validation import (
 __all__ = [
     "ActionMapping",
     "COMPARED_VARIABLES",
+    "CampaignJob",
+    "CampaignReport",
+    "ConformanceCampaign",
     "ConformanceChecker",
     "ConformanceReport",
     "Coordinator",
@@ -35,5 +44,7 @@ __all__ = [
     "TraceValidator",
     "ValidationIssue",
     "ValidationReport",
+    "cached_mapping",
+    "cached_spec",
     "mapping_for",
 ]

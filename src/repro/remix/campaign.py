@@ -1,0 +1,488 @@
+"""Parallel conformance campaigns: a fault-scenario matrix over replay.
+
+The paper's conformance checker (§3.4-§3.5) replays random model traces
+at the code level one at a time.  A *campaign* turns that demo loop into
+a throughput-oriented engine: it enumerates a matrix of
+
+    (spec grain) x (scenario prefix) x (fault schedule) x (seed)
+
+cells, fans them across the fork-based :class:`TaskPool`, and merges the
+per-cell findings into one deduplicated, fingerprint-keyed report.  Each
+cell:
+
+1. fetches the grain's composed specification from the spec cache
+   (:mod:`repro.remix.spec_cache` -- campaign startup is O(grains), not
+   O(jobs), because forked workers inherit the warmed cache),
+2. drives it through a canned scenario prefix (election / sync /
+   broadcast / commit, :data:`repro.zookeeper.scenarios.SCENARIO_PREFIXES`)
+   and a scripted fault schedule (crash / partition / shutdown,
+   :data:`repro.zookeeper.faults.FAULT_SCHEDULES`),
+3. random-walks a suffix from the resulting state under a seed derived
+   from the cell coordinates,
+4. replays the full trace at the code level through the
+   :class:`~repro.remix.coordinator.Coordinator`, and
+5. reduces discrepancies and implementation-bug reports to *stable*
+   fingerprints (SHA-1 over a canonical JSON form -- reproducible across
+   processes and across runs, which is what lets a nightly CI job fail
+   on fingerprints it has never seen before).
+
+Determinism: cells carry their own seeds, the pool slots results by cell
+index, and findings dedup in first-seen cell order -- so ``workers=2``
+produces a report identical in findings to ``workers=1``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import time
+import zlib
+from collections.abc import Mapping as ABCMapping
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.checker import parallel
+from repro.checker.parallel import TaskPool
+from repro.checker.random_walk import RandomWalker
+from repro.checker.trace import Trace
+from repro.remix.coordinator import Coordinator
+from repro.remix.spec_cache import cached_mapping, cached_spec
+from repro.zookeeper.config import ZkConfig
+from repro.zookeeper.faults import FAULT_SCHEDULES, fault_schedule
+from repro.zookeeper.scenarios import (
+    SCENARIO_PREFIXES,
+    ScenarioError,
+    scenario_prefix,
+)
+
+#: Version tag of the JSON report; bump on breaking schema changes.
+SCHEMA = "repro.campaign/1"
+
+#: Grains with a code-level action mapping (SysSpec/mSpec-4 replay the
+#: fine-grained FLE, which the coordinator cannot drive; see mapping_for).
+DEFAULT_GRAINS: Tuple[str, ...] = ("mSpec-1", "mSpec-2", "mSpec-3")
+
+DEFAULT_SCENARIOS: Tuple[str, ...] = tuple(SCENARIO_PREFIXES)
+DEFAULT_FAULTS: Tuple[str, ...] = tuple(s.name for s in FAULT_SCHEDULES)
+
+
+def campaign_config() -> ZkConfig:
+    """The standard campaign configuration: crash budget for the crash
+    schedules plus one partition so the partition schedules are enabled."""
+    return ZkConfig(
+        n_servers=3, max_txns=1, max_crashes=2, max_partitions=1, max_epoch=3
+    )
+
+
+def parse_budget(text: str) -> float:
+    """Parse a wall-clock budget like ``"5s"``, ``"2m"`` or ``"90"``."""
+    text = text.strip().lower()
+    scale = 1.0
+    if text.endswith("ms"):
+        scale, text = 0.001, text[:-2]
+    elif text.endswith("s"):
+        scale, text = 1.0, text[:-1]
+    elif text.endswith("m"):
+        scale, text = 60.0, text[:-1]
+    elif text.endswith("h"):
+        scale, text = 3600.0, text[:-1]
+    try:
+        value = float(text) * scale
+    except ValueError:
+        raise ValueError(f"unparseable budget {text!r}") from None
+    if value <= 0:
+        raise ValueError(f"budget must be positive, got {value}")
+    return value
+
+
+# ------------------------------------------------------------ fingerprints
+
+
+def canonical_value(value: Any) -> Any:
+    """Reduce a model/impl value to a JSON-stable canonical form.
+
+    Sets are sorted by their canonical JSON rendering (``repr`` of a
+    frozenset depends on hash order, which varies across processes);
+    records and dicts sort by key; everything non-primitive falls back
+    to ``repr``.
+    """
+    if isinstance(value, ABCMapping):
+        return {
+            str(key): canonical_value(val)
+            for key, val in sorted(value.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(value, (set, frozenset)):
+        items = [canonical_value(item) for item in value]
+        return sorted(items, key=lambda item: json.dumps(item, sort_keys=True))
+    if isinstance(value, (tuple, list)):
+        return [canonical_value(item) for item in value]
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    return repr(value)
+
+
+def finding_fingerprint(payload: Dict[str, Any]) -> str:
+    """A short, stable fingerprint of a finding's identity fields."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha1(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def _cell_seed(job: "CampaignJob", trace_index: int) -> int:
+    """A per-trace seed derived from stable cell coordinates (no Python
+    ``hash``: that is randomized per process for strings)."""
+    coordinates = f"{job.grain}/{job.scenario}/{job.fault}/{job.seed}"
+    return (zlib.crc32(coordinates.encode("utf-8")) << 16) ^ (
+        job.seed * 1_000_003 + trace_index
+    )
+
+
+# ------------------------------------------------------------ jobs & cells
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One cell of the campaign matrix (self-contained and picklable)."""
+
+    index: int
+    grain: str
+    scenario: str
+    fault: str
+    seed: int
+    traces: int
+    max_steps: int
+
+    @property
+    def cell_id(self) -> str:
+        return f"{self.grain}/{self.scenario}/{self.fault}/s{self.seed}"
+
+
+def _skipped_cell(job: CampaignJob) -> Dict[str, Any]:
+    return {
+        "grain": job.grain,
+        "scenario": job.scenario,
+        "fault": job.fault,
+        "seed": job.seed,
+        "status": "skipped",
+        "traces": 0,
+        "steps_replayed": 0,
+        "actions_covered": 0,
+        "discrepancies": 0,
+        "impl_bugs": 0,
+        "findings": [],
+    }
+
+
+def run_cell(job: CampaignJob, config: ZkConfig) -> Dict[str, Any]:
+    """Execute one matrix cell; returns a plain-JSON-able cell record.
+
+    This is the campaign's worker function: it runs identically inline
+    and inside a forked :class:`TaskPool` worker.
+    """
+    from repro.impl.ensemble import Ensemble
+
+    spec = cached_spec(job.grain, config)
+    mapping = cached_mapping(job.grain)
+    leader = config.n_servers - 1
+    follower = 0
+    cell = _skipped_cell(job)
+    try:
+        prefix = scenario_prefix(job.scenario, spec, leader, config.servers)
+        fault_schedule(job.fault).inject(prefix, leader, follower)
+    except ScenarioError as error:
+        cell["status"] = "inapplicable"
+        cell["reason"] = str(error)
+        return cell
+
+    coordinator = Coordinator(
+        mapping, lambda: Ensemble(config.n_servers, config.variant)
+    )
+    cell["status"] = "ok"
+    covered = set()
+    findings: List[Dict[str, Any]] = []
+    for trace_index in range(job.traces):
+        walker = RandomWalker(spec, seed=_cell_seed(job, trace_index))
+        suffix = walker.walk(job.max_steps, start=prefix.state)
+        trace = Trace(
+            states=prefix.states + suffix.states[1:],
+            labels=prefix.labels + suffix.labels,
+        )
+        result = coordinator.replay(trace)
+        cell["traces"] += 1
+        cell["steps_replayed"] += result.steps_executed
+        covered.update(
+            label.name for label in trace.labels[: result.steps_executed]
+        )
+        for discrepancy in result.discrepancies:
+            identity = {
+                "kind": discrepancy.kind,
+                "grain": job.grain,
+                "label": str(discrepancy.label),
+                "variable": discrepancy.variable,
+                "model": canonical_value(discrepancy.model_value),
+                "impl": canonical_value(discrepancy.impl_value),
+            }
+            findings.append(
+                {
+                    "fingerprint": finding_fingerprint(identity),
+                    "detail": str(discrepancy),
+                    **identity,
+                }
+            )
+            cell["discrepancies"] += 1
+        if result.impl_error is not None:
+            step = result.impl_error_step or 0
+            identity = {
+                "kind": "impl_bug",
+                "grain": job.grain,
+                "bug_id": result.impl_error.bug_id,
+                "error": type(result.impl_error).__name__,
+                "label": str(trace.labels[step]) if trace.labels else "",
+            }
+            findings.append(
+                {
+                    "fingerprint": finding_fingerprint(identity),
+                    "detail": (
+                        f"{identity['error']}"
+                        f"{' [' + identity['bug_id'] + ']' if identity['bug_id'] else ''}"
+                        f" at {identity['label']}"
+                    ),
+                    **identity,
+                }
+            )
+            cell["impl_bugs"] += 1
+    cell["actions_covered"] = len(covered)
+    cell["findings"] = findings
+    return cell
+
+
+# ------------------------------------------------------------ the report
+
+
+@dataclass
+class CampaignReport:
+    """Merged outcome of a campaign: per-cell stats plus deduplicated,
+    fingerprint-keyed findings in first-seen order."""
+
+    meta: Dict[str, Any]
+    cells: List[Dict[str, Any]]
+    findings: List[Dict[str, Any]]
+
+    @property
+    def totals(self) -> Dict[str, int]:
+        by_status: Dict[str, int] = {}
+        for cell in self.cells:
+            by_status[cell["status"]] = by_status.get(cell["status"], 0) + 1
+        return {
+            "cells": len(self.cells),
+            "ok": by_status.get("ok", 0),
+            "inapplicable": by_status.get("inapplicable", 0),
+            "skipped": by_status.get("skipped", 0),
+            "traces": sum(cell["traces"] for cell in self.cells),
+            "steps_replayed": sum(
+                cell["steps_replayed"] for cell in self.cells
+            ),
+            "discrepancies": sum(
+                cell["discrepancies"] for cell in self.cells
+            ),
+            "impl_bugs": sum(cell["impl_bugs"] for cell in self.cells),
+            "distinct_findings": len(self.findings),
+        }
+
+    def fingerprints(self, kind: Optional[str] = None) -> List[str]:
+        """Finding fingerprints, optionally restricted to one kind
+        (``"impl_bug"`` for the nightly regression gate)."""
+        return [
+            finding["fingerprint"]
+            for finding in self.findings
+            if kind is None or finding["kind"] == kind
+        ]
+
+    def summary(self) -> str:
+        totals = self.totals
+        return (
+            f"campaign: {totals['cells']} cells "
+            f"({totals['ok']} ok, {totals['inapplicable']} inapplicable, "
+            f"{totals['skipped']} skipped), "
+            f"{totals['traces']} traces, "
+            f"{totals['steps_replayed']} steps replayed, "
+            f"{totals['discrepancies']} discrepancies and "
+            f"{totals['impl_bugs']} impl-bug reports "
+            f"({totals['distinct_findings']} distinct findings)"
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "campaign": self.meta,
+            "totals": self.totals,
+            "cells": self.cells,
+            "findings": self.findings,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "CampaignReport":
+        if data.get("schema") != SCHEMA:
+            raise ValueError(
+                f"unsupported campaign schema {data.get('schema')!r} "
+                f"(expected {SCHEMA!r})"
+            )
+        return cls(
+            meta=dict(data["campaign"]),
+            cells=list(data["cells"]),
+            findings=list(data["findings"]),
+        )
+
+
+def merge_cells(
+    meta: Dict[str, Any],
+    jobs: Sequence[CampaignJob],
+    results: Sequence[Optional[Dict[str, Any]]],
+) -> CampaignReport:
+    """Deterministic merge: cells in matrix order, findings deduplicated
+    by fingerprint in first-seen order (counts aggregated)."""
+    cells: List[Dict[str, Any]] = []
+    merged: Dict[str, Dict[str, Any]] = {}
+    for job, result in zip(jobs, results):
+        result = result if result is not None else _skipped_cell(job)
+        cell = {key: val for key, val in result.items() if key != "findings"}
+        cells.append(cell)
+        for finding in result.get("findings", ()):
+            entry = merged.get(finding["fingerprint"])
+            if entry is None:
+                entry = dict(finding, count=0, cells=[])
+                merged[finding["fingerprint"]] = entry
+            entry["count"] += 1
+            if job.cell_id not in entry["cells"]:
+                entry["cells"].append(job.cell_id)
+    return CampaignReport(
+        meta=meta, cells=cells, findings=list(merged.values())
+    )
+
+
+# ------------------------------------------------------------ the runner
+
+
+class ConformanceCampaign:
+    """Enumerate the matrix, fan it across workers, merge the report."""
+
+    def __init__(
+        self,
+        grains: Sequence[str] = DEFAULT_GRAINS,
+        scenarios: Sequence[str] = DEFAULT_SCENARIOS,
+        faults: Sequence[str] = DEFAULT_FAULTS,
+        seeds: int = 1,
+        traces: int = 2,
+        max_steps: int = 12,
+        seed: int = 0,
+        workers: int = 1,
+        budget: Optional[float] = None,
+        config: Optional[ZkConfig] = None,
+    ):
+        self.grains = tuple(grains)
+        self.scenarios = tuple(scenarios)
+        self.faults = tuple(faults)
+        self.seeds = max(1, seeds)
+        self.traces = traces
+        self.max_steps = max_steps
+        self.seed = seed
+        self.workers = max(1, workers)
+        self.budget = budget
+        self.config = config or campaign_config()
+        for name in self.grains:
+            if name not in DEFAULT_GRAINS:
+                raise KeyError(
+                    f"unknown or unmappable grain {name!r}; options: "
+                    f"{list(DEFAULT_GRAINS)} (SysSpec/mSpec-4 have no "
+                    f"code-level action mapping)"
+                )
+        for name in self.faults:
+            fault_schedule(name)  # validate early
+        for name in self.scenarios:
+            if name not in SCENARIO_PREFIXES:
+                raise KeyError(
+                    f"unknown scenario {name!r}; options: "
+                    f"{list(SCENARIO_PREFIXES)}"
+                )
+
+    def jobs(self) -> List[CampaignJob]:
+        """The full matrix, in deterministic enumeration order."""
+        out: List[CampaignJob] = []
+        for grain, scenario, fault, offset in itertools.product(
+            self.grains, self.scenarios, self.faults, range(self.seeds)
+        ):
+            out.append(
+                CampaignJob(
+                    index=len(out),
+                    grain=grain,
+                    scenario=scenario,
+                    fault=fault,
+                    seed=self.seed + offset,
+                    traces=self.traces,
+                    max_steps=self.max_steps,
+                )
+            )
+        return out
+
+    def run(self) -> CampaignReport:
+        started = time.monotonic()
+        jobs = self.jobs()
+        deadline = None if self.budget is None else started + self.budget
+        # Pre-warm the spec cache in the parent: O(grains) compositions,
+        # inherited by every forked worker.
+        for grain in self.grains:
+            cached_spec(grain, self.config)
+            cached_mapping(grain)
+
+        def worker(job: CampaignJob) -> Dict[str, Any]:
+            return run_cell(job, self.config)
+
+        if self.workers > 1 and parallel.available():
+            pool = TaskPool(worker, self.workers)
+            try:
+                results = pool.map(jobs, deadline=deadline)
+            finally:
+                pool.close()
+        else:
+            results = []
+            for job in jobs:
+                if deadline is not None and time.monotonic() >= deadline:
+                    results.append(None)
+                    continue
+                results.append(worker(job))
+
+        meta = {
+            "grains": list(self.grains),
+            "scenarios": list(self.scenarios),
+            "faults": list(self.faults),
+            "seeds": self.seeds,
+            "traces_per_cell": self.traces,
+            "max_steps": self.max_steps,
+            "seed": self.seed,
+            "workers": self.workers,
+            "budget_seconds": self.budget,
+            "elapsed_seconds": round(time.monotonic() - started, 3),
+            "config": {
+                "n_servers": self.config.n_servers,
+                "max_txns": self.config.max_txns,
+                "max_crashes": self.config.max_crashes,
+                "max_partitions": self.config.max_partitions,
+                "max_epoch": self.config.max_epoch,
+            },
+        }
+        return merge_cells(meta, jobs, results)
+
+
+def new_fingerprints(
+    report: CampaignReport, baseline: Dict[str, Any], kind: str = "impl_bug"
+) -> List[str]:
+    """Fingerprints of ``kind`` present in the report but absent from a
+    baseline report JSON (the nightly CI regression gate)."""
+    known = {
+        finding["fingerprint"]
+        for finding in baseline.get("findings", ())
+        if kind is None or finding.get("kind") == kind
+    }
+    return [fp for fp in report.fingerprints(kind) if fp not in known]

@@ -1,0 +1,89 @@
+"""A process-level cache of composed specifications and action mappings.
+
+Composing a mixed-grained :class:`~repro.tla.spec.Specification` rebuilds
+every module, enumerates all action instances and wires invariants --
+which dominates the startup of small conformance jobs.  A campaign runs
+O(grains x scenarios x faults x seeds) jobs over only O(grains) distinct
+specifications, so the cache keys composed specs on ``(name, config)``
+(both hashable: :class:`~repro.zookeeper.config.ZkConfig` is a frozen
+dataclass that embeds the :class:`SpecVariant`).
+
+Forked campaign workers inherit the parent's populated cache by memory
+image, so pre-warming once in the parent makes campaign startup
+O(grains), not O(jobs).
+
+Cached specifications are shared: callers must not mutate them (no
+``spec.invariants`` surgery -- build a private spec for that).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.tla.spec import Specification
+from repro.zookeeper.config import SpecVariant, ZkConfig
+
+_LOCK = threading.Lock()
+_SPECS: Dict[Tuple, Specification] = {}
+_MAPPINGS: Dict[str, object] = {}
+_STATS = {"hits": 0, "misses": 0}
+
+
+def cached_spec(
+    name: str,
+    config: Optional[ZkConfig] = None,
+    variant: Optional[SpecVariant] = None,
+) -> Specification:
+    """A shared, composed Table 1 specification for ``(name, config)``.
+
+    The first call per key composes via
+    :func:`repro.zookeeper.specs.make_spec` and primes the instance
+    index; later calls (and forked children) reuse the same object.
+    """
+    from repro.zookeeper.specs import make_spec
+
+    config = config or ZkConfig()
+    if variant is not None:
+        config = config.with_variant(variant)
+    key = (name, config)
+    with _LOCK:
+        spec = _SPECS.get(key)
+        if spec is not None:
+            _STATS["hits"] += 1
+            return spec
+        _STATS["misses"] += 1
+    spec = make_spec(name, config)
+    spec.action_instances()  # pre-enumerate so workers inherit the index
+    with _LOCK:
+        return _SPECS.setdefault(key, spec)
+
+
+def cached_mapping(name: str):
+    """The shared :class:`~repro.remix.mapping.ActionMapping` for a Table
+    1 grain (mappings depend only on the granularity selection)."""
+    from repro.remix.mapping import mapping_for
+    from repro.zookeeper.specs import SELECTIONS
+
+    with _LOCK:
+        mapping = _MAPPINGS.get(name)
+        if mapping is not None:
+            return mapping
+    mapping = mapping_for(SELECTIONS[name])
+    with _LOCK:
+        return _MAPPINGS.setdefault(name, mapping)
+
+
+def stats() -> Dict[str, int]:
+    """Cache hit/miss counters (for tests and campaign reports)."""
+    with _LOCK:
+        return dict(_STATS, size=len(_SPECS))
+
+
+def clear() -> None:
+    """Drop every cached spec/mapping and reset the counters."""
+    with _LOCK:
+        _SPECS.clear()
+        _MAPPINGS.clear()
+        _STATS["hits"] = 0
+        _STATS["misses"] = 0

@@ -79,6 +79,7 @@ class Specification:
         self.constraint = constraint
         self._instances: Optional[List[ActionInstance]] = None
         self._by_label: Optional[Dict[ActionLabel, ActionInstance]] = None
+        self._by_name_args: Optional[Dict[Tuple, ActionInstance]] = None
 
     def __repr__(self) -> str:
         return (
@@ -106,6 +107,22 @@ class Specification:
         if self._by_label is None:
             self._by_label = {inst.label: inst for inst in self.action_instances()}
         return self._by_label[label]
+
+    def instance_named(
+        self, name: str, args: Optional[Dict[str, Any]] = None
+    ) -> Optional[ActionInstance]:
+        """Look up an instance by action name and argument dict.
+
+        The ``(name, frozenset(args))`` index is built once per
+        specification, so scripted drivers (scenario prefixes, fault
+        schedules) stay O(1) per applied step instead of scanning every
+        instance."""
+        if self._by_name_args is None:
+            self._by_name_args = {
+                (inst.label.name, frozenset(inst.label.binding)): inst
+                for inst in self.action_instances()
+            }
+        return self._by_name_args.get((name, frozenset((args or {}).items())))
 
     def initial_states(self) -> List[State]:
         return list(self.init(self.config))

@@ -9,6 +9,9 @@ SyncRequestProcessor queue alive across an epoch change
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Tuple
+
 from repro.tla.action import Action
 from repro.tla.module import Module
 from repro.tla.values import Rec, last_zxid
@@ -283,3 +286,88 @@ def faults_module(config: ZkConfig) -> Module:
         ),
     ]
     return Module("Faults", actions)
+
+
+# --- campaign fault schedules ------------------------------------------------
+
+#: Placeholder argument values resolved against the campaign's (leader,
+#: follower) roles when a schedule is injected.
+_ROLE_LEADER = "leader"
+_ROLE_FOLLOWER = "follower"
+_ROLE_PAIR = "leader-follower-pair"
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A scripted fault injection appended to a scenario prefix.
+
+    ``steps`` is a sequence of ``(action_name, ((param, role), ...))``
+    entries whose role placeholders are resolved against the campaign's
+    leader/follower choice at injection time.  Injection raises
+    :class:`~repro.zookeeper.scenarios.ScenarioError` when a step is not
+    enabled, which the campaign records as an inapplicable cell rather
+    than a finding.
+    """
+
+    name: str
+    steps: Tuple[Tuple[str, Tuple[Tuple[str, str], ...]], ...] = ()
+
+    def inject(self, scenario, leader: int, follower: int):
+        """Apply the scripted faults to a scenario, in order."""
+        for action, params in self.steps:
+            args = {}
+            for key, role in params:
+                if role == _ROLE_LEADER:
+                    args[key] = leader
+                elif role == _ROLE_FOLLOWER:
+                    args[key] = follower
+                elif role == _ROLE_PAIR:
+                    args[key] = tuple(sorted((leader, follower)))
+                else:  # pragma: no cover - schedule construction error
+                    raise ValueError(f"unknown role {role!r}")
+            scenario.apply(action, **args)
+        return scenario
+
+
+#: The canned fault matrix a campaign crosses with its scenario prefixes.
+FAULT_SCHEDULES: Tuple[FaultSchedule, ...] = (
+    FaultSchedule("none"),
+    FaultSchedule(
+        "crash-leader", (("NodeCrash", (("i", _ROLE_LEADER),)),)
+    ),
+    FaultSchedule(
+        "crash-follower", (("NodeCrash", (("i", _ROLE_FOLLOWER),)),)
+    ),
+    FaultSchedule(
+        "crash-restart-follower",
+        (
+            ("NodeCrash", (("i", _ROLE_FOLLOWER),)),
+            ("NodeRestart", (("i", _ROLE_FOLLOWER),)),
+        ),
+    ),
+    FaultSchedule(
+        "partition", (("PartitionStart", (("pair", _ROLE_PAIR),)),)
+    ),
+    FaultSchedule(
+        "partition-shutdown",
+        (
+            ("PartitionStart", (("pair", _ROLE_PAIR),)),
+            ("FollowerShutdown", (("i", _ROLE_FOLLOWER),)),
+        ),
+    ),
+)
+
+
+def fault_schedules() -> Tuple[FaultSchedule, ...]:
+    """The canned fault schedules, in matrix order."""
+    return FAULT_SCHEDULES
+
+
+def fault_schedule(name: str) -> FaultSchedule:
+    for schedule in FAULT_SCHEDULES:
+        if schedule.name == name:
+            return schedule
+    raise KeyError(
+        f"unknown fault schedule {name!r}; options: "
+        f"{[s.name for s in FAULT_SCHEDULES]}"
+    )

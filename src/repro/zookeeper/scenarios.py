@@ -30,10 +30,10 @@ class Scenario:
         self.states: List[State] = [self.state]
 
     def _instance(self, name: str, args: dict):
-        for inst in self.spec.action_instances():
-            if inst.label.name == name and inst.label.args == args:
-                return inst
-        raise ScenarioError(f"no action instance {name}{args}")
+        inst = self.spec.instance_named(name, args)
+        if inst is None:
+            raise ScenarioError(f"no action instance {name}{args}")
+        return inst
 
     def apply(self, name: str, **args) -> "Scenario":
         """Apply one action; raises ScenarioError when disabled."""
@@ -138,3 +138,56 @@ class Scenario:
 
     def restart(self, server: int) -> "Scenario":
         return self.apply("NodeRestart", i=server)
+
+
+# --- campaign prefixes -------------------------------------------------------
+
+
+def _prefix_election(spec: Specification, leader: int, quorum) -> Scenario:
+    return Scenario(spec).elect(leader, quorum)
+
+
+def _prefix_sync(spec: Specification, leader: int, quorum) -> Scenario:
+    follower = min(j for j in quorum if j != leader)
+    return Scenario(spec).elect(leader, quorum).sync_follower(leader, follower)
+
+
+def _prefix_broadcast(spec: Specification, leader: int, quorum) -> Scenario:
+    return Scenario(spec).serving_cluster(leader, quorum)
+
+
+def _prefix_commit(spec: Specification, leader: int, quorum) -> Scenario:
+    follower = min(j for j in quorum if j != leader)
+    return (
+        Scenario(spec)
+        .serving_cluster(leader, quorum)
+        .commit_transaction(leader, follower)
+    )
+
+
+#: Named scenario prefixes a conformance campaign starts its cells from:
+#: each builder drives a freshly composed specification to an interesting
+#: state (just elected / one follower synced / fully serving / a committed
+#: transaction) before faults and random suffixes are layered on top.
+SCENARIO_PREFIXES = {
+    "election": _prefix_election,
+    "sync": _prefix_sync,
+    "broadcast": _prefix_broadcast,
+    "commit": _prefix_commit,
+}
+
+
+def scenario_prefix(
+    name: str, spec: Specification, leader: int, quorum
+) -> Scenario:
+    """Build one of the named campaign prefixes; raises
+    :class:`ScenarioError` when the prefix cannot be scripted for this
+    specification (e.g. an action the grain does not expose)."""
+    try:
+        builder = SCENARIO_PREFIXES[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown scenario prefix {name!r}; options: "
+            f"{list(SCENARIO_PREFIXES)}"
+        ) from None
+    return builder(spec, leader, tuple(sorted(quorum)))

@@ -1,0 +1,342 @@
+"""Tests for the conformance campaign: matrix enumeration, determinism,
+dedup, JSON schema round-trip, the spec cache and the generic task pool."""
+
+import json
+
+import pytest
+
+from repro.checker import parallel
+from repro.checker.parallel import TaskPool
+from repro.remix import spec_cache
+from repro.remix.campaign import (
+    CampaignJob,
+    CampaignReport,
+    ConformanceCampaign,
+    DEFAULT_FAULTS,
+    DEFAULT_GRAINS,
+    DEFAULT_SCENARIOS,
+    campaign_config,
+    canonical_value,
+    finding_fingerprint,
+    merge_cells,
+    new_fingerprints,
+    parse_budget,
+    run_cell,
+)
+from repro.zookeeper import ZkConfig, make_spec
+from repro.zookeeper.faults import FaultSchedule, fault_schedule, fault_schedules
+from repro.zookeeper.scenarios import SCENARIO_PREFIXES, Scenario, scenario_prefix
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    spec_cache.clear()
+    yield
+    spec_cache.clear()
+
+
+def small_campaign(**overrides):
+    kwargs = dict(
+        grains=("mSpec-1",),
+        scenarios=("election", "broadcast"),
+        faults=("none", "crash-follower"),
+        traces=1,
+        max_steps=5,
+        seed=7,
+    )
+    kwargs.update(overrides)
+    return ConformanceCampaign(**kwargs)
+
+
+class TestMatrix:
+    def test_default_matrix_size(self):
+        campaign = ConformanceCampaign(seeds=2)
+        jobs = campaign.jobs()
+        expected = (
+            len(DEFAULT_GRAINS) * len(DEFAULT_SCENARIOS) * len(DEFAULT_FAULTS) * 2
+        )
+        assert len(jobs) == expected
+        assert [job.index for job in jobs] == list(range(expected))
+
+    def test_scenario_fault_cells_at_least_12(self):
+        cells = {
+            (job.scenario, job.fault)
+            for job in ConformanceCampaign().jobs()
+        }
+        assert len(cells) >= 12
+
+    def test_unmappable_grain_rejected(self):
+        with pytest.raises(KeyError, match="unknown or unmappable grain"):
+            ConformanceCampaign(grains=("SysSpec",))
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(KeyError, match="unknown fault schedule"):
+            ConformanceCampaign(faults=("meteor-strike",))
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            ConformanceCampaign(scenarios=("apocalypse",))
+
+    def test_fault_schedules_enumeration(self):
+        names = [schedule.name for schedule in fault_schedules()]
+        assert names[0] == "none"
+        assert len(names) == len(set(names)) >= 6
+        for name in names:
+            assert fault_schedule(name).name == name
+
+
+class TestCellExecution:
+    def test_cell_runs_and_covers_actions(self):
+        job = CampaignJob(0, "mSpec-1", "broadcast", "crash-leader", 7, 2, 6)
+        cell = run_cell(job, campaign_config())
+        assert cell["status"] == "ok"
+        assert cell["traces"] == 2
+        assert cell["steps_replayed"] > 0
+        assert cell["actions_covered"] >= 2
+
+    def test_inapplicable_fault_is_reported_not_raised(self):
+        # No partition budget -> PartitionStart is never enabled.
+        config = ZkConfig(
+            n_servers=3, max_txns=1, max_crashes=1, max_partitions=0,
+            max_epoch=3,
+        )
+        job = CampaignJob(0, "mSpec-1", "election", "partition", 7, 1, 4)
+        cell = run_cell(job, config)
+        assert cell["status"] == "inapplicable"
+        assert "not enabled" in cell["reason"]
+        assert cell["findings"] == []
+
+    def test_cell_seeds_differ_across_cells(self):
+        from repro.remix.campaign import _cell_seed
+
+        jobs = [
+            CampaignJob(i, "mSpec-1", scenario, fault, 7, 1, 4)
+            for i, (scenario, fault) in enumerate(
+                [("election", "none"), ("election", "partition"),
+                 ("sync", "none")]
+            )
+        ]
+        seeds = {_cell_seed(job, 0) for job in jobs}
+        assert len(seeds) == len(jobs)
+
+
+class TestDeterminismAndDedup:
+    def test_fixed_seed_reproducible(self):
+        first = small_campaign().run().to_json()
+        second = small_campaign().run().to_json()
+        assert first["cells"] == second["cells"]
+        assert first["findings"] == second["findings"]
+        assert first["totals"] == second["totals"]
+
+    @pytest.mark.skipif(not parallel.available(), reason="needs fork")
+    def test_workers_do_not_change_findings(self):
+        seq = small_campaign(workers=1).run().to_json()
+        par = small_campaign(workers=2).run().to_json()
+        assert seq["cells"] == par["cells"]
+        assert seq["findings"] == par["findings"]
+        assert seq["totals"] == par["totals"]
+
+    def test_merge_dedups_identical_findings(self):
+        jobs = [
+            CampaignJob(0, "mSpec-1", "election", "none", 7, 1, 4),
+            CampaignJob(1, "mSpec-1", "sync", "none", 7, 1, 4),
+        ]
+        finding = {
+            "fingerprint": "abcd", "kind": "state_mismatch",
+            "detail": "x differs",
+        }
+        results = [
+            dict(grain="mSpec-1", scenario="election", fault="none", seed=7,
+                 status="ok", traces=1, steps_replayed=4, actions_covered=2,
+                 discrepancies=1, impl_bugs=0, findings=[dict(finding)]),
+            dict(grain="mSpec-1", scenario="sync", fault="none", seed=7,
+                 status="ok", traces=1, steps_replayed=4, actions_covered=2,
+                 discrepancies=1, impl_bugs=0, findings=[dict(finding)]),
+        ]
+        report = merge_cells({}, jobs, results)
+        assert len(report.findings) == 1
+        assert report.findings[0]["count"] == 2
+        assert report.findings[0]["cells"] == [
+            "mSpec-1/election/none/s7", "mSpec-1/sync/none/s7",
+        ]
+        assert report.totals["discrepancies"] == 2
+        assert report.totals["distinct_findings"] == 1
+
+    def test_finding_counts_aggregate_to_cell_totals(self):
+        report = small_campaign(
+            scenarios=("sync",), faults=("crash-restart-follower",),
+            grains=("mSpec-2",), traces=2, max_steps=10,
+        ).run()
+        totals = report.totals
+        assert sum(f["count"] for f in report.findings) == (
+            totals["discrepancies"] + totals["impl_bugs"]
+        )
+
+    def test_skipped_jobs_recorded(self):
+        report = small_campaign(budget=1e-9).run()
+        assert report.totals["skipped"] == report.totals["cells"] > 0
+        assert report.findings == []
+
+
+class TestReportSchema:
+    def test_json_round_trip(self):
+        report = small_campaign().run()
+        blob = json.dumps(report.to_json())
+        back = CampaignReport.from_json(json.loads(blob))
+        assert back.cells == report.cells
+        assert back.findings == report.findings
+        assert back.totals == report.totals
+        assert back.meta == report.meta
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="unsupported campaign schema"):
+            CampaignReport.from_json({"schema": "bogus/9"})
+
+    def test_new_fingerprints_gate(self):
+        report = CampaignReport(
+            meta={},
+            cells=[],
+            findings=[
+                {"fingerprint": "aa", "kind": "impl_bug"},
+                {"fingerprint": "bb", "kind": "state_mismatch"},
+            ],
+        )
+        empty = {"findings": []}
+        assert new_fingerprints(report, empty) == ["aa"]
+        known = {"findings": [{"fingerprint": "aa", "kind": "impl_bug"}]}
+        assert new_fingerprints(report, known) == []
+
+    def test_parse_budget(self):
+        assert parse_budget("5s") == 5.0
+        assert parse_budget("2m") == 120.0
+        assert parse_budget("90") == 90.0
+        assert parse_budget("500ms") == 0.5
+        with pytest.raises(ValueError):
+            parse_budget("soon")
+        with pytest.raises(ValueError):
+            parse_budget("-3s")
+
+    def test_canonical_value_is_order_stable(self):
+        left = canonical_value(frozenset({(1, 2), (0, 5), (3, 1)}))
+        right = canonical_value(frozenset({(3, 1), (1, 2), (0, 5)}))
+        assert left == right
+        assert finding_fingerprint({"v": left}) == finding_fingerprint(
+            {"v": right}
+        )
+
+
+class TestSpecCache:
+    def test_same_key_returns_same_object(self):
+        config = campaign_config()
+        first = spec_cache.cached_spec("mSpec-1", config)
+        second = spec_cache.cached_spec("mSpec-1", config)
+        assert first is second
+        stats = spec_cache.stats()
+        assert stats["misses"] == 1 and stats["hits"] == 1
+
+    def test_distinct_configs_distinct_specs(self):
+        first = spec_cache.cached_spec("mSpec-1", campaign_config())
+        second = spec_cache.cached_spec(
+            "mSpec-1", campaign_config().with_variant(
+                campaign_config().variant.with_(fix_follower_shutdown=True)
+            )
+        )
+        assert first is not second
+
+    def test_cached_mapping(self):
+        assert spec_cache.cached_mapping("mSpec-3") is spec_cache.cached_mapping(
+            "mSpec-3"
+        )
+
+
+class TestScenarioIndex:
+    def test_instance_named_matches_linear_scan(self):
+        spec = make_spec("mSpec-1", campaign_config())
+        inst = spec.instance_named("NodeCrash", {"i": 1})
+        assert inst is not None
+        by_scan = [
+            candidate
+            for candidate in spec.action_instances()
+            if candidate.label.name == "NodeCrash"
+            and candidate.label.args == {"i": 1}
+        ]
+        assert inst is by_scan[0]
+
+    def test_instance_named_unknown_is_none(self):
+        spec = make_spec("mSpec-1", campaign_config())
+        assert spec.instance_named("Bogus", {"i": 1}) is None
+        assert spec.instance_named("NodeCrash", {"i": 99}) is None
+
+    def test_scenario_prefixes_cover_all_grains(self):
+        for grain in DEFAULT_GRAINS:
+            spec = spec_cache.cached_spec(grain, campaign_config())
+            for name in SCENARIO_PREFIXES:
+                prefix = scenario_prefix(name, spec, 2, (0, 1, 2))
+                assert len(prefix.labels) > 0
+
+    def test_fault_injection_applies_steps(self):
+        spec = spec_cache.cached_spec("mSpec-1", campaign_config())
+        scenario = Scenario(spec).serving_cluster()
+        before = len(scenario.labels)
+        fault_schedule("crash-restart-follower").inject(scenario, 2, 0)
+        assert len(scenario.labels) == before + 2
+        assert scenario.labels[-2].name == "NodeCrash"
+        assert scenario.labels[-1].name == "NodeRestart"
+
+    def test_custom_schedule_roles_resolve(self):
+        spec = spec_cache.cached_spec("mSpec-1", campaign_config())
+        scenario = Scenario(spec).serving_cluster()
+        schedule = FaultSchedule(
+            "custom", (("PartitionStart", (("pair", "leader-follower-pair"),)),)
+        )
+        schedule.inject(scenario, 2, 0)
+        assert scenario.labels[-1].args == {"pair": (0, 2)}
+
+
+@pytest.mark.skipif(not parallel.available(), reason="needs fork")
+class TestTaskPool:
+    def test_map_preserves_task_order(self):
+        pool = TaskPool(lambda task: task * task, workers=3)
+        try:
+            assert pool.map(list(range(17))) == [i * i for i in range(17)]
+        finally:
+            pool.close()
+
+    def test_deadline_skips_remaining_tasks(self):
+        import time
+
+        pool = TaskPool(lambda task: task, workers=2)
+        try:
+            results = pool.map([1, 2, 3], deadline=time.monotonic() - 1.0)
+        finally:
+            pool.close()
+        assert results == [None, None, None]
+
+    def test_worker_error_surfaces(self):
+        def boom(task):
+            raise ValueError(f"bad task {task}")
+
+        pool = TaskPool(boom, workers=2)
+        try:
+            with pytest.raises(RuntimeError, match="task 0 failed"):
+                pool.map([1])
+        finally:
+            pool.close()
+
+    def test_dead_worker_does_not_hang_map(self):
+        import os
+
+        def sometimes_die(task):
+            if task == "die":
+                os._exit(1)
+            return task
+
+        pool = TaskPool(sometimes_die, workers=2)
+        try:
+            results = pool.map(["ok", "die"])
+        finally:
+            pool.close()
+        # The poisoned task kills every worker it is requeued onto and
+        # comes back None; completed results survive.
+        assert results[0] == "ok"
+        assert results[1] is None
