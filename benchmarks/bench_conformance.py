@@ -13,8 +13,9 @@ smoke for CI::
         --budget 10s --workers 2 --json bench-campaign.json
 
 which runs a small conformance campaign and emits the *same*
-``repro.campaign/1`` JSON schema as ``python -m repro campaign --json``,
-so ``bench_reports.txt`` trajectories stay comparable across PRs.
+``repro.campaign/2`` JSON schema as ``python -m repro campaign --json``,
+so ``bench_reports.txt`` trajectories stay comparable across PRs
+(``--shrink`` / ``--adaptive`` forward to the campaign stages).
 """
 
 import argparse
@@ -138,9 +139,11 @@ def test_zz_report(benchmark):
 # --------------------------------------------------------------- CLI smoke
 
 
-def run_campaign_smoke(budget, workers, seed, seeds, traces, steps):
+def run_campaign_smoke(
+    budget, workers, seed, seeds, traces, steps, shrink=False, adaptive=False
+):
     """Run a small conformance campaign; returns the report JSON (the
-    same ``repro.campaign/1`` schema as ``python -m repro campaign``)."""
+    same ``repro.campaign/2`` schema as ``python -m repro campaign``)."""
     from repro.remix.campaign import ConformanceCampaign, parse_budget
 
     campaign = ConformanceCampaign(
@@ -150,6 +153,8 @@ def run_campaign_smoke(budget, workers, seed, seeds, traces, steps):
         seed=seed,
         workers=workers,
         budget=parse_budget(budget) if budget else None,
+        shrink=shrink,
+        adaptive=adaptive,
     )
     return campaign.run().to_json()
 
@@ -168,13 +173,21 @@ def main(argv=None):
     parser.add_argument("--seeds", type=int, default=1)
     parser.add_argument("--traces", type=int, default=2)
     parser.add_argument("--steps", type=int, default=12)
+    parser.add_argument(
+        "--shrink", action="store_true",
+        help="attach a minimized min_trace to every finding",
+    )
+    parser.add_argument(
+        "--adaptive", action="store_true",
+        help="adaptive (yield-chasing) matrix scheduling",
+    )
     parser.add_argument("--json", dest="json_path", default=None)
     args = parser.parse_args(argv)
     if not args.campaign:
         parser.error("pass --campaign to run the CLI smoke mode")
     report = run_campaign_smoke(
         args.budget, args.workers, args.seed, args.seeds, args.traces,
-        args.steps,
+        args.steps, shrink=args.shrink, adaptive=args.adaptive,
     )
     text = json.dumps(report, indent=2)
     if args.json_path:

@@ -10,7 +10,12 @@ from repro.checker.fingerprint import Fingerprinter, fingerprint_state
 from repro.checker.pretty import format_state, format_trace
 from repro.checker.random_walk import RandomWalker
 from repro.checker.result import CheckResult, Violation
-from repro.checker.shrink import shrink_trace, violation_predicate
+from repro.checker.shrink import (
+    TraceOracle,
+    shrink_trace,
+    shrink_trace_oracle,
+    violation_predicate,
+)
 from repro.checker.trace import Trace, traces_project_equal
 
 __all__ = [
@@ -25,6 +30,7 @@ __all__ = [
     "RandomWalker",
     "STRATEGIES",
     "Trace",
+    "TraceOracle",
     "Violation",
     "check",
     "explore",
@@ -33,6 +39,7 @@ __all__ = [
     "format_trace",
     "measure_coverage",
     "shrink_trace",
+    "shrink_trace_oracle",
     "traces_project_equal",
     "violation_predicate",
 ]

@@ -71,12 +71,6 @@ class RandomWalker:
                 break
             trace = self.walk(max_steps)
             if stop_when is not None:
-                for index, state in enumerate(trace.states):
-                    if stop_when(state):
-                        trace = Trace(
-                            states=trace.states[: index + 1],
-                            labels=trace.labels[:index],
-                        )
-                        break
+                trace = trace.truncated_at(stop_when)
             out.append(trace)
         return out

@@ -2,9 +2,19 @@
 
 BFS already yields minimal-*depth* traces, but traces produced by random
 walks (conformance checking) or DFS carry irrelevant steps.  The shrinker
-greedily deletes steps while the trace still replays and still ends in a
-state satisfying the target predicate -- the standard delta-debugging
-loop specialized to action traces.
+greedily deletes steps while the trace still replays and an *oracle*
+still accepts it -- the standard delta-debugging loop specialized to
+action traces.
+
+Two oracle flavours are supported:
+
+- a state predicate (``still_fails``): the shrunk trace must end in a
+  state satisfying it (model-invariant violations);
+- an arbitrary trace oracle (:data:`TraceOracle`): any callable judging
+  a replayed candidate trace as a whole.  The conformance campaign's
+  :class:`~repro.remix.minimize.ConformanceOracle` re-runs candidates
+  through the code-level coordinator and accepts them iff they reproduce
+  the same finding fingerprint.
 """
 
 from __future__ import annotations
@@ -17,6 +27,10 @@ from repro.tla.spec import Specification
 from repro.tla.state import State
 
 Predicate = Callable[[State], bool]
+
+#: An oracle judging a *replayed* candidate trace: return True when the
+#: candidate still reproduces the failure being minimized.
+TraceOracle = Callable[[Trace], bool]
 
 
 def _try_replay(
@@ -35,24 +49,24 @@ def _try_replay(
     return states
 
 
-def shrink_trace(
+def shrink_trace_oracle(
     spec: Specification,
     trace: Trace,
-    still_fails: Predicate,
+    oracle: TraceOracle,
     max_rounds: int = 10,
 ) -> Trace:
-    """Remove steps from ``trace`` while its final state still satisfies
-    ``still_fails`` (e.g. "violates I-8").
+    """Remove steps from ``trace`` while ``oracle`` still accepts the
+    replayed remainder.
 
     Greedy loop: try deleting contiguous chunks (halving the chunk size
     each round), keeping any deletion after which the remaining labels
-    still replay into a failing state.  The result is 1-minimal with
-    respect to single-step deletion when the loop converges.
+    still replay into an oracle-accepted trace.  The result is 1-minimal
+    with respect to single-step deletion when the loop converges.
     """
     labels = list(trace.labels)
     initial = trace.initial
     states = _try_replay(spec, labels, initial)
-    if states is None or not still_fails(states[-1]):
+    if states is None or not oracle(Trace(states=states, labels=labels)):
         raise ValueError("the input trace does not reproduce the failure")
 
     for _ in range(max_rounds):
@@ -63,7 +77,9 @@ def shrink_trace(
             while index < len(labels):
                 candidate = labels[:index] + labels[index + chunk :]
                 replayed = _try_replay(spec, candidate, initial)
-                if replayed is not None and still_fails(replayed[-1]):
+                if replayed is not None and oracle(
+                    Trace(states=replayed, labels=candidate)
+                ):
                     labels = candidate
                     states = replayed
                     changed = True
@@ -73,6 +89,27 @@ def shrink_trace(
         if not changed:
             break
     return Trace(states=states, labels=labels)
+
+
+def shrink_trace(
+    spec: Specification,
+    trace: Trace,
+    still_fails: Predicate,
+    max_rounds: int = 10,
+) -> Trace:
+    """Remove steps from ``trace`` while its final state still satisfies
+    ``still_fails`` (e.g. "violates I-8").
+
+    The input is first truncated at the *first* state satisfying the
+    predicate: engine/DFS traces are not always ``stop_when``-truncated
+    the way random-walk ones are, and the violating state can sit
+    mid-trace rather than at the end.
+    """
+    truncated = trace.truncated_at(still_fails)
+    return shrink_trace_oracle(
+        spec, truncated, lambda candidate: still_fails(candidate.final),
+        max_rounds=max_rounds,
+    )
 
 
 def violation_predicate(spec: Specification, ident: str) -> Predicate:

@@ -56,6 +56,22 @@ class Trace:
                 out.append(projected)
         return tuple(out)
 
+    def truncated_at(self, predicate) -> "Trace":
+        """The prefix ending at the *first* state satisfying ``predicate``
+        (the whole trace when no state does).
+
+        Random walks truncate at violating states before replay, and the
+        shrinker truncates before delta debugging: engine/DFS traces may
+        pass through the target state mid-trace rather than end on it.
+        """
+        for index, state in enumerate(self.states):
+            if predicate(state):
+                return Trace(
+                    states=self.states[: index + 1],
+                    labels=self.labels[:index],
+                )
+        return self
+
     def describe(self, max_steps: int = 50) -> str:
         """Human-readable rendering (for violation reports)."""
         lines = [f"Trace with {len(self)} steps:"]

@@ -110,6 +110,7 @@ def cmd_campaign(args) -> int:
     import json
 
     from repro.remix.campaign import (
+        COMPAT_SCHEMAS,
         DEFAULT_FAULTS,
         DEFAULT_GRAINS,
         DEFAULT_SCENARIOS,
@@ -129,11 +130,31 @@ def cmd_campaign(args) -> int:
             seed=args.seed,
             workers=args.workers,
             budget=parse_budget(args.budget) if args.budget else None,
+            adaptive=args.adaptive,
+            shrink=args.shrink,
         )
     except (KeyError, ValueError) as error:
         message = error.args[0] if error.args else str(error)
         print(f"campaign: {message}", file=sys.stderr)
         return 2
+    baseline = None
+    if args.baseline:
+        # Load and validate before the (multi-minute) campaign runs: a
+        # missing or stale baseline should fail in milliseconds.
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as error:
+            print(f"campaign: baseline {args.baseline}: {error}", file=sys.stderr)
+            return 2
+        if baseline.get("schema") not in COMPAT_SCHEMAS:
+            print(
+                f"campaign: baseline {args.baseline} has unsupported schema "
+                f"{baseline.get('schema')!r} (expected one of "
+                f"{list(COMPAT_SCHEMAS)})",
+                file=sys.stderr,
+            )
+            return 2
     report = campaign.run()
     payload = report.to_json()
     if args.json_path == "-":
@@ -141,7 +162,14 @@ def cmd_campaign(args) -> int:
     else:
         print(report.summary())
         for finding in report.findings[:10]:
-            print(f"  [{finding['fingerprint']}] {finding['detail']}")
+            line = f"  [{finding['fingerprint']}] {finding['detail']}"
+            min_trace = finding.get("min_trace", {})
+            if min_trace.get("status") == "ok":
+                line += (
+                    f" (minimized {min_trace['witness_steps']}"
+                    f" -> {min_trace['steps']} steps)"
+                )
+            print(line)
         if len(report.findings) > 10:
             print(f"  ... ({len(report.findings) - 10} more)")
         if args.json_path:
@@ -149,9 +177,14 @@ def cmd_campaign(args) -> int:
                 json.dump(payload, fh, indent=2)
                 fh.write("\n")
             print(f"report written to {args.json_path}")
-    if args.baseline:
-        with open(args.baseline) as fh:
-            baseline = json.load(fh)
+    if args.repros:
+        # Keep stdout clean when the JSON report goes there.
+        _write_repros(
+            args.repros,
+            report,
+            stream=sys.stderr if args.json_path == "-" else sys.stdout,
+        )
+    if baseline is not None:
         fresh = new_fingerprints(report, baseline)
         # Keep stdout clean when the JSON report goes there.
         stream = sys.stderr if args.json_path == "-" else sys.stdout
@@ -164,6 +197,39 @@ def cmd_campaign(args) -> int:
             return 2
         print(f"no new impl-bug fingerprints vs {args.baseline}", file=stream)
     return 0
+
+
+def _write_repros(directory: str, report, stream=sys.stdout) -> None:
+    """Dump one replayable repro JSON per finding (the nightly artifact
+    uploaded next to the campaign report)."""
+    import json
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    for finding in report.findings:
+        path = os.path.join(directory, f"{finding['fingerprint']}.json")
+        with open(path, "w") as fh:
+            json.dump(
+                {
+                    key: finding[key]
+                    for key in (
+                        "fingerprint",
+                        "kind",
+                        "grain",
+                        "detail",
+                        "witness",
+                        "min_trace",
+                    )
+                    if key in finding
+                },
+                fh,
+                indent=2,
+            )
+            fh.write("\n")
+    print(
+        f"{len(report.findings)} repro traces written to {directory}/",
+        file=stream,
+    )
 
 
 def _hunt_bug(args, spec_name, config, family, instance, masked, variant):
@@ -318,6 +384,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="forked campaign workers (1 = inline)",
     )
     p_camp.add_argument("--seed", type=int, default=0)
+    p_camp.add_argument(
+        "--shrink", action="store_true",
+        help="minimize each distinct finding's witness after the merge "
+        "(attaches a replayable min_trace per finding)",
+    )
+    p_camp.add_argument(
+        "--adaptive", action="store_true",
+        help="reallocate the seed budget in rounds toward cells with the "
+        "highest novel-fingerprint yield (default: uniform matrix)",
+    )
+    p_camp.add_argument(
+        "--repros", default=None, metavar="DIR",
+        help="write one replayable repro JSON per finding into DIR",
+    )
     p_camp.add_argument(
         "--json", dest="json_path", nargs="?", const="-", default=None,
         help="emit the JSON report (to stdout, or to the given path)",

@@ -17,6 +17,13 @@ from repro.remix.coordinator import (
     ReplayResult,
 )
 from repro.remix.mapping import ActionMapping, MappedAction, mapping_for
+from repro.remix.minimize import (
+    ConformanceOracle,
+    rebuild_witness,
+    replay_min_trace,
+    shrink_finding,
+    unreplayable_min_traces,
+)
 from repro.remix.registry import SpecRegistry
 from repro.remix.spec_cache import cached_mapping, cached_spec
 from repro.remix.trace_validation import (
@@ -33,6 +40,7 @@ __all__ = [
     "CampaignReport",
     "ConformanceCampaign",
     "ConformanceChecker",
+    "ConformanceOracle",
     "ConformanceReport",
     "Coordinator",
     "Discrepancy",
@@ -47,4 +55,8 @@ __all__ = [
     "cached_mapping",
     "cached_spec",
     "mapping_for",
+    "rebuild_witness",
+    "replay_min_trace",
+    "shrink_finding",
+    "unreplayable_min_traces",
 ]

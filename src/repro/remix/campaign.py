@@ -29,6 +29,23 @@ cell:
 Determinism: cells carry their own seeds, the pool slots results by cell
 index, and findings dedup in first-seen cell order -- so ``workers=2``
 produces a report identical in findings to ``workers=1``.
+
+Two optional stages turn the detector into a budget-aware repro factory:
+
+- ``shrink=True`` adds a post-merge minimization stage: each distinct
+  finding's first witnessing trace is rebuilt from the metadata stored
+  in the finding (scenario prefix + fault schedule + suffix seed/steps),
+  then delta-debugged across the same :class:`TaskPool` under a
+  :class:`~repro.remix.minimize.ConformanceOracle` that accepts a
+  candidate iff it reproduces the *same* fingerprint.  The result is a
+  ``min_trace`` (replayable labels + length) attached to the finding.
+- ``adaptive=True`` replaces the uniform matrix with a round-based
+  scheduler: every round re-allocates a third of its cells toward the
+  (grain, scenario, fault) coordinates with the highest
+  novel-fingerprint yield so far (largest-remainder on yields) and
+  spends the rest on the least-sampled cells, under the same total job
+  budget.  Rounds are barriers, so worker count still never changes the
+  report.
 """
 
 from __future__ import annotations
@@ -39,7 +56,7 @@ import json
 import time
 import zlib
 from collections.abc import Mapping as ABCMapping
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.checker import parallel
@@ -48,7 +65,7 @@ from repro.checker.random_walk import RandomWalker
 from repro.checker.trace import Trace
 from repro.remix.coordinator import Coordinator
 from repro.remix.spec_cache import cached_mapping, cached_spec
-from repro.zookeeper.config import ZkConfig
+from repro.zookeeper.config import SpecVariant, ZkConfig
 from repro.zookeeper.faults import FAULT_SCHEDULES, fault_schedule
 from repro.zookeeper.scenarios import (
     SCENARIO_PREFIXES,
@@ -57,7 +74,14 @@ from repro.zookeeper.scenarios import (
 )
 
 #: Version tag of the JSON report; bump on breaking schema changes.
-SCHEMA = "repro.campaign/1"
+#: /2 adds per-finding ``witness`` metadata (suffix seed/steps, enough to
+#: re-derive the witnessing trace) and the optional ``min_trace`` payload.
+SCHEMA = "repro.campaign/2"
+
+#: Report versions :meth:`CampaignReport.from_json` (and ``--baseline``)
+#: accept: /1 reports lack witness/min_trace but carry the same
+#: fingerprint-keyed findings, so they remain valid baselines.
+COMPAT_SCHEMAS = ("repro.campaign/1", SCHEMA)
 
 #: Grains with a code-level action mapping (SysSpec/mSpec-4 replay the
 #: fine-grained FLE, which the coordinator cannot drive; see mapping_for).
@@ -73,6 +97,18 @@ def campaign_config() -> ZkConfig:
     return ZkConfig(
         n_servers=3, max_txns=1, max_crashes=2, max_partitions=1, max_epoch=3
     )
+
+
+def config_from_meta(meta: Dict[str, Any]) -> ZkConfig:
+    """Reconstruct the campaign :class:`ZkConfig` from a report's meta
+    block, so min_traces verify against the spec they were produced with
+    (pre-variant /1-era blocks fall back to the default variant)."""
+    fields = dict(meta.get("config", {}))
+    variant = fields.pop("variant", None)
+    config = ZkConfig(**fields) if fields else campaign_config()
+    if variant:
+        config = config.with_variant(SpecVariant(**variant))
+    return config
 
 
 def parse_budget(text: str) -> float:
@@ -137,6 +173,54 @@ def _cell_seed(job: "CampaignJob", trace_index: int) -> int:
     return (zlib.crc32(coordinates.encode("utf-8")) << 16) ^ (
         job.seed * 1_000_003 + trace_index
     )
+
+
+def trace_findings(result, trace, grain: str) -> List[Dict[str, Any]]:
+    """Reduce one replay result to identity-fingerprinted finding dicts.
+
+    Shared between :func:`run_cell` and the shrink stage's
+    :class:`~repro.remix.minimize.ConformanceOracle`, which accepts a
+    candidate trace iff the target fingerprint is reproduced by exactly
+    this reduction.
+    """
+    findings: List[Dict[str, Any]] = []
+    for discrepancy in result.discrepancies:
+        identity = {
+            "kind": discrepancy.kind,
+            "grain": grain,
+            "label": str(discrepancy.label),
+            "variable": discrepancy.variable,
+            "model": canonical_value(discrepancy.model_value),
+            "impl": canonical_value(discrepancy.impl_value),
+        }
+        findings.append(
+            {
+                "fingerprint": finding_fingerprint(identity),
+                "detail": str(discrepancy),
+                **identity,
+            }
+        )
+    if result.impl_error is not None:
+        step = result.impl_error_step or 0
+        identity = {
+            "kind": "impl_bug",
+            "grain": grain,
+            "bug_id": result.impl_error.bug_id,
+            "error": type(result.impl_error).__name__,
+            "label": str(trace.labels[step]) if trace.labels else "",
+        }
+        findings.append(
+            {
+                "fingerprint": finding_fingerprint(identity),
+                "detail": (
+                    f"{identity['error']}"
+                    f"{' [' + identity['bug_id'] + ']' if identity['bug_id'] else ''}"
+                    f" at {identity['label']}"
+                ),
+                **identity,
+            }
+        )
+    return findings
 
 
 # ------------------------------------------------------------ jobs & cells
@@ -215,44 +299,26 @@ def run_cell(job: CampaignJob, config: ZkConfig) -> Dict[str, Any]:
         covered.update(
             label.name for label in trace.labels[: result.steps_executed]
         )
-        for discrepancy in result.discrepancies:
-            identity = {
-                "kind": discrepancy.kind,
-                "grain": job.grain,
-                "label": str(discrepancy.label),
-                "variable": discrepancy.variable,
-                "model": canonical_value(discrepancy.model_value),
-                "impl": canonical_value(discrepancy.impl_value),
+        for finding in trace_findings(result, trace, job.grain):
+            # Enough metadata to re-derive the witnessing trace without
+            # the trace itself: the scenario prefix and fault schedule
+            # are scripted, the random suffix is fully determined by its
+            # seed and step budget (what the shrink stage rebuilds).
+            finding["witness"] = {
+                "scenario": job.scenario,
+                "fault": job.fault,
+                "seed": job.seed,
+                "leader": leader,
+                "follower": follower,
+                "suffix_seed": _cell_seed(job, trace_index),
+                "suffix_steps": job.max_steps,
+                "steps": len(trace.labels),
             }
-            findings.append(
-                {
-                    "fingerprint": finding_fingerprint(identity),
-                    "detail": str(discrepancy),
-                    **identity,
-                }
-            )
-            cell["discrepancies"] += 1
-        if result.impl_error is not None:
-            step = result.impl_error_step or 0
-            identity = {
-                "kind": "impl_bug",
-                "grain": job.grain,
-                "bug_id": result.impl_error.bug_id,
-                "error": type(result.impl_error).__name__,
-                "label": str(trace.labels[step]) if trace.labels else "",
-            }
-            findings.append(
-                {
-                    "fingerprint": finding_fingerprint(identity),
-                    "detail": (
-                        f"{identity['error']}"
-                        f"{' [' + identity['bug_id'] + ']' if identity['bug_id'] else ''}"
-                        f" at {identity['label']}"
-                    ),
-                    **identity,
-                }
-            )
-            cell["impl_bugs"] += 1
+            findings.append(finding)
+            if finding["kind"] == "impl_bug":
+                cell["impl_bugs"] += 1
+            else:
+                cell["discrepancies"] += 1
     cell["actions_covered"] = len(covered)
     cell["findings"] = findings
     return cell
@@ -289,6 +355,11 @@ class CampaignReport:
             ),
             "impl_bugs": sum(cell["impl_bugs"] for cell in self.cells),
             "distinct_findings": len(self.findings),
+            "min_traces": sum(
+                1
+                for finding in self.findings
+                if finding.get("min_trace", {}).get("status") == "ok"
+            ),
         }
 
     def fingerprints(self, kind: Optional[str] = None) -> List[str]:
@@ -310,7 +381,8 @@ class CampaignReport:
             f"{totals['steps_replayed']} steps replayed, "
             f"{totals['discrepancies']} discrepancies and "
             f"{totals['impl_bugs']} impl-bug reports "
-            f"({totals['distinct_findings']} distinct findings)"
+            f"({totals['distinct_findings']} distinct findings, "
+            f"{totals['min_traces']} minimized)"
         )
 
     def to_json(self) -> Dict[str, Any]:
@@ -324,10 +396,10 @@ class CampaignReport:
 
     @classmethod
     def from_json(cls, data: Dict[str, Any]) -> "CampaignReport":
-        if data.get("schema") != SCHEMA:
+        if data.get("schema") not in COMPAT_SCHEMAS:
             raise ValueError(
                 f"unsupported campaign schema {data.get('schema')!r} "
-                f"(expected {SCHEMA!r})"
+                f"(expected one of {list(COMPAT_SCHEMAS)})"
             )
         return cls(
             meta=dict(data["campaign"]),
@@ -365,8 +437,46 @@ def merge_cells(
 # ------------------------------------------------------------ the runner
 
 
+def allocate_round(
+    round_size: int, novel: Sequence[int], sampled: Sequence[int]
+) -> List[int]:
+    """Deterministic adaptive allocation of one round's jobs to base
+    (grain, scenario, fault) cells.
+
+    A third of the slots *exploit*: they go to cells proportionally to
+    their novel-fingerprint yield so far (largest-remainder rounding,
+    ties broken by matrix index).  The rest *explore*: least-sampled
+    cells first, ties again by index.  Before any yield exists the whole
+    round explores, which reproduces the uniform enumeration order.
+    (A half/half split measurably loses fingerprints that uniform seeds
+    of cold cells would have found; one third keeps coverage while still
+    concentrating seeds where discrepancy density is highest.)
+    """
+    n = len(novel)
+    counts = [0] * n
+    total = sum(novel)
+    exploit = round_size // 3 if total else 0
+    if exploit:
+        quotas = [exploit * weight / total for weight in novel]
+        counts = [int(quota) for quota in quotas]
+        leftover = exploit - sum(counts)
+        order = sorted(range(n), key=lambda i: (counts[i] - quotas[i], i))
+        for i in order[:leftover]:
+            counts[i] += 1
+    for _ in range(round_size - sum(counts)):
+        i = min(range(n), key=lambda j: (sampled[j] + counts[j], j))
+        counts[i] += 1
+    return [i for i in range(n) for _ in range(counts[i])]
+
+
 class ConformanceCampaign:
-    """Enumerate the matrix, fan it across workers, merge the report."""
+    """Enumerate the matrix, fan it across workers, merge the report.
+
+    ``adaptive=True`` schedules the same total job budget in rounds that
+    chase novel-fingerprint yield instead of enumerating uniformly;
+    ``shrink=True`` appends the post-merge minimization stage (see the
+    module docstring).
+    """
 
     def __init__(
         self,
@@ -380,6 +490,9 @@ class ConformanceCampaign:
         workers: int = 1,
         budget: Optional[float] = None,
         config: Optional[ZkConfig] = None,
+        adaptive: bool = False,
+        shrink: bool = False,
+        shrink_rounds: int = 10,
     ):
         self.grains = tuple(grains)
         self.scenarios = tuple(scenarios)
@@ -391,6 +504,9 @@ class ConformanceCampaign:
         self.workers = max(1, workers)
         self.budget = budget
         self.config = config or campaign_config()
+        self.adaptive = adaptive
+        self.shrink = shrink
+        self.shrink_rounds = shrink_rounds
         for name in self.grains:
             if name not in DEFAULT_GRAINS:
                 raise KeyError(
@@ -426,9 +542,110 @@ class ConformanceCampaign:
             )
         return out
 
+    def _dispatch(self, task: Tuple[str, Any]) -> Any:
+        """Worker entry point for both stages (one forked pool serves the
+        matrix and the shrink stage; results are slotted by task index)."""
+        kind, payload = task
+        if kind == "cell":
+            return run_cell(payload, self.config)
+        from repro.remix.minimize import shrink_finding
+
+        return shrink_finding(payload, self.config, self.shrink_rounds)
+
+    def _map(
+        self,
+        pool: Optional[TaskPool],
+        tasks: Sequence[Tuple[str, Any]],
+        deadline: Optional[float],
+    ) -> List[Optional[Any]]:
+        if pool is not None:
+            return pool.map(tasks, deadline=deadline)
+        results: List[Optional[Any]] = []
+        for task in tasks:
+            if deadline is not None and time.monotonic() >= deadline:
+                results.append(None)
+                continue
+            results.append(self._dispatch(task))
+        return results
+
+    def _run_adaptive(
+        self, pool: Optional[TaskPool], deadline: Optional[float]
+    ) -> Tuple[List[CampaignJob], List[Optional[Dict[str, Any]]]]:
+        """Round-based scheduling under the uniform matrix's job budget.
+
+        Each round is a barrier: its results feed the per-cell novelty
+        scores that :func:`allocate_round` uses for the next round, so
+        the schedule depends only on (deterministic) prior results and
+        worker count never changes the report.
+        """
+        base = [
+            (grain, scenario, fault)
+            for grain in self.grains
+            for scenario in self.scenarios
+            for fault in self.faults
+        ]
+        cell_index = {cell: i for i, cell in enumerate(base)}
+        remaining = len(base) * self.seeds
+        sampled = [0] * len(base)
+        novel = [0] * len(base)
+        seen: set = set()
+        jobs: List[CampaignJob] = []
+        results: List[Optional[Dict[str, Any]]] = []
+        while remaining > 0:
+            if deadline is not None and time.monotonic() >= deadline:
+                break  # unspent budget: adaptive cells are never named
+            round_jobs: List[CampaignJob] = []
+            for index in allocate_round(
+                min(len(base), remaining), novel, sampled
+            ):
+                grain, scenario, fault = base[index]
+                round_jobs.append(
+                    CampaignJob(
+                        index=len(jobs) + len(round_jobs),
+                        grain=grain,
+                        scenario=scenario,
+                        fault=fault,
+                        seed=self.seed + sampled[index],
+                        traces=self.traces,
+                        max_steps=self.max_steps,
+                    )
+                )
+                sampled[index] += 1
+            round_results = self._map(
+                pool, [("cell", job) for job in round_jobs], deadline
+            )
+            for job, result in zip(round_jobs, round_results):
+                index = cell_index[(job.grain, job.scenario, job.fault)]
+                for finding in (result or {}).get("findings", ()):
+                    if finding["fingerprint"] not in seen:
+                        seen.add(finding["fingerprint"])
+                        novel[index] += 1
+            jobs.extend(round_jobs)
+            results.extend(round_results)
+            remaining -= len(round_jobs)
+        return jobs, results
+
+    def _attach_min_traces(
+        self, report: CampaignReport, pool: Optional[TaskPool]
+    ) -> None:
+        """The post-merge shrink stage: minimize each distinct finding's
+        rebuilt witness across the pool and attach the ``min_trace``.
+
+        Runs outside the wall-clock budget window: the budget governs
+        exploration; minimization cost is proportional to the (small)
+        number of distinct findings.
+        """
+        if not report.findings:
+            return
+        tasks = [("shrink", dict(finding)) for finding in report.findings]
+        results = self._map(pool, tasks, deadline=None)
+        for finding, payload in zip(report.findings, results):
+            finding["min_trace"] = (
+                payload if payload is not None else {"status": "skipped"}
+            )
+
     def run(self) -> CampaignReport:
         started = time.monotonic()
-        jobs = self.jobs()
         deadline = None if self.budget is None else started + self.budget
         # Pre-warm the spec cache in the parent: O(grains) compositions,
         # inherited by every forked worker.
@@ -436,43 +653,46 @@ class ConformanceCampaign:
             cached_spec(grain, self.config)
             cached_mapping(grain)
 
-        def worker(job: CampaignJob) -> Dict[str, Any]:
-            return run_cell(job, self.config)
-
+        pool: Optional[TaskPool] = None
         if self.workers > 1 and parallel.available():
-            pool = TaskPool(worker, self.workers)
-            try:
-                results = pool.map(jobs, deadline=deadline)
-            finally:
+            pool = TaskPool(self._dispatch, self.workers)
+        try:
+            if self.adaptive:
+                jobs, results = self._run_adaptive(pool, deadline)
+            else:
+                jobs = self.jobs()
+                results = self._map(
+                    pool, [("cell", job) for job in jobs], deadline
+                )
+            meta = {
+                "grains": list(self.grains),
+                "scenarios": list(self.scenarios),
+                "faults": list(self.faults),
+                "seeds": self.seeds,
+                "traces_per_cell": self.traces,
+                "max_steps": self.max_steps,
+                "seed": self.seed,
+                "workers": self.workers,
+                "budget_seconds": self.budget,
+                "adaptive": self.adaptive,
+                "shrink": self.shrink,
+                "config": {
+                    "n_servers": self.config.n_servers,
+                    "max_txns": self.config.max_txns,
+                    "max_crashes": self.config.max_crashes,
+                    "max_partitions": self.config.max_partitions,
+                    "max_epoch": self.config.max_epoch,
+                    "variant": asdict(self.config.variant),
+                },
+            }
+            report = merge_cells(meta, jobs, results)
+            if self.shrink:
+                self._attach_min_traces(report, pool)
+            meta["elapsed_seconds"] = round(time.monotonic() - started, 3)
+            return report
+        finally:
+            if pool is not None:
                 pool.close()
-        else:
-            results = []
-            for job in jobs:
-                if deadline is not None and time.monotonic() >= deadline:
-                    results.append(None)
-                    continue
-                results.append(worker(job))
-
-        meta = {
-            "grains": list(self.grains),
-            "scenarios": list(self.scenarios),
-            "faults": list(self.faults),
-            "seeds": self.seeds,
-            "traces_per_cell": self.traces,
-            "max_steps": self.max_steps,
-            "seed": self.seed,
-            "workers": self.workers,
-            "budget_seconds": self.budget,
-            "elapsed_seconds": round(time.monotonic() - started, 3),
-            "config": {
-                "n_servers": self.config.n_servers,
-                "max_txns": self.config.max_txns,
-                "max_crashes": self.config.max_crashes,
-                "max_partitions": self.config.max_partitions,
-                "max_epoch": self.config.max_epoch,
-            },
-        }
-        return merge_cells(meta, jobs, results)
 
 
 def new_fingerprints(

@@ -33,11 +33,17 @@ COMPARED_VARIABLES = (
 )
 
 
+#: Synthetic label attached to configuration-level discrepancies (an
+#: unknown compared variable is detected before any action runs).
+_CONFIG_LABEL = ActionLabel("<compare-config>")
+
+
 @dataclass
 class Discrepancy:
     """One model/implementation divergence (§3.5.2's two conditions)."""
 
-    kind: str  # "state_mismatch" | "action_stuck" | "unmapped_action"
+    # "state_mismatch" | "action_stuck" | "unmapped_action" | "unknown_variable"
+    kind: str
     step: int
     label: ActionLabel
     variable: str = ""
@@ -49,6 +55,11 @@ class Discrepancy:
             return (
                 f"step {self.step} ({self.label}): {self.variable} differs -- "
                 f"model {self.model_value!r} vs impl {self.impl_value!r}"
+            )
+        if self.kind == "unknown_variable":
+            return (
+                f"compared variable {self.variable!r} is absent from the "
+                f"implementation snapshot -- its comparison never runs"
             )
         return f"step {self.step} ({self.label}): {self.kind}"
 
@@ -92,6 +103,12 @@ class Coordinator:
         """
         ensemble: Ensemble = self.ensemble_factory()
         result = ReplayResult()
+        # Validate the comparison set against the snapshot up front: a
+        # typo in compared_variables would otherwise silently disable
+        # that comparison forever.
+        known = self._validate_variables(ensemble, result)
+        if result.discrepancies and stop_on_discrepancy:
+            return result
         for step, (pre, label, post) in enumerate(trace.steps()):
             mapped = self.mapping.lookup(label)
             if mapped is None:
@@ -115,18 +132,32 @@ class Coordinator:
                     return result
                 continue
             result.steps_executed += 1
-            mismatches = self._compare(post, ensemble, step, label)
+            mismatches = self._compare(post, ensemble, step, label, known)
             result.discrepancies.extend(mismatches)
             if mismatches and stop_on_discrepancy:
                 return result
         return result
 
-    def _compare(self, model_state, ensemble: Ensemble, step, label):
+    def _validate_variables(self, ensemble: Ensemble, result: ReplayResult):
+        """Report every compared variable absent from the snapshot as an
+        ``unknown_variable`` discrepancy; return the resolvable ones."""
+        snapshot = ensemble.snapshot()
+        known = []
+        for variable in self.compared_variables:
+            if variable in snapshot:
+                known.append(variable)
+            else:
+                result.discrepancies.append(
+                    Discrepancy("unknown_variable", 0, _CONFIG_LABEL, variable)
+                )
+        return tuple(known)
+
+    def _compare(self, model_state, ensemble: Ensemble, step, label, variables=None):
         impl = ensemble.snapshot()
         out: List[Discrepancy] = []
-        for variable in self.compared_variables:
-            if variable not in impl:
-                continue
+        if variables is None:
+            variables = tuple(v for v in self.compared_variables if v in impl)
+        for variable in variables:
             model_value = model_state[variable]
             impl_value = impl[variable]
             if model_value != impl_value:

@@ -1,0 +1,220 @@
+"""Campaign repro minimization: from findings to minimal witnesses.
+
+A campaign finding is only *actionable* once its witnessing trace is
+minimal: the paper's workflow ends at a model-level trace a developer
+can replay against the code (e.g. ZK-4394's NullPointerException), and
+the raw campaign witness drags a scripted prefix plus a random suffix
+along.  This module closes that gap:
+
+- :func:`rebuild_witness` re-derives a finding's witnessing trace from
+  the metadata stored in the finding (scenario prefix + fault schedule
+  are scripted; the random suffix is fully determined by its stored seed
+  and step budget) -- no trace bytes ever travel through the report;
+- :class:`ConformanceOracle` is the replay oracle handed to the generic
+  delta-debugging shrinker
+  (:func:`repro.checker.shrink.shrink_trace_oracle`): it re-runs a
+  candidate trace through the :class:`~repro.remix.coordinator.Coordinator`
+  and accepts it iff the *same* finding fingerprint is reproduced (same
+  discrepancy kind/variable/values or the same impl-exception class at
+  the same label);
+- :func:`shrink_finding` packages both into the campaign's shrink-stage
+  worker, emitting a JSON-able ``min_trace`` payload;
+- :func:`replay_min_trace` / :func:`unreplayable_min_traces` verify a
+  report's minimized traces end-to-end (the CI assertion that every
+  finding carries a *replayable* ``min_trace``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.checker.random_walk import RandomWalker
+from repro.checker.shrink import shrink_trace_oracle
+from repro.checker.trace import Trace
+from repro.remix.campaign import (
+    campaign_config,
+    config_from_meta,
+    trace_findings,
+)
+from repro.remix.coordinator import Coordinator
+from repro.remix.spec_cache import cached_mapping, cached_spec
+from repro.zookeeper.config import ZkConfig
+from repro.zookeeper.faults import fault_schedule
+from repro.zookeeper.scenarios import ScenarioError, scenario_prefix
+
+
+def _args_to_json(value: Any) -> Any:
+    """Label binding values (ints, tuples, frozensets) to JSON-able form.
+
+    Frozensets are tagged (``{"frozenset": [...]}``) so the inverse can
+    restore the exact binding value -- ``instance_named`` looks labels
+    up by binding equality, so a tuple standing in for a frozenset would
+    silently make the min_trace unreplayable.
+    """
+    if isinstance(value, (tuple, list)):
+        return [_args_to_json(item) for item in value]
+    if isinstance(value, frozenset):
+        return {
+            "frozenset": sorted(
+                (_args_to_json(item) for item in value), key=repr
+            )
+        }
+    return value
+
+
+def _args_from_json(value: Any) -> Any:
+    """Inverse of :func:`_args_to_json` (JSON lists were tuples)."""
+    if isinstance(value, dict) and set(value) == {"frozenset"}:
+        return frozenset(_args_from_json(item) for item in value["frozenset"])
+    if isinstance(value, list):
+        return tuple(_args_from_json(item) for item in value)
+    return value
+
+
+def label_to_json(label) -> Dict[str, Any]:
+    """A replayable JSON form of an action label (name + args)."""
+    return {
+        "name": label.name,
+        "args": {key: _args_to_json(val) for key, val in label.binding},
+    }
+
+
+def labels_from_json(spec, entries) -> Optional[List]:
+    """Resolve JSON label entries back to the spec's action instances;
+    None when any label does not exist at this grain."""
+    instances = []
+    for entry in entries:
+        args = {
+            key: _args_from_json(val) for key, val in entry["args"].items()
+        }
+        inst = spec.instance_named(entry["name"], args)
+        if inst is None:
+            return None
+        instances.append(inst)
+    return instances
+
+
+def rebuild_witness(grain: str, witness: Dict[str, Any], config: ZkConfig) -> Trace:
+    """Reconstruct a finding's witnessing trace from its stored metadata
+    (deterministic: scripted prefix + fault + seeded random suffix)."""
+    spec = cached_spec(grain, config)
+    # Role ids are stored in the witness; the fallbacks mirror run_cell's
+    # historical choice for /2-era findings that predate the keys.
+    leader = witness.get("leader", config.n_servers - 1)
+    follower = witness.get("follower", 0)
+    prefix = scenario_prefix(witness["scenario"], spec, leader, config.servers)
+    fault_schedule(witness["fault"]).inject(prefix, leader, follower)
+    walker = RandomWalker(spec, seed=witness["suffix_seed"])
+    suffix = walker.walk(witness["suffix_steps"], start=prefix.state)
+    return Trace(
+        states=prefix.states + suffix.states[1:],
+        labels=prefix.labels + suffix.labels,
+    )
+
+
+class ConformanceOracle:
+    """A replay oracle for the shrinker: accept a candidate model trace
+    iff re-running it through the coordinator reproduces the target
+    finding fingerprint."""
+
+    def __init__(self, grain: str, fingerprint: str, config: ZkConfig):
+        from repro.impl.ensemble import Ensemble
+
+        self.grain = grain
+        self.fingerprint = fingerprint
+        self.coordinator = Coordinator(
+            cached_mapping(grain),
+            lambda: Ensemble(config.n_servers, config.variant),
+        )
+        self.replays = 0
+
+    def __call__(self, trace: Trace) -> bool:
+        self.replays += 1
+        result = self.coordinator.replay(trace)
+        return self.fingerprint in {
+            finding["fingerprint"]
+            for finding in trace_findings(result, trace, self.grain)
+        }
+
+
+def shrink_finding(
+    finding: Dict[str, Any],
+    config: Optional[ZkConfig] = None,
+    max_rounds: int = 10,
+) -> Dict[str, Any]:
+    """The campaign shrink-stage worker: rebuild one distinct finding's
+    witness and delta-debug it under a :class:`ConformanceOracle`.
+
+    Returns the ``min_trace`` payload.  ``status`` is ``"ok"`` with
+    replayable ``labels`` on success; ``"no_witness"`` for findings from
+    pre-/2 reports; ``"unreproducible"`` when the rebuilt witness does
+    not reproduce the fingerprint (should not happen -- everything is
+    deterministic -- but reported loudly rather than asserted).
+    """
+    config = config or campaign_config()
+    witness = finding.get("witness")
+    if not witness:
+        return {"status": "no_witness"}
+    grain = finding["grain"]
+    spec = cached_spec(grain, config)
+    try:
+        trace = rebuild_witness(grain, witness, config)
+    except ScenarioError as error:  # pragma: no cover - defensive
+        return {"status": "unreproducible", "reason": str(error)}
+    oracle = ConformanceOracle(grain, finding["fingerprint"], config)
+    if not oracle(trace):
+        return {"status": "unreproducible", "witness_steps": len(trace)}
+    shrunk = shrink_trace_oracle(spec, trace, oracle, max_rounds=max_rounds)
+    return {
+        "status": "ok",
+        "steps": len(shrunk),
+        "witness_steps": len(trace),
+        "oracle_replays": oracle.replays,
+        "labels": [label_to_json(label) for label in shrunk.labels],
+    }
+
+
+def replay_min_trace(
+    finding: Dict[str, Any], config: Optional[ZkConfig] = None
+) -> bool:
+    """True iff the finding's ``min_trace`` replays from the initial
+    state at the model level AND reproduces the finding fingerprint at
+    the code level -- the end-to-end check CI runs on shrunk reports."""
+    config = config or campaign_config()
+    min_trace = finding.get("min_trace") or {}
+    if min_trace.get("status") != "ok":
+        return False
+    grain = finding["grain"]
+    spec = cached_spec(grain, config)
+    instances = labels_from_json(spec, min_trace["labels"])
+    if instances is None:
+        return False
+    state = spec.initial_states()[0]
+    states = [state]
+    labels = []
+    for inst in instances:
+        nxt = inst.apply(spec.config, state)
+        if nxt is None:
+            return False
+        labels.append(inst.label)
+        states.append(nxt)
+        state = nxt
+    trace = Trace(states=states, labels=labels)
+    return ConformanceOracle(grain, finding["fingerprint"], config)(trace)
+
+
+def unreplayable_min_traces(
+    report_json: Dict[str, Any], config: Optional[ZkConfig] = None
+) -> List[str]:
+    """Fingerprints whose ``min_trace`` is missing or fails
+    :func:`replay_min_trace`; empty means every finding carries a
+    replayable minimal repro.  The config defaults to the one recorded
+    in the report's ``campaign.config`` block, so verification runs
+    against the spec the campaign actually used."""
+    if config is None:
+        config = config_from_meta(report_json.get("campaign", {}))
+    return [
+        finding["fingerprint"]
+        for finding in report_json.get("findings", ())
+        if not replay_min_trace(finding, config)
+    ]

@@ -8,6 +8,12 @@ specifications, so the cache keys composed specs on ``(name, config)``
 (both hashable: :class:`~repro.zookeeper.config.ZkConfig` is a frozen
 dataclass that embeds the :class:`SpecVariant`).
 
+Concurrent first calls for the same key are *single-flighted*: one
+caller composes while the others wait on a per-key gate and then reuse
+the finished object, so exactly one composition (and one ``misses``
+increment) happens per key -- previously both paid the full composition
+and one object was discarded.
+
 Forked campaign workers inherit the parent's populated cache by memory
 image, so pre-warming once in the parent makes campaign startup
 O(grains), not O(jobs).
@@ -19,7 +25,7 @@ Cached specifications are shared: callers must not mutate them (no
 from __future__ import annotations
 
 import threading
-from typing import Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.tla.spec import Specification
 from repro.zookeeper.config import SpecVariant, ZkConfig
@@ -28,6 +34,52 @@ _LOCK = threading.Lock()
 _SPECS: Dict[Tuple, Specification] = {}
 _MAPPINGS: Dict[str, object] = {}
 _STATS = {"hits": 0, "misses": 0}
+#: Per-key gates for in-flight compositions.  The composing thread holds
+#: the gate; waiters block on it, then re-check the cache.
+_INFLIGHT: Dict[Any, threading.Lock] = {}
+
+
+def _single_flight(
+    cache: Dict, key: Any, build: Callable[[], Any], count: bool
+) -> Any:
+    """Return ``cache[key]``, composing via ``build`` at most once per key
+    across concurrent callers.  ``count`` updates the hit/miss stats
+    (specs are counted, mappings are not)."""
+    while True:
+        with _LOCK:
+            value = cache.get(key)
+            if value is not None:
+                if count:
+                    _STATS["hits"] += 1
+                return value
+            gate = _INFLIGHT.get(key)
+            if gate is None:
+                gate = threading.Lock()
+                gate.acquire()
+                _INFLIGHT[key] = gate
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            # Wait for the composing thread, then re-check the cache (a
+            # failed leader leaves the key absent and we retry as leader).
+            gate.acquire()
+            gate.release()
+            continue
+        try:
+            value = build()
+        except BaseException:
+            with _LOCK:
+                _INFLIGHT.pop(key, None)
+            gate.release()
+            raise
+        with _LOCK:
+            cache[key] = value
+            if count:
+                _STATS["misses"] += 1
+            _INFLIGHT.pop(key, None)
+        gate.release()
+        return value
 
 
 def cached_spec(
@@ -40,6 +92,7 @@ def cached_spec(
     The first call per key composes via
     :func:`repro.zookeeper.specs.make_spec` and primes the instance
     index; later calls (and forked children) reuse the same object.
+    Concurrent first calls compose exactly once (single-flight).
     """
     from repro.zookeeper.specs import make_spec
 
@@ -47,16 +100,13 @@ def cached_spec(
     if variant is not None:
         config = config.with_variant(variant)
     key = (name, config)
-    with _LOCK:
-        spec = _SPECS.get(key)
-        if spec is not None:
-            _STATS["hits"] += 1
-            return spec
-        _STATS["misses"] += 1
-    spec = make_spec(name, config)
-    spec.action_instances()  # pre-enumerate so workers inherit the index
-    with _LOCK:
-        return _SPECS.setdefault(key, spec)
+
+    def build() -> Specification:
+        spec = make_spec(name, config)
+        spec.action_instances()  # pre-enumerate so workers inherit the index
+        return spec
+
+    return _single_flight(_SPECS, key, build, count=True)
 
 
 def cached_mapping(name: str):
@@ -65,13 +115,12 @@ def cached_mapping(name: str):
     from repro.remix.mapping import mapping_for
     from repro.zookeeper.specs import SELECTIONS
 
-    with _LOCK:
-        mapping = _MAPPINGS.get(name)
-        if mapping is not None:
-            return mapping
-    mapping = mapping_for(SELECTIONS[name])
-    with _LOCK:
-        return _MAPPINGS.setdefault(name, mapping)
+    return _single_flight(
+        _MAPPINGS,
+        ("mapping", name),
+        lambda: mapping_for(SELECTIONS[name]),
+        count=False,
+    )
 
 
 def stats() -> Dict[str, int]:
@@ -81,7 +130,8 @@ def stats() -> Dict[str, int]:
 
 
 def clear() -> None:
-    """Drop every cached spec/mapping and reset the counters."""
+    """Drop every cached spec/mapping and reset the counters (in-flight
+    compositions, if any, finish into the fresh cache)."""
     with _LOCK:
         _SPECS.clear()
         _MAPPINGS.clear()
