@@ -13,9 +13,10 @@ smoke for CI::
         --budget 10s --workers 2 --json bench-campaign.json
 
 which runs a small conformance campaign and emits the *same*
-``repro.campaign/2`` JSON schema as ``python -m repro campaign --json``,
+``repro.campaign/3`` JSON schema as ``python -m repro campaign --json``,
 so ``bench_reports.txt`` trajectories stay comparable across PRs
-(``--shrink`` / ``--adaptive`` forward to the campaign stages).
+(``--shrink`` / ``--adaptive`` / ``--directions`` forward to the
+campaign stages and axes).
 """
 
 import argparse
@@ -140,10 +141,11 @@ def test_zz_report(benchmark):
 
 
 def run_campaign_smoke(
-    budget, workers, seed, seeds, traces, steps, shrink=False, adaptive=False
+    budget, workers, seed, seeds, traces, steps, shrink=False, adaptive=False,
+    directions=("topdown",),
 ):
     """Run a small conformance campaign; returns the report JSON (the
-    same ``repro.campaign/2`` schema as ``python -m repro campaign``)."""
+    same ``repro.campaign/3`` schema as ``python -m repro campaign``)."""
     from repro.remix.campaign import ConformanceCampaign, parse_budget
 
     campaign = ConformanceCampaign(
@@ -155,6 +157,7 @@ def run_campaign_smoke(
         budget=parse_budget(budget) if budget else None,
         shrink=shrink,
         adaptive=adaptive,
+        directions=directions,
     )
     return campaign.run().to_json()
 
@@ -181,13 +184,25 @@ def main(argv=None):
         "--adaptive", action="store_true",
         help="adaptive (yield-chasing) matrix scheduling",
     )
+    parser.add_argument(
+        "--directions", choices=["topdown", "bottomup", "both"],
+        default="topdown",
+        help="conformance directions (both = top-down replay + bottom-up "
+        "lockstep validation cells)",
+    )
     parser.add_argument("--json", dest="json_path", default=None)
     args = parser.parse_args(argv)
     if not args.campaign:
         parser.error("pass --campaign to run the CLI smoke mode")
+    directions = (
+        ("topdown", "bottomup")
+        if args.directions == "both"
+        else (args.directions,)
+    )
     report = run_campaign_smoke(
         args.budget, args.workers, args.seed, args.seeds, args.traces,
         args.steps, shrink=args.shrink, adaptive=args.adaptive,
+        directions=directions,
     )
     text = json.dumps(report, indent=2)
     if args.json_path:

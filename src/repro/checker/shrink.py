@@ -91,6 +91,48 @@ def shrink_trace_oracle(
     return Trace(states=states, labels=labels)
 
 
+#: An oracle judging a candidate *label sequence* (no model replay): the
+#: bottom-up validation shrinker drives the implementation itself, so a
+#: candidate need not be model-replayable -- being model-disabled may be
+#: exactly the failure under minimization.
+LabelsOracle = Callable[[List[ActionLabel]], bool]
+
+
+def shrink_labels_oracle(
+    labels: List[ActionLabel],
+    oracle: LabelsOracle,
+    max_rounds: int = 10,
+) -> List[ActionLabel]:
+    """Remove steps from a plain label sequence while ``oracle`` still
+    accepts the remainder.
+
+    The same greedy delta-debugging loop as :func:`shrink_trace_oracle`,
+    but without replaying candidates through a specification: the oracle
+    owns execution entirely.  Used by the campaign's bottom-up direction,
+    where candidates are implementation runs validated in lockstep and
+    the minimized sequence may be *model-disabled* on purpose.
+    """
+    labels = list(labels)
+    if not oracle(list(labels)):
+        raise ValueError("the input labels do not reproduce the failure")
+    for _ in range(max_rounds):
+        changed = False
+        chunk = max(1, len(labels) // 2)
+        while chunk >= 1:
+            index = 0
+            while index < len(labels):
+                candidate = labels[:index] + labels[index + chunk :]
+                if oracle(list(candidate)):
+                    labels = candidate
+                    changed = True
+                else:
+                    index += chunk
+            chunk //= 2
+        if not changed:
+            break
+    return labels
+
+
 def shrink_trace(
     spec: Specification,
     trace: Trace,

@@ -109,21 +109,29 @@ def cmd_conformance(args) -> int:
 def cmd_campaign(args) -> int:
     import json
 
+    from repro.remix import spec_cache
     from repro.remix.campaign import (
         COMPAT_SCHEMAS,
         DEFAULT_FAULTS,
         DEFAULT_GRAINS,
         DEFAULT_SCENARIOS,
+        DIRECTIONS,
         ConformanceCampaign,
         new_fingerprints,
         parse_budget,
     )
 
+    if args.spec_cache is not None:
+        spec_cache.set_disk_cache_dir(args.spec_cache)
+    directions = (
+        DIRECTIONS if args.directions == "both" else (args.directions,)
+    )
     try:
         campaign = ConformanceCampaign(
             grains=args.grains or DEFAULT_GRAINS,
             scenarios=args.scenarios or DEFAULT_SCENARIOS,
             faults=args.faults or DEFAULT_FAULTS,
+            directions=directions,
             seeds=args.seeds,
             traces=args.traces,
             max_steps=args.steps,
@@ -157,6 +165,16 @@ def cmd_campaign(args) -> int:
             return 2
     report = campaign.run()
     payload = report.to_json()
+    # Warm-start accounting goes to stderr so `--json -` stdout stays
+    # pure JSON; disk hits > 0 means this invocation reused prefixes a
+    # previous invocation persisted (the on-disk spec cache).
+    cache_stats = spec_cache.stats()
+    print(
+        f"spec cache: {cache_stats['disk_hits']} disk hits, "
+        f"{cache_stats['disk_misses']} disk misses, "
+        f"{cache_stats['prefix_hits']} warm prefix reuses",
+        file=sys.stderr,
+    )
     if args.json_path == "-":
         print(json.dumps(payload, indent=2))
     else:
@@ -366,8 +384,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault schedules (default: all canned schedules)",
     )
     p_camp.add_argument(
+        "--directions", choices=["topdown", "bottomup", "both"],
+        default="topdown",
+        help="conformance directions: topdown model-driven replay, "
+        "bottomup implementation-driven lockstep validation, or both "
+        "(default: topdown)",
+    )
+    p_camp.add_argument(
         "--seeds", type=int, default=1,
-        help="seeds per (grain, scenario, fault) cell",
+        help="seeds per (direction, grain, scenario, fault) cell",
     )
     p_camp.add_argument(
         "--traces", type=int, default=2, help="random suffix walks per cell"
@@ -385,9 +410,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_camp.add_argument("--seed", type=int, default=0)
     p_camp.add_argument(
-        "--shrink", action="store_true",
+        "--shrink", action=argparse.BooleanOptionalAction, default=True,
         help="minimize each distinct finding's witness after the merge "
-        "(attaches a replayable min_trace per finding)",
+        "(attaches a replayable min_trace per finding; on by default, "
+        "disable with --no-shrink)",
     )
     p_camp.add_argument(
         "--adaptive", action="store_true",
@@ -406,6 +432,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline", default=None,
         help="campaign report JSON to diff impl-bug fingerprints against; "
         "exits 2 on new ones (the nightly CI gate)",
+    )
+    p_camp.add_argument(
+        "--spec-cache", default=None, metavar="DIR",
+        help="on-disk spec cache directory ('off' disables persistence; "
+        "default: $REPRO_SPEC_CACHE_DIR or ~/.cache/repro-spec-cache)",
     )
     p_camp.set_defaults(fn=cmd_campaign)
 

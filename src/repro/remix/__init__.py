@@ -4,6 +4,7 @@ from repro.remix.campaign import (
     CampaignJob,
     CampaignReport,
     ConformanceCampaign,
+    validation_findings,
 )
 from repro.remix.conformance import (
     ConformanceChecker,
@@ -19,13 +20,15 @@ from repro.remix.coordinator import (
 from repro.remix.mapping import ActionMapping, MappedAction, mapping_for
 from repro.remix.minimize import (
     ConformanceOracle,
+    ValidationOracle,
+    rebuild_validation_witness,
     rebuild_witness,
     replay_min_trace,
     shrink_finding,
     unreplayable_min_traces,
 )
 from repro.remix.registry import SpecRegistry
-from repro.remix.spec_cache import cached_mapping, cached_spec
+from repro.remix.spec_cache import cached_mapping, cached_prefix, cached_spec
 from repro.remix.trace_validation import (
     ImplExplorer,
     TraceValidator,
@@ -51,12 +54,16 @@ __all__ = [
     "SpecRegistry",
     "TraceValidator",
     "ValidationIssue",
+    "ValidationOracle",
     "ValidationReport",
     "cached_mapping",
+    "cached_prefix",
     "cached_spec",
     "mapping_for",
+    "rebuild_validation_witness",
     "rebuild_witness",
     "replay_min_trace",
     "shrink_finding",
     "unreplayable_min_traces",
+    "validation_findings",
 ]

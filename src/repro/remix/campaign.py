@@ -4,11 +4,27 @@ The paper's conformance checker (§3.4-§3.5) replays random model traces
 at the code level one at a time.  A *campaign* turns that demo loop into
 a throughput-oriented engine: it enumerates a matrix of
 
-    (spec grain) x (scenario prefix) x (fault schedule) x (seed)
+    (direction) x (spec grain) x (scenario prefix) x (fault schedule) x (seed)
 
 cells, fans them across the fork-based :class:`TaskPool`, and merges the
-per-cell findings into one deduplicated, fingerprint-keyed report.  Each
-cell:
+per-cell findings into one deduplicated, fingerprint-keyed report.
+
+The *direction* axis covers the paper's two conformance methodologies:
+
+- ``topdown`` (the default): model-driven replay.  A random model trace
+  is replayed at the code level through the
+  :class:`~repro.remix.coordinator.Coordinator` (§3.5).
+- ``bottomup``: implementation-driven validation (§6's alternative
+  approach).  A fresh :class:`~repro.impl.ensemble.Ensemble` is driven
+  through the scripted scenario + fault prefix and a seeded random
+  suffix by the :class:`~repro.remix.trace_validation.ImplExplorer`,
+  and every executed label is checked in lockstep against the composed
+  model by :class:`~repro.remix.trace_validation.TraceValidator`.
+  Bottom-up cells catch the divergences top-down replay structurally
+  cannot: implementation steps the model *forbids* (a replayed model
+  trace only ever contains model-enabled actions).
+
+Each top-down cell:
 
 1. fetches the grain's composed specification from the spec cache
    (:mod:`repro.remix.spec_cache` -- campaign startup is O(grains), not
@@ -26,9 +42,17 @@ cell:
    processes and across runs, which is what lets a nightly CI job fail
    on fingerprints it has never seen before).
 
+Bottom-up cells (:func:`run_validation_cell`) share steps 1-2 via the
+same cached prefixes, then explore the *implementation* under the cell
+seed and reduce :class:`~repro.remix.trace_validation.ValidationIssue`
+and :class:`~repro.impl.exceptions.ZkImplError` outcomes to the same
+fingerprint scheme, with ``direction: "bottomup"`` inside the identity
+so the two directions never collide.
+
 Determinism: cells carry their own seeds, the pool slots results by cell
 index, and findings dedup in first-seen cell order -- so ``workers=2``
-produces a report identical in findings to ``workers=1``.
+produces a report identical in findings to ``workers=1``, validation
+cells included.
 
 Two optional stages turn the detector into a budget-aware repro factory:
 
@@ -64,24 +88,24 @@ from repro.checker.parallel import TaskPool
 from repro.checker.random_walk import RandomWalker
 from repro.checker.trace import Trace
 from repro.remix.coordinator import Coordinator
-from repro.remix.spec_cache import cached_mapping, cached_spec
+from repro.remix.spec_cache import cached_mapping, cached_prefix, cached_spec
+from repro.remix.trace_validation import TraceValidator, ValidationReport
 from repro.zookeeper.config import SpecVariant, ZkConfig
 from repro.zookeeper.faults import FAULT_SCHEDULES, fault_schedule
-from repro.zookeeper.scenarios import (
-    SCENARIO_PREFIXES,
-    ScenarioError,
-    scenario_prefix,
-)
+from repro.zookeeper.scenarios import SCENARIO_PREFIXES, ScenarioError
 
 #: Version tag of the JSON report; bump on breaking schema changes.
 #: /2 adds per-finding ``witness`` metadata (suffix seed/steps, enough to
 #: re-derive the witnessing trace) and the optional ``min_trace`` payload.
-SCHEMA = "repro.campaign/2"
+#: /3 adds the ``direction`` axis (bottom-up validation cells), the
+#: per-finding ``direction`` field and min_trace ``aliases`` groups.
+SCHEMA = "repro.campaign/3"
 
 #: Report versions :meth:`CampaignReport.from_json` (and ``--baseline``)
-#: accept: /1 reports lack witness/min_trace but carry the same
-#: fingerprint-keyed findings, so they remain valid baselines.
-COMPAT_SCHEMAS = ("repro.campaign/1", SCHEMA)
+#: accept: /1 reports lack witness/min_trace, /2 reports lack direction,
+#: but both carry the same fingerprint-keyed findings, so they remain
+#: valid baselines.
+COMPAT_SCHEMAS = ("repro.campaign/1", "repro.campaign/2", SCHEMA)
 
 #: Grains with a code-level action mapping (SysSpec/mSpec-4 replay the
 #: fine-grained FLE, which the coordinator cannot drive; see mapping_for).
@@ -89,6 +113,12 @@ DEFAULT_GRAINS: Tuple[str, ...] = ("mSpec-1", "mSpec-2", "mSpec-3")
 
 DEFAULT_SCENARIOS: Tuple[str, ...] = tuple(SCENARIO_PREFIXES)
 DEFAULT_FAULTS: Tuple[str, ...] = tuple(s.name for s in FAULT_SCHEDULES)
+
+#: The two conformance directions a campaign can schedule.
+DIRECTIONS: Tuple[str, ...] = ("topdown", "bottomup")
+
+#: Default direction axis: top-down only, matching pre-/3 campaigns.
+DEFAULT_DIRECTIONS: Tuple[str, ...] = ("topdown",)
 
 
 def campaign_config() -> ZkConfig:
@@ -168,8 +198,15 @@ def finding_fingerprint(payload: Dict[str, Any]) -> str:
 
 def _cell_seed(job: "CampaignJob", trace_index: int) -> int:
     """A per-trace seed derived from stable cell coordinates (no Python
-    ``hash``: that is randomized per process for strings)."""
+    ``hash``: that is randomized per process for strings).
+
+    Top-down coordinates keep their historical (direction-free) form so
+    /2-era witnesses rebuild unchanged; bottom-up cells of the same
+    coordinates prepend the direction and therefore explore differently.
+    """
     coordinates = f"{job.grain}/{job.scenario}/{job.fault}/{job.seed}"
+    if job.direction != "topdown":
+        coordinates = f"{job.direction}/{coordinates}"
     return (zlib.crc32(coordinates.encode("utf-8")) << 16) ^ (
         job.seed * 1_000_003 + trace_index
     )
@@ -197,6 +234,7 @@ def trace_findings(result, trace, grain: str) -> List[Dict[str, Any]]:
             {
                 "fingerprint": finding_fingerprint(identity),
                 "detail": str(discrepancy),
+                "direction": "topdown",
                 **identity,
             }
         )
@@ -217,6 +255,62 @@ def trace_findings(result, trace, grain: str) -> List[Dict[str, Any]]:
                     f"{' [' + identity['bug_id'] + ']' if identity['bug_id'] else ''}"
                     f" at {identity['label']}"
                 ),
+                "direction": "topdown",
+                **identity,
+            }
+        )
+    return findings
+
+
+def validation_findings(
+    report: ValidationReport, grain: str
+) -> List[Dict[str, Any]]:
+    """Reduce one bottom-up validation report to fingerprinted findings.
+
+    The identity payload embeds ``direction: "bottomup"``: a bug
+    reachable through implementation exploration is a distinct piece of
+    conformance evidence from the same bug reached by model replay, and
+    keeping the directions' fingerprint spaces disjoint means existing
+    top-down baselines are never silently "satisfied" by bottom-up hits.
+    Step/run indices stay out of the identity so re-encounters dedup.
+    """
+    findings: List[Dict[str, Any]] = []
+    for issue in report.issues:
+        identity = {
+            "kind": issue.kind,
+            "direction": "bottomup",
+            "grain": grain,
+            "label": str(issue.label),
+            "variable": issue.variable,
+            "model": canonical_value(issue.model_value),
+            "impl": canonical_value(issue.impl_value),
+        }
+        findings.append(
+            {
+                "fingerprint": finding_fingerprint(identity),
+                "detail": str(issue),
+                "run": issue.run,
+                **identity,
+            }
+        )
+    for run, step, label, error in report.impl_errors:
+        identity = {
+            "kind": "impl_bug",
+            "direction": "bottomup",
+            "grain": grain,
+            "bug_id": error.bug_id,
+            "error": type(error).__name__,
+            "label": str(label),
+        }
+        findings.append(
+            {
+                "fingerprint": finding_fingerprint(identity),
+                "detail": (
+                    f"{identity['error']}"
+                    f"{' [' + identity['bug_id'] + ']' if identity['bug_id'] else ''}"
+                    f" at {identity['label']} (run {run} step {step})"
+                ),
+                "run": run,
                 **identity,
             }
         )
@@ -237,14 +331,19 @@ class CampaignJob:
     seed: int
     traces: int
     max_steps: int
+    direction: str = "topdown"
 
     @property
     def cell_id(self) -> str:
-        return f"{self.grain}/{self.scenario}/{self.fault}/s{self.seed}"
+        base = f"{self.grain}/{self.scenario}/{self.fault}/s{self.seed}"
+        if self.direction == "topdown":
+            return base  # historical form; /2-era reports stay comparable
+        return f"{self.direction}:{base}"
 
 
 def _skipped_cell(job: CampaignJob) -> Dict[str, Any]:
     return {
+        "direction": job.direction,
         "grain": job.grain,
         "scenario": job.scenario,
         "fault": job.fault,
@@ -273,8 +372,9 @@ def run_cell(job: CampaignJob, config: ZkConfig) -> Dict[str, Any]:
     follower = 0
     cell = _skipped_cell(job)
     try:
-        prefix = scenario_prefix(job.scenario, spec, leader, config.servers)
-        fault_schedule(job.fault).inject(prefix, leader, follower)
+        prefix = cached_prefix(
+            job.grain, config, job.scenario, job.fault, leader, follower
+        )
     except ScenarioError as error:
         cell["status"] = "inapplicable"
         cell["reason"] = str(error)
@@ -305,6 +405,7 @@ def run_cell(job: CampaignJob, config: ZkConfig) -> Dict[str, Any]:
             # are scripted, the random suffix is fully determined by its
             # seed and step budget (what the shrink stage rebuilds).
             finding["witness"] = {
+                "direction": "topdown",
                 "scenario": job.scenario,
                 "fault": job.fault,
                 "seed": job.seed,
@@ -313,6 +414,76 @@ def run_cell(job: CampaignJob, config: ZkConfig) -> Dict[str, Any]:
                 "suffix_seed": _cell_seed(job, trace_index),
                 "suffix_steps": job.max_steps,
                 "steps": len(trace.labels),
+            }
+            findings.append(finding)
+            if finding["kind"] == "impl_bug":
+                cell["impl_bugs"] += 1
+            else:
+                cell["discrepancies"] += 1
+    cell["actions_covered"] = len(covered)
+    cell["findings"] = findings
+    return cell
+
+
+def run_validation_cell(job: CampaignJob, config: ZkConfig) -> Dict[str, Any]:
+    """Execute one bottom-up matrix cell: drive fresh ensembles through
+    the cell's scripted prefix + seeded random exploration, validate the
+    executed labels in lockstep against the cached composed spec, and
+    reduce the outcomes to the same fingerprinted finding schema.
+
+    Like :func:`run_cell` it runs identically inline and inside a forked
+    :class:`TaskPool` worker; the explorer seed is derived from the cell
+    coordinates, so the cell is a pure function of ``(job, config)`` and
+    worker count never changes the merged report.
+    """
+    from repro.impl.ensemble import Ensemble
+
+    spec = cached_spec(job.grain, config)
+    mapping = cached_mapping(job.grain)
+    leader = config.n_servers - 1
+    follower = 0
+    cell = _skipped_cell(job)
+    try:
+        prefix = cached_prefix(
+            job.grain, config, job.scenario, job.fault, leader, follower
+        )
+    except ScenarioError as error:
+        cell["status"] = "inapplicable"
+        cell["reason"] = str(error)
+        return cell
+
+    cell["status"] = "ok"
+    covered = set()
+    findings: List[Dict[str, Any]] = []
+    for trace_index in range(job.traces):
+        explorer_seed = _cell_seed(job, trace_index)
+        validator = TraceValidator(
+            spec,
+            mapping,
+            lambda: Ensemble(config.n_servers, config.variant),
+            seed=explorer_seed,
+        )
+        executed, _, _ = validator.explorer.explore(
+            job.max_steps, prefix=prefix.labels
+        )
+        report = validator.validate_labels(executed, run=trace_index)
+        cell["traces"] += 1
+        cell["steps_replayed"] += report.steps_validated
+        covered.update(label.name for label in executed)
+        for finding in validation_findings(report, job.grain):
+            # The witnessing run is re-derivable without trace bytes:
+            # prefix from (scenario, fault), the explored suffix from
+            # the explorer seed + step budget.
+            finding["witness"] = {
+                "direction": "bottomup",
+                "scenario": job.scenario,
+                "fault": job.fault,
+                "seed": job.seed,
+                "leader": leader,
+                "follower": follower,
+                "explorer_seed": explorer_seed,
+                "explorer_steps": job.max_steps,
+                "steps": len(executed),
             }
             findings.append(finding)
             if finding["kind"] == "impl_bug":
@@ -355,21 +526,37 @@ class CampaignReport:
             ),
             "impl_bugs": sum(cell["impl_bugs"] for cell in self.cells),
             "distinct_findings": len(self.findings),
+            "bottomup_findings": sum(
+                1
+                for finding in self.findings
+                if finding.get("direction") == "bottomup"
+            ),
             "min_traces": sum(
                 1
                 for finding in self.findings
                 if finding.get("min_trace", {}).get("status") == "ok"
             ),
+            "aliased_findings": sum(
+                len(finding.get("aliases", ()))
+                for finding in self.findings
+            ),
         }
 
     def fingerprints(self, kind: Optional[str] = None) -> List[str]:
         """Finding fingerprints, optionally restricted to one kind
-        (``"impl_bug"`` for the nightly regression gate)."""
-        return [
-            finding["fingerprint"]
-            for finding in self.findings
-            if kind is None or finding["kind"] == kind
-        ]
+        (``"impl_bug"`` for the nightly regression gate).
+
+        Fingerprints folded into a group representative's ``aliases`` by
+        the min-trace dedup still count: an alias is the same underlying
+        behaviour, and the baseline gate must keep recognizing it."""
+        out: List[str] = []
+        for finding in self.findings:
+            if kind is None or finding["kind"] == kind:
+                out.append(finding["fingerprint"])
+            for alias in finding.get("aliases", ()):
+                if kind is None or alias.get("kind") == kind:
+                    out.append(alias["fingerprint"])
+        return out
 
     def summary(self) -> str:
         totals = self.totals
@@ -382,7 +569,9 @@ class CampaignReport:
             f"{totals['discrepancies']} discrepancies and "
             f"{totals['impl_bugs']} impl-bug reports "
             f"({totals['distinct_findings']} distinct findings, "
-            f"{totals['min_traces']} minimized)"
+            f"{totals['bottomup_findings']} bottom-up, "
+            f"{totals['min_traces']} minimized, "
+            f"{totals['aliased_findings']} aliased)"
         )
 
     def to_json(self) -> Dict[str, Any]:
@@ -432,6 +621,51 @@ def merge_cells(
     return CampaignReport(
         meta=meta, cells=cells, findings=list(merged.values())
     )
+
+
+def dedup_min_traces(
+    findings: List[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Group findings whose ``min_trace``s shrank to the *same* label
+    sequence (per direction and grain) into one finding each.
+
+    Distinct fingerprints frequently minimize to one underlying repro --
+    e.g. the same forbidden implementation step reached from different
+    cells -- and reporting them separately double-counts the behaviour in
+    nightly trend lines.  The first-seen finding becomes the group
+    representative; the rest fold into its ``aliases`` list (fingerprint,
+    kind, detail, count, cells), which
+    :meth:`CampaignReport.fingerprints` still surfaces so baseline gates
+    keep recognizing aliased fingerprints.  Deterministic: groups form in
+    finding order, so worker count never changes the result.
+    """
+    groups: Dict[Tuple, Dict[str, Any]] = {}
+    out: List[Dict[str, Any]] = []
+    for finding in findings:
+        min_trace = finding.get("min_trace") or {}
+        if min_trace.get("status") != "ok":
+            out.append(finding)
+            continue
+        key = (
+            finding.get("direction", "topdown"),
+            finding.get("grain", ""),
+            json.dumps(min_trace["labels"], sort_keys=True),
+        )
+        head = groups.get(key)
+        if head is None:
+            groups[key] = finding
+            out.append(finding)
+        else:
+            head.setdefault("aliases", []).append(
+                {
+                    "fingerprint": finding["fingerprint"],
+                    "kind": finding["kind"],
+                    "detail": finding.get("detail", ""),
+                    "count": finding.get("count", 1),
+                    "cells": finding.get("cells", []),
+                }
+            )
+    return out
 
 
 # ------------------------------------------------------------ the runner
@@ -493,10 +727,12 @@ class ConformanceCampaign:
         adaptive: bool = False,
         shrink: bool = False,
         shrink_rounds: int = 10,
+        directions: Sequence[str] = DEFAULT_DIRECTIONS,
     ):
         self.grains = tuple(grains)
         self.scenarios = tuple(scenarios)
         self.faults = tuple(faults)
+        self.directions = tuple(directions)
         self.seeds = max(1, seeds)
         self.traces = traces
         self.max_steps = max_steps
@@ -507,6 +743,11 @@ class ConformanceCampaign:
         self.adaptive = adaptive
         self.shrink = shrink
         self.shrink_rounds = shrink_rounds
+        for name in self.directions:
+            if name not in DIRECTIONS:
+                raise KeyError(
+                    f"unknown direction {name!r}; options: {list(DIRECTIONS)}"
+                )
         for name in self.grains:
             if name not in DEFAULT_GRAINS:
                 raise KeyError(
@@ -524,10 +765,16 @@ class ConformanceCampaign:
                 )
 
     def jobs(self) -> List[CampaignJob]:
-        """The full matrix, in deterministic enumeration order."""
+        """The full matrix, in deterministic enumeration order (the
+        direction axis is outermost: all top-down cells, then all
+        bottom-up cells)."""
         out: List[CampaignJob] = []
-        for grain, scenario, fault, offset in itertools.product(
-            self.grains, self.scenarios, self.faults, range(self.seeds)
+        for direction, grain, scenario, fault, offset in itertools.product(
+            self.directions,
+            self.grains,
+            self.scenarios,
+            self.faults,
+            range(self.seeds),
         ):
             out.append(
                 CampaignJob(
@@ -538,6 +785,7 @@ class ConformanceCampaign:
                     seed=self.seed + offset,
                     traces=self.traces,
                     max_steps=self.max_steps,
+                    direction=direction,
                 )
             )
         return out
@@ -547,6 +795,8 @@ class ConformanceCampaign:
         matrix and the shrink stage; results are slotted by task index)."""
         kind, payload = task
         if kind == "cell":
+            if payload.direction == "bottomup":
+                return run_validation_cell(payload, self.config)
             return run_cell(payload, self.config)
         from repro.remix.minimize import shrink_finding
 
@@ -577,9 +827,17 @@ class ConformanceCampaign:
         scores that :func:`allocate_round` uses for the next round, so
         the schedule depends only on (deterministic) prior results and
         worker count never changes the report.
+
+        With both directions scheduled, novelty accounting *pools* the
+        seen-fingerprint set across directions (the directions' identity
+        spaces are disjoint, so pooling never masks a cell's yield) while
+        each (direction, grain, scenario, fault) coordinate earns its own
+        exploit share -- a direction that keeps producing novel evidence
+        attracts seeds without starving the other.
         """
         base = [
-            (grain, scenario, fault)
+            (direction, grain, scenario, fault)
+            for direction in self.directions
             for grain in self.grains
             for scenario in self.scenarios
             for fault in self.faults
@@ -598,7 +856,7 @@ class ConformanceCampaign:
             for index in allocate_round(
                 min(len(base), remaining), novel, sampled
             ):
-                grain, scenario, fault = base[index]
+                direction, grain, scenario, fault = base[index]
                 round_jobs.append(
                     CampaignJob(
                         index=len(jobs) + len(round_jobs),
@@ -608,6 +866,7 @@ class ConformanceCampaign:
                         seed=self.seed + sampled[index],
                         traces=self.traces,
                         max_steps=self.max_steps,
+                        direction=direction,
                     )
                 )
                 sampled[index] += 1
@@ -615,7 +874,9 @@ class ConformanceCampaign:
                 pool, [("cell", job) for job in round_jobs], deadline
             )
             for job, result in zip(round_jobs, round_results):
-                index = cell_index[(job.grain, job.scenario, job.fault)]
+                index = cell_index[
+                    (job.direction, job.grain, job.scenario, job.fault)
+                ]
                 for finding in (result or {}).get("findings", ()):
                     if finding["fingerprint"] not in seen:
                         seen.add(finding["fingerprint"])
@@ -643,15 +904,30 @@ class ConformanceCampaign:
             finding["min_trace"] = (
                 payload if payload is not None else {"status": "skipped"}
             )
+        # Distinct fingerprints that shrank to the same label sequence
+        # are one behaviour: fold them into alias groups.
+        report.findings[:] = dedup_min_traces(report.findings)
 
     def run(self) -> CampaignReport:
         started = time.monotonic()
         deadline = None if self.budget is None else started + self.budget
         # Pre-warm the spec cache in the parent: O(grains) compositions,
-        # inherited by every forked worker.
+        # inherited by every forked worker.  Scripted prefixes pre-warm
+        # too (O(grains x scenarios x faults), served from the on-disk
+        # layer when a previous invocation scripted them), so workers
+        # fork with every shared artifact already in memory.
+        leader = self.config.n_servers - 1
         for grain in self.grains:
             cached_spec(grain, self.config)
             cached_mapping(grain)
+            for scenario in self.scenarios:
+                for fault in self.faults:
+                    try:
+                        cached_prefix(
+                            grain, self.config, scenario, fault, leader, 0
+                        )
+                    except ScenarioError:
+                        pass  # the cell will report itself inapplicable
 
         pool: Optional[TaskPool] = None
         if self.workers > 1 and parallel.available():
@@ -665,6 +941,7 @@ class ConformanceCampaign:
                     pool, [("cell", job) for job in jobs], deadline
                 )
             meta = {
+                "directions": list(self.directions),
                 "grains": list(self.grains),
                 "scenarios": list(self.scenarios),
                 "faults": list(self.faults),
@@ -699,10 +976,18 @@ def new_fingerprints(
     report: CampaignReport, baseline: Dict[str, Any], kind: str = "impl_bug"
 ) -> List[str]:
     """Fingerprints of ``kind`` present in the report but absent from a
-    baseline report JSON (the nightly CI regression gate)."""
-    known = {
-        finding["fingerprint"]
-        for finding in baseline.get("findings", ())
-        if kind is None or finding.get("kind") == kind
-    }
+    baseline report JSON (the nightly CI regression gate).
+
+    Fingerprints the baseline stores inside a group representative's
+    ``aliases`` count as known: alias grouping depends on which finding
+    is seen first, so a later run may promote an aliased fingerprint to
+    its own representative -- that is not a new behaviour.
+    """
+    known = set()
+    for finding in baseline.get("findings", ()):
+        if kind is None or finding.get("kind") == kind:
+            known.add(finding["fingerprint"])
+        for alias in finding.get("aliases", ()):
+            if kind is None or alias.get("kind") == kind:
+                known.add(alias["fingerprint"])
     return [fp for fp in report.fingerprints(kind) if fp not in known]

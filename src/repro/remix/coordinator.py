@@ -35,7 +35,21 @@ COMPARED_VARIABLES = (
 
 #: Synthetic label attached to configuration-level discrepancies (an
 #: unknown compared variable is detected before any action runs).
-_CONFIG_LABEL = ActionLabel("<compare-config>")
+CONFIG_LABEL = ActionLabel("<compare-config>")
+_CONFIG_LABEL = CONFIG_LABEL  # backwards-compatible alias
+
+
+def split_compared_variables(snapshot, compared_variables):
+    """Partition a ``compared_variables`` tuple against an implementation
+    snapshot: ``(known, missing)``.
+
+    Shared between the top-down :class:`Coordinator` and the bottom-up
+    :class:`~repro.remix.trace_validation.TraceValidator`: both must
+    report a typo'd variable instead of silently never comparing it.
+    """
+    known = tuple(v for v in compared_variables if v in snapshot)
+    missing = tuple(v for v in compared_variables if v not in snapshot)
+    return known, missing
 
 
 @dataclass
@@ -141,16 +155,14 @@ class Coordinator:
     def _validate_variables(self, ensemble: Ensemble, result: ReplayResult):
         """Report every compared variable absent from the snapshot as an
         ``unknown_variable`` discrepancy; return the resolvable ones."""
-        snapshot = ensemble.snapshot()
-        known = []
-        for variable in self.compared_variables:
-            if variable in snapshot:
-                known.append(variable)
-            else:
-                result.discrepancies.append(
-                    Discrepancy("unknown_variable", 0, _CONFIG_LABEL, variable)
-                )
-        return tuple(known)
+        known, missing = split_compared_variables(
+            ensemble.snapshot(), self.compared_variables
+        )
+        for variable in missing:
+            result.discrepancies.append(
+                Discrepancy("unknown_variable", 0, CONFIG_LABEL, variable)
+            )
+        return known
 
     def _compare(self, model_state, ensemble: Ensemble, step, label, variables=None):
         impl = ensemble.snapshot()

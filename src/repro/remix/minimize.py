@@ -17,6 +17,13 @@ along.  This module closes that gap:
   and accepts it iff the *same* finding fingerprint is reproduced (same
   discrepancy kind/variable/values or the same impl-exception class at
   the same label);
+- bottom-up findings get the mirrored treatment:
+  :func:`rebuild_validation_witness` re-runs the deterministic
+  :class:`~repro.remix.trace_validation.ImplExplorer` under the stored
+  explorer seed, and :class:`ValidationOracle` accepts a candidate
+  *label sequence* iff lockstep validation reproduces the fingerprint
+  (via :func:`repro.checker.shrink.shrink_labels_oracle`, since a
+  bottom-up witness may be model-disabled by design);
 - :func:`shrink_finding` packages both into the campaign's shrink-stage
   worker, emitting a JSON-able ``min_trace`` payload;
 - :func:`replay_min_trace` / :func:`unreplayable_min_traces` verify a
@@ -29,18 +36,19 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from repro.checker.random_walk import RandomWalker
-from repro.checker.shrink import shrink_trace_oracle
+from repro.checker.shrink import shrink_labels_oracle, shrink_trace_oracle
 from repro.checker.trace import Trace
 from repro.remix.campaign import (
     campaign_config,
     config_from_meta,
     trace_findings,
+    validation_findings,
 )
 from repro.remix.coordinator import Coordinator
-from repro.remix.spec_cache import cached_mapping, cached_spec
+from repro.remix.spec_cache import cached_mapping, cached_prefix, cached_spec
+from repro.remix.trace_validation import ImplExplorer, TraceValidator
 from repro.zookeeper.config import ZkConfig
-from repro.zookeeper.faults import fault_schedule
-from repro.zookeeper.scenarios import ScenarioError, scenario_prefix
+from repro.zookeeper.scenarios import ScenarioError
 
 
 def _args_to_json(value: Any) -> Any:
@@ -95,21 +103,51 @@ def labels_from_json(spec, entries) -> Optional[List]:
 
 
 def rebuild_witness(grain: str, witness: Dict[str, Any], config: ZkConfig) -> Trace:
-    """Reconstruct a finding's witnessing trace from its stored metadata
-    (deterministic: scripted prefix + fault + seeded random suffix)."""
+    """Reconstruct a top-down finding's witnessing trace from its stored
+    metadata (deterministic: scripted prefix + fault + seeded random
+    suffix)."""
     spec = cached_spec(grain, config)
     # Role ids are stored in the witness; the fallbacks mirror run_cell's
     # historical choice for /2-era findings that predate the keys.
     leader = witness.get("leader", config.n_servers - 1)
     follower = witness.get("follower", 0)
-    prefix = scenario_prefix(witness["scenario"], spec, leader, config.servers)
-    fault_schedule(witness["fault"]).inject(prefix, leader, follower)
+    prefix = cached_prefix(
+        grain, config, witness["scenario"], witness["fault"], leader, follower
+    )
     walker = RandomWalker(spec, seed=witness["suffix_seed"])
     suffix = walker.walk(witness["suffix_steps"], start=prefix.state)
     return Trace(
         states=prefix.states + suffix.states[1:],
         labels=prefix.labels + suffix.labels,
     )
+
+
+def rebuild_validation_witness(
+    grain: str, witness: Dict[str, Any], config: ZkConfig
+) -> List:
+    """Reconstruct a bottom-up finding's witnessing *label sequence* by
+    re-running the deterministic implementation explorer under the
+    stored explorer seed (scripted prefix first, then the seeded random
+    suffix -- exactly what the validation cell executed)."""
+    from repro.impl.ensemble import Ensemble
+
+    spec = cached_spec(grain, config)
+    mapping = cached_mapping(grain)
+    leader = witness.get("leader", config.n_servers - 1)
+    follower = witness.get("follower", 0)
+    prefix = cached_prefix(
+        grain, config, witness["scenario"], witness["fault"], leader, follower
+    )
+    explorer = ImplExplorer(
+        spec,
+        mapping,
+        lambda: Ensemble(config.n_servers, config.variant),
+        seed=witness["explorer_seed"],
+    )
+    executed, _, _ = explorer.explore(
+        witness["explorer_steps"], prefix=prefix.labels
+    )
+    return executed
 
 
 class ConformanceOracle:
@@ -137,6 +175,37 @@ class ConformanceOracle:
         }
 
 
+class ValidationOracle:
+    """The bottom-up shrink oracle: accept a candidate *label sequence*
+    iff lockstep validation (fresh ensemble + fresh model run) reproduces
+    the target finding fingerprint.
+
+    Unlike :class:`ConformanceOracle` the candidate is never replayed
+    through the model alone -- a bottom-up witness may be model-disabled
+    on purpose (that can be the very finding under minimization), so the
+    implementation drives and the model only judges."""
+
+    def __init__(self, grain: str, fingerprint: str, config: ZkConfig):
+        from repro.impl.ensemble import Ensemble
+
+        self.grain = grain
+        self.fingerprint = fingerprint
+        self.validator = TraceValidator(
+            cached_spec(grain, config),
+            cached_mapping(grain),
+            lambda: Ensemble(config.n_servers, config.variant),
+        )
+        self.replays = 0
+
+    def __call__(self, labels) -> bool:
+        self.replays += 1
+        report = self.validator.validate_labels(labels)
+        return self.fingerprint in {
+            finding["fingerprint"]
+            for finding in validation_findings(report, self.grain)
+        }
+
+
 def shrink_finding(
     finding: Dict[str, Any],
     config: Optional[ZkConfig] = None,
@@ -156,6 +225,24 @@ def shrink_finding(
     if not witness:
         return {"status": "no_witness"}
     grain = finding["grain"]
+    if finding.get("direction") == "bottomup":
+        try:
+            labels = rebuild_validation_witness(grain, witness, config)
+        except ScenarioError as error:  # pragma: no cover - defensive
+            return {"status": "unreproducible", "reason": str(error)}
+        oracle = ValidationOracle(grain, finding["fingerprint"], config)
+        if not oracle(labels):
+            return {"status": "unreproducible", "witness_steps": len(labels)}
+        shrunk_labels = shrink_labels_oracle(
+            labels, oracle, max_rounds=max_rounds
+        )
+        return {
+            "status": "ok",
+            "steps": len(shrunk_labels),
+            "witness_steps": len(labels),
+            "oracle_replays": oracle.replays,
+            "labels": [label_to_json(label) for label in shrunk_labels],
+        }
     spec = cached_spec(grain, config)
     try:
         trace = rebuild_witness(grain, witness, config)
@@ -177,9 +264,13 @@ def shrink_finding(
 def replay_min_trace(
     finding: Dict[str, Any], config: Optional[ZkConfig] = None
 ) -> bool:
-    """True iff the finding's ``min_trace`` replays from the initial
-    state at the model level AND reproduces the finding fingerprint at
-    the code level -- the end-to-end check CI runs on shrunk reports."""
+    """True iff the finding's ``min_trace`` reproduces the finding
+    fingerprint end-to-end -- the check CI runs on shrunk reports.
+
+    Top-down findings must replay from the initial state at the model
+    level AND reproduce the fingerprint at the code level; bottom-up
+    findings re-drive the implementation and reproduce the fingerprint
+    under lockstep validation."""
     config = config or campaign_config()
     min_trace = finding.get("min_trace") or {}
     if min_trace.get("status") != "ok":
@@ -189,6 +280,12 @@ def replay_min_trace(
     instances = labels_from_json(spec, min_trace["labels"])
     if instances is None:
         return False
+    if finding.get("direction") == "bottomup":
+        # Bottom-up min_traces need not (and often must not) replay at
+        # the model level; the implementation drives, lockstep validation
+        # judges the fingerprint.
+        labels = [inst.label for inst in instances]
+        return ValidationOracle(grain, finding["fingerprint"], config)(labels)
     state = spec.initial_states()[0]
     states = [state]
     labels = []

@@ -1,4 +1,5 @@
-"""A process-level cache of composed specifications and action mappings.
+"""A process-level cache of composed specifications and action mappings,
+with an on-disk persistence layer for derived spec products.
 
 Composing a mixed-grained :class:`~repro.tla.spec.Specification` rebuilds
 every module, enumerates all action instances and wires invariants --
@@ -18,25 +19,67 @@ Forked campaign workers inherit the parent's populated cache by memory
 image, so pre-warming once in the parent makes campaign startup
 O(grains), not O(jobs).
 
+On-disk persistence
+-------------------
+
+Specifications themselves hold closures and cannot be pickled, so what
+persists across CLI invocations is their derived, picklable products:
+scripted **scenario-prefix traces** (scenario + injected fault schedule,
+:func:`cached_prefix`), which every campaign cell -- top-down replay,
+bottom-up validation and the shrink stage's witness rebuilds -- starts
+from.  Entries live under one directory per *spec-source digest* (a
+SHA-1 over the ``repro.tla`` and ``repro.zookeeper`` sources plus a
+format version), so editing any spec source invalidates the whole cache
+rather than ever serving stale traces.  The location is
+``~/.cache/repro-spec-cache`` unless ``REPRO_SPEC_CACHE_DIR`` overrides
+it (set it to ``off`` -- or pass ``--spec-cache off`` on the CLI -- to
+disable persistence).  Writes are atomic (temp file + rename), so
+concurrent CLI invocations never observe torn entries.
+
 Cached specifications are shared: callers must not mutate them (no
 ``spec.invariants`` surgery -- build a private spec for that).
+Scenarios returned by :func:`cached_prefix` are fresh per call and safe
+to extend.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import pickle
+import tempfile
 import threading
+from dataclasses import asdict
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.tla.spec import Specification
 from repro.zookeeper.config import SpecVariant, ZkConfig
 
+#: Bump when the on-disk payload format changes.
+_DISK_FORMAT = 1
+
 _LOCK = threading.Lock()
 _SPECS: Dict[Tuple, Specification] = {}
 _MAPPINGS: Dict[str, object] = {}
-_STATS = {"hits": 0, "misses": 0}
+_PREFIXES: Dict[Tuple, Tuple[tuple, tuple]] = {}
+_STATS = {
+    "hits": 0,
+    "misses": 0,
+    "prefix_hits": 0,
+    "prefix_misses": 0,
+    "disk_hits": 0,
+    "disk_misses": 0,
+}
 #: Per-key gates for in-flight compositions.  The composing thread holds
 #: the gate; waiters block on it, then re-check the cache.
 _INFLIGHT: Dict[Any, threading.Lock] = {}
+
+#: Explicit disk-cache override (CLI ``--spec-cache``): None = resolve
+#: from the environment, "" = disabled, otherwise a directory path.
+_DISK_OVERRIDE: Optional[str] = None
+
+_SOURCE_DIGEST: Optional[str] = None
 
 
 def _single_flight(
@@ -123,6 +166,191 @@ def cached_mapping(name: str):
     )
 
 
+# -------------------------------------------------------- on-disk layer
+
+
+def set_disk_cache_dir(path: Optional[str]) -> None:
+    """Override the on-disk cache location for this process.
+
+    ``None`` restores environment-based resolution; ``""`` (or ``"off"``
+    / ``"0"``) disables persistence entirely (the CLI's
+    ``--spec-cache off``)."""
+    global _DISK_OVERRIDE
+    if path is not None and path.strip().lower() in ("", "off", "0", "none"):
+        path = ""
+    _DISK_OVERRIDE = path
+
+
+def _disk_dir() -> Optional[str]:
+    """The active on-disk cache directory, or None when disabled."""
+    if _DISK_OVERRIDE is not None:
+        return _DISK_OVERRIDE or None
+    env = os.environ.get("REPRO_SPEC_CACHE_DIR")
+    if env is not None:
+        if env.strip().lower() in ("", "off", "0", "none"):
+            return None
+        return env
+    return os.path.join(
+        os.path.expanduser("~"), ".cache", "repro-spec-cache"
+    )
+
+
+def source_digest() -> str:
+    """A SHA-1 over the spec-defining sources (``repro.tla`` and
+    ``repro.zookeeper``) plus the payload format version.
+
+    This is the cache's *invalidation rule*: entries live under one
+    directory per digest, so any edit to any spec source orphans every
+    previous entry instead of ever serving a stale trace."""
+    global _SOURCE_DIGEST
+    if _SOURCE_DIGEST is None:
+        import repro.tla as tla_pkg
+        import repro.zookeeper as zk_pkg
+
+        digest = hashlib.sha1(f"format/{_DISK_FORMAT}".encode())
+        for pkg in (tla_pkg, zk_pkg):
+            root = os.path.dirname(pkg.__file__)
+            for entry in sorted(os.listdir(root)):
+                if not entry.endswith(".py"):
+                    continue
+                digest.update(entry.encode())
+                with open(os.path.join(root, entry), "rb") as fh:
+                    digest.update(fh.read())
+        _SOURCE_DIGEST = digest.hexdigest()[:20]
+    return _SOURCE_DIGEST
+
+
+def _entry_path(directory: str, key_json: str) -> str:
+    entry = hashlib.sha1(key_json.encode("utf-8")).hexdigest()[:24]
+    return os.path.join(directory, source_digest(), f"{entry}.pkl")
+
+
+def _disk_load(key_json: str) -> Optional[Any]:
+    directory = _disk_dir()
+    if directory is None:
+        return None
+    try:
+        with open(_entry_path(directory, key_json), "rb") as fh:
+            payload = pickle.load(fh)
+    except (OSError, pickle.PickleError, EOFError, AttributeError):
+        with _LOCK:
+            _STATS["disk_misses"] += 1
+        return None
+    with _LOCK:
+        _STATS["disk_hits"] += 1
+    return payload
+
+
+def _disk_store(key_json: str, payload: Any) -> None:
+    directory = _disk_dir()
+    if directory is None:
+        return
+    path = _entry_path(directory, key_json)
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)  # atomic: readers never see torn entries
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        pass  # a read-only or full cache dir degrades to compute-only
+
+
+def _prefix_key_json(
+    grain: str,
+    config: ZkConfig,
+    scenario: str,
+    fault: str,
+    leader: int,
+    follower: int,
+    quorum: Tuple[int, ...],
+) -> str:
+    return json.dumps(
+        {
+            "kind": "prefix",
+            "grain": grain,
+            "config": asdict(config),
+            "scenario": scenario,
+            "fault": fault,
+            "leader": leader,
+            "follower": follower,
+            "quorum": list(quorum),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def cached_prefix(
+    grain: str,
+    config: ZkConfig,
+    scenario: str,
+    fault: str,
+    leader: int,
+    follower: int,
+    quorum: Optional[Tuple[int, ...]] = None,
+):
+    """The scripted campaign prefix for one cell coordinate: scenario
+    prefix plus injected fault schedule, as a fresh
+    :class:`~repro.zookeeper.scenarios.Scenario`.
+
+    Resolution order: per-process memory (forked workers inherit it),
+    then the on-disk layer (repeated CLI invocations start warm), then
+    scripting it from scratch (and persisting the labels + state values,
+    which unlike specifications are plain picklable data).
+    :class:`~repro.zookeeper.scenarios.ScenarioError` (an inapplicable
+    scenario or fault for this grain/config) propagates uncached.
+    """
+    from repro.tla.state import State
+    from repro.zookeeper.faults import fault_schedule
+    from repro.zookeeper.scenarios import Scenario, scenario_prefix
+
+    quorum = tuple(quorum) if quorum is not None else config.servers
+    spec = cached_spec(grain, config)
+    key = (grain, config, scenario, fault, leader, follower, quorum)
+    with _LOCK:
+        entry = _PREFIXES.get(key)
+        if entry is not None:
+            _STATS["prefix_hits"] += 1
+    if entry is None:
+        key_json = _prefix_key_json(
+            grain, config, scenario, fault, leader, follower, quorum
+        )
+        payload = _disk_load(key_json)
+        if (
+            isinstance(payload, tuple)
+            and len(payload) == 2
+            and len(payload[0]) == len(payload[1]) - 1
+        ):
+            entry = (tuple(payload[0]), tuple(payload[1]))
+        else:
+            built = scenario_prefix(scenario, spec, leader, quorum)
+            fault_schedule(fault).inject(built, leader, follower)
+            entry = (
+                tuple(built.labels),
+                tuple(state.values for state in built.states),
+            )
+            _disk_store(key_json, entry)
+        with _LOCK:
+            _PREFIXES.setdefault(key, entry)
+            _STATS["prefix_misses"] += 1
+    labels, values = entry
+    states = [State(spec.schema, v) for v in values]
+    scenario_obj = Scenario(spec, state=states[-1])
+    scenario_obj.labels = list(labels)
+    scenario_obj.states = states
+    return scenario_obj
+
+
 def stats() -> Dict[str, int]:
     """Cache hit/miss counters (for tests and campaign reports)."""
     with _LOCK:
@@ -130,10 +358,13 @@ def stats() -> Dict[str, int]:
 
 
 def clear() -> None:
-    """Drop every cached spec/mapping and reset the counters (in-flight
-    compositions, if any, finish into the fresh cache)."""
+    """Drop every in-memory cached spec/mapping/prefix and reset the
+    counters (in-flight compositions, if any, finish into the fresh
+    cache).  On-disk entries are untouched -- they are invalidated by
+    the source digest, not by process lifecycle."""
     with _LOCK:
         _SPECS.clear()
         _MAPPINGS.clear()
-        _STATS["hits"] = 0
-        _STATS["misses"] = 0
+        _PREFIXES.clear()
+        for counter in _STATS:
+            _STATS[counter] = 0

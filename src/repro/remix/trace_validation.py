@@ -7,13 +7,16 @@ executions and check that every step is allowed by the model.  This
 module implements it over the simulator:
 
 - an :class:`ImplExplorer` drives the ensemble with randomly chosen
-  enabled operations (discovered by trying mapped actions on a copy);
+  enabled operations (discovered by trying mapped actions on a copy),
+  optionally from a scripted prefix (a campaign scenario + fault
+  schedule) whose fault/txn labels count against the model budgets;
 - a :class:`TraceValidator` runs the model in lockstep, confirming each
   implementation step corresponds to an enabled model action whose
   post-state matches.
 
 Together with the top-down checker this gives conformance evidence in
-both directions.
+both directions; :mod:`repro.remix.campaign` schedules both directions
+as cells of the same matrix.
 """
 
 from __future__ import annotations
@@ -21,35 +24,58 @@ from __future__ import annotations
 import copy
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.impl.ensemble import Ensemble
 from repro.impl.exceptions import ZkImplError
-from repro.remix.coordinator import COMPARED_VARIABLES
+from repro.remix.coordinator import (
+    COMPARED_VARIABLES,
+    CONFIG_LABEL,
+    split_compared_variables,
+)
 from repro.remix.mapping import ActionMapping
 from repro.tla.action import ActionLabel
 from repro.tla.spec import Specification
 from repro.tla.state import State
 
+#: Action names whose executions count against a model budget; the
+#: explorer must respect them for lockstep validation to be meaningful
+#: (budgets are bounds of the verification *model*, not of the code).
+_BUDGETED = ("NodeCrash", "PartitionStart", "LeaderProcessRequest")
+
 
 @dataclass
 class ValidationIssue:
-    """One implementation step the model does not allow."""
+    """One implementation step the model does not allow.
 
-    kind: str  # "model_disabled" | "state_mismatch" | "impl_exception"
+    ``run`` is the index of the validation run that produced the issue:
+    step indices restart at 0 every run, so without it a multi-run
+    :class:`ValidationReport` could not tell which run to rebuild.
+    """
+
+    # "model_disabled" | "state_mismatch" | "impl_exception"
+    # | "unknown_variable"
+    kind: str
     step: int
     label: ActionLabel
     variable: str = ""
     model_value: object = None
     impl_value: object = None
+    run: int = 0
 
     def __str__(self) -> str:
         if self.kind == "state_mismatch":
             return (
-                f"step {self.step} ({self.label}): {self.variable} -- "
+                f"run {self.run} step {self.step} ({self.label}): "
+                f"{self.variable} -- "
                 f"model {self.model_value!r} vs impl {self.impl_value!r}"
             )
-        return f"step {self.step} ({self.label}): {self.kind}"
+        if self.kind == "unknown_variable":
+            return (
+                f"compared variable {self.variable!r} is absent from the "
+                f"implementation snapshot -- its comparison never runs"
+            )
+        return f"run {self.run} step {self.step} ({self.label}): {self.kind}"
 
 
 @dataclass
@@ -57,7 +83,14 @@ class ValidationReport:
     runs: int = 0
     steps_validated: int = 0
     issues: List[ValidationIssue] = field(default_factory=list)
-    impl_errors: List[Tuple[int, ZkImplError]] = field(default_factory=list)
+    #: (run, step, label, error) -- the implementation exception that
+    #: ended a run, attributed to the run that raised it.
+    impl_errors: List[Tuple[int, int, ActionLabel, ZkImplError]] = field(
+        default_factory=list
+    )
+    #: The implementation labels that executed, across all runs (what a
+    #: campaign cell reports as action coverage).
+    executed: List[ActionLabel] = field(default_factory=list)
 
     @property
     def valid(self) -> bool:
@@ -150,58 +183,83 @@ class ImplExplorer:
             if mapping.lookup(inst.label) is not None
         ]
 
+    def _try_step(self, ensemble, label):
+        """Attempt one mapped step on a copy; returns ``(committed,
+        error)``.  ``committed`` is the post-step ensemble on success (or
+        the erroring probe when the step raised -- its partial mutations
+        are the crash state a caller wants to inspect) and None when the
+        step is stuck; probing keeps stuck steps' partial mutations off
+        the committed ensemble, so a validator can re-derive the exact
+        same run from the labels alone."""
+        mapped = self.mapping.lookup(label)
+        if mapped is None or not _label_matches_head(
+            ensemble, label, mapped.region == "baseline"
+        ):
+            return None, None
+        probe = copy.deepcopy(ensemble)
+        try:
+            ok = mapped.step(probe, label)
+        except ZkImplError as exc:
+            return probe, exc
+        return (probe if ok else None), None
+
     def explore(
-        self, max_steps: int = 20
+        self, max_steps: int = 20, prefix: Sequence[ActionLabel] = ()
     ) -> Tuple[List[ActionLabel], Ensemble, Optional[ZkImplError]]:
-        """One random implementation run: the labels executed, the final
+        """One implementation run: the labels executed, the final
         ensemble, and the exception that ended the run (if any).
+
+        ``prefix`` labels (a campaign scenario + fault schedule) execute
+        first, in order; a prefix step that is stuck at the code level
+        ends the scripted phase and random exploration continues from
+        there.  ``max_steps`` bounds the random suffix only.
 
         Fault operations are bounded by the model configuration's crash
         and partition budgets: budgets are bounds of the verification
         *model*, so an implementation run must stay within them for the
-        lockstep validation to be meaningful."""
+        lockstep validation to be meaningful.  Prefix fault/txn labels
+        count against the same budgets."""
         ensemble = self.ensemble_factory()
         executed: List[ActionLabel] = []
-        crashes = partitions = txns = 0
+        budget_used = {name: 0 for name in _BUDGETED}
+        for label in prefix:
+            committed, error = self._try_step(ensemble, label)
+            if error is not None:
+                executed.append(label)
+                return executed, committed, error
+            if committed is None:
+                break
+            ensemble = committed
+            executed.append(label)
+            if label.name in budget_used:
+                budget_used[label.name] += 1
         config = self.spec.config
+        budgets = {
+            "NodeCrash": config.max_crashes,
+            "PartitionStart": config.max_partitions,
+            "LeaderProcessRequest": config.max_txns,
+        }
         for _ in range(max_steps):
             candidates = list(self._labels)
             self.rng.shuffle(candidates)
             progressed = False
             for label in candidates:
-                if label.name == "NodeCrash" and crashes >= config.max_crashes:
-                    continue
                 if (
-                    label.name == "PartitionStart"
-                    and partitions >= config.max_partitions
+                    label.name in budgets
+                    and budget_used[label.name] >= budgets[label.name]
                 ):
                     continue
-                if (
-                    label.name == "LeaderProcessRequest"
-                    and txns >= config.max_txns
-                ):
-                    continue
-                mapped = self.mapping.lookup(label)
-                if not _label_matches_head(
-                    ensemble, label, mapped.region == "baseline"
-                ):
-                    continue
-                probe = copy.deepcopy(ensemble)
-                try:
-                    if mapped.step(probe, label):
-                        ensemble = probe
-                        executed.append(label)
-                        if label.name == "NodeCrash":
-                            crashes += 1
-                        elif label.name == "PartitionStart":
-                            partitions += 1
-                        elif label.name == "LeaderProcessRequest":
-                            txns += 1
-                        progressed = True
-                        break
-                except ZkImplError as exc:
+                committed, error = self._try_step(ensemble, label)
+                if error is not None:
                     executed.append(label)
-                    return executed, probe, exc
+                    return executed, committed, error
+                if committed is not None:
+                    ensemble = committed
+                    executed.append(label)
+                    if label.name in budget_used:
+                        budget_used[label.name] += 1
+                    progressed = True
+                    break
             if not progressed:
                 break
         return executed, ensemble, None
@@ -224,19 +282,36 @@ class TraceValidator:
         self.ensemble_factory = ensemble_factory
         self.compared_variables = tuple(compared_variables)
 
-    def validate_run(self, max_steps: int = 20) -> ValidationReport:
+    def validate_labels(
+        self, labels: Sequence[ActionLabel], run: int = 0
+    ) -> ValidationReport:
+        """Replay ``labels`` against BOTH the model and a fresh ensemble,
+        comparing the compared variables after each step.
+
+        This is the lockstep core shared by :meth:`validate_run` and the
+        campaign's bottom-up shrink oracle (which feeds it candidate
+        label subsequences)."""
         report = ValidationReport(runs=1)
-        executed, _, impl_error = self.explorer.explore(max_steps)
-        # replay the labels against BOTH model and a fresh ensemble,
-        # comparing after each step
         model_state: State = self.spec.initial_states()[0]
         ensemble = self.ensemble_factory()
-        for step, label in enumerate(executed):
+        # Validate the comparison tuple against the snapshot up front: a
+        # typo'd variable would otherwise silently never be compared
+        # (the bug the Coordinator already fixed; shared helper).
+        known, missing = split_compared_variables(
+            ensemble.snapshot(), self.compared_variables
+        )
+        for variable in missing:
+            report.issues.append(
+                ValidationIssue(
+                    "unknown_variable", 0, CONFIG_LABEL, variable, run=run
+                )
+            )
+        for step, label in enumerate(labels):
             mapped = self.mapping.lookup(label)
             try:
                 ok = mapped.step(ensemble, label)
             except ZkImplError as exc:
-                report.impl_errors.append((step, exc))
+                report.impl_errors.append((run, step, label, exc))
                 # the model must agree that this path is an error path:
                 # the corresponding model action must lead to an error
                 # state (checked by the code-level invariants), or at
@@ -244,24 +319,25 @@ class TraceValidator:
                 inst = self.spec.instance_for(label)
                 if inst.apply(self.spec.config, model_state) is None:
                     report.issues.append(
-                        ValidationIssue("model_disabled", step, label)
+                        ValidationIssue(
+                            "model_disabled", step, label, run=run
+                        )
                     )
                 return report
             if not ok:
                 break
+            report.executed.append(label)
             inst = self.spec.instance_for(label)
             nxt = inst.apply(self.spec.config, model_state)
             if nxt is None:
                 report.issues.append(
-                    ValidationIssue("model_disabled", step, label)
+                    ValidationIssue("model_disabled", step, label, run=run)
                 )
                 return report
             model_state = nxt
             report.steps_validated += 1
             impl = ensemble.snapshot()
-            for variable in self.compared_variables:
-                if variable not in impl:
-                    continue
+            for variable in known:
                 if model_state[variable] != impl[variable]:
                     report.issues.append(
                         ValidationIssue(
@@ -271,17 +347,28 @@ class TraceValidator:
                             variable,
                             model_state[variable],
                             impl[variable],
+                            run=run,
                         )
                     )
                     return report
         return report
 
+    def validate_run(
+        self,
+        max_steps: int = 20,
+        prefix: Sequence[ActionLabel] = (),
+        run: int = 0,
+    ) -> ValidationReport:
+        executed, _, _ = self.explorer.explore(max_steps, prefix=prefix)
+        return self.validate_labels(executed, run=run)
+
     def validate(self, runs: int = 10, max_steps: int = 20) -> ValidationReport:
         total = ValidationReport()
-        for _ in range(runs):
-            run_report = self.validate_run(max_steps)
+        for run in range(runs):
+            run_report = self.validate_run(max_steps, run=run)
             total.runs += 1
             total.steps_validated += run_report.steps_validated
             total.issues.extend(run_report.issues)
             total.impl_errors.extend(run_report.impl_errors)
+            total.executed.extend(run_report.executed)
         return total

@@ -312,8 +312,14 @@ class FaultSchedule:
     name: str
     steps: Tuple[Tuple[str, Tuple[Tuple[str, str], ...]], ...] = ()
 
-    def inject(self, scenario, leader: int, follower: int):
-        """Apply the scripted faults to a scenario, in order."""
+    def resolve(self, leader: int, follower: int):
+        """Resolve the role placeholders against a concrete leader and
+        follower: ``[(action_name, args_dict), ...]`` in schedule order.
+
+        Used by :meth:`inject` (model-level scenarios) and by the
+        campaign's bottom-up direction, which drives the same resolved
+        fault steps through the implementation explorer."""
+        resolved = []
         for action, params in self.steps:
             args = {}
             for key, role in params:
@@ -325,6 +331,12 @@ class FaultSchedule:
                     args[key] = tuple(sorted((leader, follower)))
                 else:  # pragma: no cover - schedule construction error
                     raise ValueError(f"unknown role {role!r}")
+            resolved.append((action, args))
+        return resolved
+
+    def inject(self, scenario, leader: int, follower: int):
+        """Apply the scripted faults to a scenario, in order."""
+        for action, args in self.resolve(leader, follower):
             scenario.apply(action, **args)
         return scenario
 

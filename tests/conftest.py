@@ -7,6 +7,19 @@ from repro.zookeeper.config import ZkConfig
 from repro.zookeeper.schema import initial_state
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_spec_cache(tmp_path_factory):
+    """Point the on-disk spec cache at a per-session temp directory so
+    test runs never touch (or depend on) ~/.cache; disk-layer tests
+    override the location themselves via spec_cache.set_disk_cache_dir."""
+    import os
+
+    os.environ.setdefault(
+        "REPRO_SPEC_CACHE_DIR", str(tmp_path_factory.mktemp("spec-cache"))
+    )
+    yield
+
+
 def txn(epoch, counter, value=None):
     """Shorthand transaction constructor."""
     return Txn(Zxid(epoch, counter), value if value is not None else counter)

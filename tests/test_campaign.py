@@ -17,11 +17,13 @@ from repro.remix.campaign import (
     DEFAULT_SCENARIOS,
     campaign_config,
     canonical_value,
+    dedup_min_traces,
     finding_fingerprint,
     merge_cells,
     new_fingerprints,
     parse_budget,
     run_cell,
+    run_validation_cell,
 )
 from repro.zookeeper import ZkConfig, make_spec
 from repro.zookeeper.faults import FaultSchedule, fault_schedule, fault_schedules
@@ -84,6 +86,47 @@ class TestMatrix:
         for name in names:
             assert fault_schedule(name).name == name
 
+    def test_fault_schedule_resolve_matches_inject(self):
+        schedule = fault_schedule("crash-restart-follower")
+        assert schedule.resolve(2, 0) == [
+            ("NodeCrash", {"i": 0}),
+            ("NodeRestart", {"i": 0}),
+        ]
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(KeyError, match="unknown direction"):
+            ConformanceCampaign(directions=("sideways",))
+
+    def test_both_directions_double_the_matrix(self):
+        single = ConformanceCampaign().jobs()
+        both = ConformanceCampaign(
+            directions=("topdown", "bottomup")
+        ).jobs()
+        assert len(both) == 2 * len(single)
+        assert [job.direction for job in both[: len(single)]] == [
+            "topdown"
+        ] * len(single)
+        assert [job.direction for job in both[len(single):]] == [
+            "bottomup"
+        ] * len(single)
+
+    def test_bottomup_cell_id_is_prefixed(self):
+        job = CampaignJob(
+            0, "mSpec-1", "election", "none", 7, 1, 4, direction="bottomup"
+        )
+        assert job.cell_id == "bottomup:mSpec-1/election/none/s7"
+        topdown = CampaignJob(0, "mSpec-1", "election", "none", 7, 1, 4)
+        assert topdown.cell_id == "mSpec-1/election/none/s7"
+
+    def test_directions_get_distinct_cell_seeds(self):
+        from repro.remix.campaign import _cell_seed
+
+        topdown = CampaignJob(0, "mSpec-1", "election", "none", 7, 1, 4)
+        bottomup = CampaignJob(
+            0, "mSpec-1", "election", "none", 7, 1, 4, direction="bottomup"
+        )
+        assert _cell_seed(topdown, 0) != _cell_seed(bottomup, 0)
+
 
 class TestCellExecution:
     def test_cell_runs_and_covers_actions(self):
@@ -104,6 +147,50 @@ class TestCellExecution:
         cell = run_cell(job, config)
         assert cell["status"] == "inapplicable"
         assert "not enabled" in cell["reason"]
+        assert cell["findings"] == []
+
+    def test_validation_cell_runs_and_finds(self):
+        # Fixed-seed bottom-up cell: the simulator allows partitioning a
+        # crashed node, which the model forbids -- a divergence only the
+        # bottom-up direction can surface (top-down replay never contains
+        # a model-disabled action).
+        job = CampaignJob(
+            0, "mSpec-1", "election", "crash-follower", 0, 2, 12,
+            direction="bottomup",
+        )
+        cell = run_validation_cell(job, campaign_config())
+        assert cell["status"] == "ok"
+        assert cell["direction"] == "bottomup"
+        assert cell["traces"] == 2
+        assert cell["steps_replayed"] > 0
+        assert cell["findings"], "expected a model-disabled finding"
+        finding = cell["findings"][0]
+        assert finding["direction"] == "bottomup"
+        assert finding["kind"] == "model_disabled"
+        witness = finding["witness"]
+        assert witness["direction"] == "bottomup"
+        assert "explorer_seed" in witness and "explorer_steps" in witness
+
+    def test_validation_cell_is_deterministic(self):
+        job = CampaignJob(
+            0, "mSpec-1", "broadcast", "none", 7, 2, 8,
+            direction="bottomup",
+        )
+        first = run_validation_cell(job, campaign_config())
+        second = run_validation_cell(job, campaign_config())
+        assert first == second
+
+    def test_validation_cell_inapplicable_fault(self):
+        config = ZkConfig(
+            n_servers=3, max_txns=1, max_crashes=1, max_partitions=0,
+            max_epoch=3,
+        )
+        job = CampaignJob(
+            0, "mSpec-1", "election", "partition", 7, 1, 4,
+            direction="bottomup",
+        )
+        cell = run_validation_cell(job, config)
+        assert cell["status"] == "inapplicable"
         assert cell["findings"] == []
 
     def test_cell_seeds_differ_across_cells(self):
@@ -135,6 +222,43 @@ class TestDeterminismAndDedup:
         assert seq["cells"] == par["cells"]
         assert seq["findings"] == par["findings"]
         assert seq["totals"] == par["totals"]
+
+    @pytest.mark.skipif(not parallel.available(), reason="needs fork")
+    def test_mixed_direction_campaign_deterministic_across_workers(self):
+        kw = dict(directions=("topdown", "bottomup"))
+        seq = small_campaign(workers=1, **kw).run().to_json()
+        par = small_campaign(workers=2, **kw).run().to_json()
+        assert seq["cells"] == par["cells"]
+        assert seq["findings"] == par["findings"]
+        assert seq["totals"] == par["totals"]
+        assert seq["totals"]["bottomup_findings"] > 0
+
+    def test_bottomup_findings_disjoint_from_topdown(self):
+        report = small_campaign(
+            directions=("topdown", "bottomup")
+        ).run()
+        by_direction = {"topdown": set(), "bottomup": set()}
+        for finding in report.findings:
+            by_direction[finding["direction"]].add(finding["fingerprint"])
+        assert not (by_direction["topdown"] & by_direction["bottomup"])
+
+    def test_adaptive_pools_yield_across_directions(self):
+        kw = dict(
+            grains=("mSpec-1",),
+            scenarios=("election", "broadcast"),
+            faults=("none", "crash-follower"),
+            traces=1,
+            max_steps=5,
+            seed=7,
+            seeds=2,
+            directions=("topdown", "bottomup"),
+        )
+        uniform = ConformanceCampaign(**kw).run().totals
+        adaptive = ConformanceCampaign(**kw, adaptive=True).run().totals
+        assert adaptive["cells"] == uniform["cells"]
+        assert (
+            adaptive["distinct_findings"] >= uniform["distinct_findings"]
+        )
 
     def test_merge_dedups_identical_findings(self):
         jobs = [
@@ -223,6 +347,174 @@ class TestReportSchema:
         assert finding_fingerprint({"v": left}) == finding_fingerprint(
             {"v": right}
         )
+
+
+class TestDiskCache:
+    """The on-disk persistence layer: repeated 'CLI invocations' (fresh
+    in-memory caches) warm-start from persisted prefix traces."""
+
+    @pytest.fixture(autouse=True)
+    def isolated_dir(self, tmp_path):
+        spec_cache.set_disk_cache_dir(str(tmp_path / "disk"))
+        yield
+        spec_cache.set_disk_cache_dir(None)
+
+    def run_once(self):
+        return small_campaign(directions=("topdown", "bottomup")).run()
+
+    def test_second_invocation_warm_starts(self):
+        first = self.run_once().to_json()
+        cold = spec_cache.stats()
+        assert cold["disk_hits"] == 0 and cold["disk_misses"] > 0
+        spec_cache.clear()  # a fresh process, same disk
+        second = self.run_once().to_json()
+        warm = spec_cache.stats()
+        assert warm["disk_hits"] > 0 and warm["disk_misses"] == 0
+        # warm-started results are identical to cold ones
+        assert first["cells"] == second["cells"]
+        assert first["findings"] == second["findings"]
+
+    def test_cached_prefix_round_trip(self):
+        config = campaign_config()
+        built = spec_cache.cached_prefix(
+            "mSpec-1", config, "broadcast", "crash-follower", 2, 0
+        )
+        spec_cache.clear()
+        loaded = spec_cache.cached_prefix(
+            "mSpec-1", config, "broadcast", "crash-follower", 2, 0
+        )
+        assert spec_cache.stats()["disk_hits"] == 1
+        assert loaded.labels == built.labels
+        assert [s.values for s in loaded.states] == [
+            s.values for s in built.states
+        ]
+        assert loaded.state == built.state
+
+    def test_prefix_is_fresh_per_call(self):
+        config = campaign_config()
+        first = spec_cache.cached_prefix(
+            "mSpec-1", config, "election", "none", 2, 0
+        )
+        first.labels.append("mutation")
+        second = spec_cache.cached_prefix(
+            "mSpec-1", config, "election", "none", 2, 0
+        )
+        assert "mutation" not in second.labels
+
+    def test_source_digest_keys_invalidation(self, monkeypatch):
+        config = campaign_config()
+        spec_cache.cached_prefix("mSpec-1", config, "election", "none", 2, 0)
+        spec_cache.clear()
+        # Simulate an edited spec source: a different digest must miss.
+        monkeypatch.setattr(
+            spec_cache, "_SOURCE_DIGEST", "deadbeefdeadbeefdead"
+        )
+        spec_cache.cached_prefix("mSpec-1", config, "election", "none", 2, 0)
+        stats = spec_cache.stats()
+        assert stats["disk_hits"] == 0 and stats["disk_misses"] == 1
+
+    def test_corrupt_entry_recomputes(self, tmp_path):
+        import glob
+
+        config = campaign_config()
+        spec_cache.cached_prefix("mSpec-1", config, "election", "none", 2, 0)
+        for path in glob.glob(str(tmp_path / "disk" / "*" / "*.pkl")):
+            with open(path, "wb") as fh:
+                fh.write(b"not a pickle")
+        spec_cache.clear()
+        prefix = spec_cache.cached_prefix(
+            "mSpec-1", config, "election", "none", 2, 0
+        )
+        assert prefix.labels  # recomputed, not crashed
+        assert spec_cache.stats()["disk_hits"] == 0
+
+    def test_disabled_cache_never_touches_disk(self, tmp_path):
+        spec_cache.set_disk_cache_dir("off")
+        config = campaign_config()
+        spec_cache.cached_prefix("mSpec-1", config, "election", "none", 2, 0)
+        stats = spec_cache.stats()
+        assert stats["disk_hits"] == stats["disk_misses"] == 0
+
+
+class TestMinTraceAliases:
+    def finding(self, fingerprint, labels, direction="topdown", **extra):
+        return dict(
+            fingerprint=fingerprint,
+            kind="state_mismatch",
+            grain="mSpec-1",
+            direction=direction,
+            detail=f"finding {fingerprint}",
+            count=1,
+            cells=[f"cell-{fingerprint}"],
+            min_trace={"status": "ok", "steps": len(labels), "labels": labels},
+            **extra,
+        )
+
+    def test_same_min_trace_groups_into_aliases(self):
+        labels = [{"name": "NodeCrash", "args": {"i": 0}}]
+        findings = [
+            self.finding("aa", labels),
+            self.finding("bb", labels),
+            self.finding("cc", [{"name": "NodeCrash", "args": {"i": 1}}]),
+        ]
+        deduped = dedup_min_traces(findings)
+        assert [f["fingerprint"] for f in deduped] == ["aa", "cc"]
+        aliases = deduped[0]["aliases"]
+        assert [a["fingerprint"] for a in aliases] == ["bb"]
+        assert aliases[0]["cells"] == ["cell-bb"]
+
+    def test_directions_and_grains_never_group(self):
+        labels = [{"name": "NodeCrash", "args": {"i": 0}}]
+        findings = [
+            self.finding("aa", labels, direction="topdown"),
+            self.finding("bb", labels, direction="bottomup"),
+        ]
+        assert len(dedup_min_traces(findings)) == 2
+
+    def test_unshrunk_findings_pass_through(self):
+        findings = [
+            {"fingerprint": "aa", "kind": "impl_bug",
+             "min_trace": {"status": "unreproducible"}},
+            {"fingerprint": "bb", "kind": "impl_bug"},
+        ]
+        assert dedup_min_traces(list(findings)) == findings
+
+    def test_aliased_fingerprints_survive_in_report(self):
+        labels = [{"name": "NodeCrash", "args": {"i": 0}}]
+        report = CampaignReport(
+            meta={},
+            cells=[],
+            findings=dedup_min_traces(
+                [self.finding("aa", labels), self.finding("bb", labels)]
+            ),
+        )
+        assert report.fingerprints() == ["aa", "bb"]
+        assert report.totals["distinct_findings"] == 1
+        assert report.totals["aliased_findings"] == 1
+        # the baseline gate keeps recognizing the aliased fingerprint
+        baseline = {"findings": [{"fingerprint": "bb", "kind": "state_mismatch"}]}
+        assert new_fingerprints(report, baseline, kind="state_mismatch") == ["aa"]
+
+    def test_baseline_aliases_count_as_known(self):
+        # Alias grouping is first-seen: a later run may promote a
+        # fingerprint the baseline stores only as an alias to its own
+        # representative.  The gate must not flag it as new.
+        labels = [{"name": "NodeCrash", "args": {"i": 0}}]
+        baseline = {
+            "findings": [
+                dict(
+                    self.finding("head", labels),
+                    kind="impl_bug",
+                    aliases=[{"fingerprint": "ali", "kind": "impl_bug"}],
+                )
+            ]
+        }
+        report = CampaignReport(
+            meta={},
+            cells=[],
+            findings=[dict(self.finding("ali", labels), kind="impl_bug")],
+        )
+        assert new_fingerprints(report, baseline, kind="impl_bug") == []
 
 
 class TestSpecCache:

@@ -23,6 +23,8 @@ from repro.remix.coordinator import Coordinator
 from repro.remix.mapping import mapping_for
 from repro.remix.minimize import (
     ConformanceOracle,
+    ValidationOracle,
+    rebuild_validation_witness,
     rebuild_witness,
     replay_min_trace,
     shrink_finding,
@@ -280,6 +282,80 @@ class TestCampaignShrink:
             }
         )
         assert report.fingerprints("impl_bug") == ["aa"]
+
+    def test_schema_v2_reports_still_load(self):
+        report = CampaignReport.from_json(
+            {
+                "schema": "repro.campaign/2",
+                "campaign": {},
+                "cells": [],
+                "findings": [{"fingerprint": "bb", "kind": "impl_bug"}],
+            }
+        )
+        assert report.fingerprints("impl_bug") == ["bb"]
+
+
+# --------------------------------------------- bottom-up minimization
+
+
+class TestValidationShrink:
+    """A fixed-seed bottom-up cell reproduces a known model/impl
+    divergence (the simulator allows faults on nodes/pairs the model's
+    guards forbid) and its witness shrinks to a replayable min_trace."""
+
+    @pytest.fixture(scope="class")
+    def validation_finding(self):
+        from repro.remix.campaign import CampaignJob, run_validation_cell
+
+        job = CampaignJob(
+            0, "mSpec-1", "election", "crash-follower", 0, 2, 12,
+            direction="bottomup",
+        )
+        cell = run_validation_cell(job, CONFIG)
+        assert cell["findings"], "fixed-seed cell must reproduce"
+        finding = dict(cell["findings"][0], count=1)
+        return finding
+
+    def test_witness_rebuild_reproduces_fingerprint(self, validation_finding):
+        labels = rebuild_validation_witness(
+            "mSpec-1", validation_finding["witness"], CONFIG
+        )
+        assert len(labels) == validation_finding["witness"]["steps"]
+        oracle = ValidationOracle(
+            "mSpec-1", validation_finding["fingerprint"], CONFIG
+        )
+        assert oracle(labels)
+        assert not ValidationOracle("mSpec-1", "deadbeef", CONFIG)(labels)
+
+    def test_shrinks_and_replays(self, validation_finding):
+        payload = shrink_finding(validation_finding, CONFIG)
+        assert payload["status"] == "ok"
+        assert payload["steps"] <= payload["witness_steps"]
+        # a model-disabled divergence needs only the enabling fault plus
+        # the forbidden step -- the shrunk repro is tiny
+        assert payload["steps"] <= 4
+        finding = dict(validation_finding, min_trace=payload)
+        assert replay_min_trace(finding, CONFIG)
+
+    def test_campaign_shrink_handles_both_directions(self):
+        report = ConformanceCampaign(
+            grains=("mSpec-1",),
+            scenarios=("election", "broadcast"),
+            faults=("none", "crash-follower"),
+            traces=1,
+            max_steps=5,
+            seed=7,
+            directions=("topdown", "bottomup"),
+            shrink=True,
+        ).run()
+        bottomup = [
+            f for f in report.findings if f["direction"] == "bottomup"
+        ]
+        assert bottomup
+        for finding in report.findings:
+            assert finding["min_trace"]["status"] == "ok"
+            assert replay_min_trace(finding, CONFIG)
+        assert unreplayable_min_traces(report.to_json()) == []
 
 
 # ------------------------------------------------------ adaptive matrix

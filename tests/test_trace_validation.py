@@ -3,20 +3,27 @@
 import pytest
 
 from repro.impl import Ensemble
-from repro.remix import ImplExplorer, TraceValidator, mapping_for
+from repro.remix import (
+    COMPARED_VARIABLES,
+    ImplExplorer,
+    TraceValidator,
+    mapping_for,
+)
 from repro.zookeeper import V391, ZkConfig, make_spec
+from repro.zookeeper.scenarios import Scenario
 from repro.zookeeper.specs import SELECTIONS
 
 CFG = ZkConfig(max_txns=1, max_crashes=1, max_partitions=0, max_epoch=3)
 
 
-def validator(name, divergence="", seed=5, config=CFG):
+def validator(name, divergence="", seed=5, config=CFG, compared=None):
     spec = make_spec(name, config)
     return TraceValidator(
         spec,
         mapping_for(SELECTIONS[name]),
         lambda: Ensemble(config.n_servers, V391, divergence),
         seed=seed,
+        compared_variables=compared or COMPARED_VARIABLES,
     )
 
 
@@ -94,3 +101,129 @@ class TestTraceValidator:
     def test_summary(self):
         report = validator("mSpec-1").validate(runs=3, max_steps=10)
         assert "3 runs" in report.summary()
+
+
+class TestUnknownVariable:
+    """The Coordinator's PR-3 typo fix, ported to the validator: a
+    compared variable absent from the snapshot must be reported, not
+    silently skipped forever."""
+
+    def test_typo_reported_not_silently_skipped(self):
+        report = validator(
+            "mSpec-1", compared=COMPARED_VARIABLES + ("historyy",)
+        ).validate_run(max_steps=6)
+        bad = [i for i in report.issues if i.kind == "unknown_variable"]
+        assert len(bad) == 1
+        assert bad[0].variable == "historyy"
+        assert "absent from the implementation snapshot" in str(bad[0])
+
+    def test_known_variables_still_validated(self):
+        # The typo is reported once per run, and the remaining (known)
+        # variables are still compared -- validation does not abort.
+        report = validator(
+            "mSpec-3", compared=("current_epoch", "historyy")
+        ).validate_run(max_steps=8)
+        assert report.steps_validated > 0
+        assert [i.kind for i in report.issues] == ["unknown_variable"]
+
+    def test_valid_tuple_reports_nothing(self):
+        report = validator("mSpec-1").validate_run(max_steps=6)
+        assert not any(
+            i.kind == "unknown_variable" for i in report.issues
+        )
+
+
+class TestRunAttribution:
+    def test_issues_carry_their_run_index(self):
+        report = validator(
+            "mSpec-3", divergence="skip_epoch_update"
+        ).validate(runs=20, max_steps=18)
+        mismatches = [
+            i for i in report.issues if i.kind == "state_mismatch"
+        ]
+        assert mismatches
+        runs = {i.run for i in mismatches}
+        assert all(0 <= run < 20 for run in runs)
+        # the divergence fires in more than one run, at colliding step
+        # indices -- without the run index these would be ambiguous
+        assert len(runs) > 1
+
+    def test_unknown_variable_attributed_per_run(self):
+        report = validator(
+            "mSpec-1", compared=("state", "historyy")
+        ).validate(runs=3, max_steps=4)
+        bad = [i for i in report.issues if i.kind == "unknown_variable"]
+        assert [i.run for i in bad] == [0, 1, 2]
+
+    def test_run_rebuildable_from_report(self):
+        # The (run, seed) pair identifies the exploration stream: a
+        # fresh validator replaying runs 0..run reproduces the issue.
+        v = validator("mSpec-3", divergence="skip_epoch_update", seed=11)
+        total = v.validate(runs=20, max_steps=18)
+        assert total.issues
+        target = total.issues[0]
+        replay = validator(
+            "mSpec-3", divergence="skip_epoch_update", seed=11
+        )
+        for run in range(target.run + 1):
+            run_report = replay.validate_run(max_steps=18, run=run)
+        assert any(
+            issue.kind == target.kind
+            and issue.step == target.step
+            and issue.label == target.label
+            for issue in run_report.issues
+        )
+
+
+class TestScriptedPrefix:
+    def prefix_labels(self, name="mSpec-1", config=None):
+        config = config or ZkConfig(
+            max_txns=1, max_crashes=2, max_partitions=1, max_epoch=3
+        )
+        spec = make_spec(name, config)
+        scenario = Scenario(spec).elect(2, (0, 1, 2)).crash(0)
+        return config, spec, scenario.labels
+
+    def test_explore_executes_prefix_first(self):
+        config, spec, labels = self.prefix_labels()
+        explorer = ImplExplorer(
+            spec,
+            mapping_for(SELECTIONS["mSpec-1"]),
+            lambda: Ensemble(config.n_servers, V391),
+            seed=3,
+        )
+        executed, _, error = explorer.explore(max_steps=5, prefix=labels)
+        assert error is None
+        assert executed[: len(labels)] == list(labels)
+        assert len(executed) > len(labels)
+
+    def test_prefix_faults_consume_model_budgets(self):
+        # The crash in the prefix counts against max_crashes: across many
+        # seeds, prefix + suffix crashes never exceed the model budget.
+        config, spec, labels = self.prefix_labels()
+        mapping = mapping_for(SELECTIONS["mSpec-1"])
+        for seed in range(8):
+            explorer = ImplExplorer(
+                spec, mapping,
+                lambda: Ensemble(config.n_servers, V391), seed=seed,
+            )
+            executed, _, _ = explorer.explore(max_steps=15, prefix=labels)
+            crashes = sum(1 for l in executed if l.name == "NodeCrash")
+            partitions = sum(
+                1 for l in executed if l.name == "PartitionStart"
+            )
+            assert crashes <= config.max_crashes
+            assert partitions <= config.max_partitions
+
+    def test_validate_labels_matches_validate_run(self):
+        config, spec, labels = self.prefix_labels()
+        v = TraceValidator(
+            spec,
+            mapping_for(SELECTIONS["mSpec-1"]),
+            lambda: Ensemble(config.n_servers, V391),
+            seed=4,
+        )
+        executed, _, _ = v.explorer.explore(max_steps=6, prefix=labels)
+        report = v.validate_labels(executed)
+        assert report.steps_validated > 0
+        assert report.executed[: len(labels)] == list(labels)
