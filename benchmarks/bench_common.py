@@ -54,6 +54,8 @@ def hunt(
     violation_limit=10_000,
     strategy="bfs",
     workers=None,
+    incremental=True,
+    dedupe="rounds",
 ):
     """One model-checking run, optionally restricted to an invariant
     family (how Table 4 reports per-bug rows)."""
@@ -82,6 +84,8 @@ def hunt(
         mask=zk4394_mask if masked else None,
         stop_at_first=stop_at_first,
         violation_limit=violation_limit,
+        incremental=incremental,
+        dedupe=dedupe,
     )
     return engine.run()
 

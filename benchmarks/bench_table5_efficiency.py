@@ -156,7 +156,7 @@ def _smoke_row(result):
     }
 
 
-def run_smoke(max_states, max_time, workers, strategy, compare_legacy):
+def run_smoke(max_states, max_time, workers, strategy, compare_legacy, dedupe="rounds"):
     """Run the five Table 5 specs under a small budget; return a report."""
     from repro.checker.legacy import LegacyBFSChecker
     from repro.zookeeper import zk4394_mask
@@ -169,6 +169,7 @@ def run_smoke(max_states, max_time, workers, strategy, compare_legacy):
             "max_time": max_time,
             "workers": workers,
             "strategy": strategy,
+            "dedupe": dedupe,
         },
         "specs": {},
     }
@@ -181,6 +182,7 @@ def run_smoke(max_states, max_time, workers, strategy, compare_legacy):
             max_time=max_time,
             workers=workers,
             strategy=strategy,
+            dedupe=dedupe,
         )
         row = _smoke_row(result)
         if compare_legacy:
@@ -202,6 +204,89 @@ def run_smoke(max_states, max_time, workers, strategy, compare_legacy):
     return report
 
 
+def run_engine_trajectory(max_states, max_time, workers):
+    """The ``BENCH_engine.json`` perf-trajectory artifact.
+
+    A/Bs the incremental successor path (delta fingerprints, outcome
+    memoization, inherited disabled bits) against full recomputation
+    (``incremental=False``) on every Table 5 spec, sequentially and --
+    when ``workers >= 2`` -- under the sharded BFS modes.  The aggregate
+    throughput ratio is the number CI's perf-smoke gate regresses
+    against.
+    """
+    config = bench_config()
+    report = {
+        "schema": "repro.bench-engine/1",
+        "workload": {
+            "max_states": max_states,
+            "max_time": max_time,
+            "workers": workers,
+        },
+        "specs": {},
+    }
+    inc_states = inc_time = full_states = full_time = 0.0
+    for name in PAPER_A:
+        budget = dict(masked=True, max_states=max_states, max_time=max_time)
+        # The full-recompute arm runs first so that warm OS/allocator
+        # caches never bias the gated (incremental) arm downward on a
+        # noisy shared runner.
+        full = hunt(name, config, workers=1, incremental=False, **budget)
+        incremental = hunt(name, config, workers=1, **budget)
+        row = {
+            "incremental": _smoke_row(incremental),
+            "full_recompute": _smoke_row(full),
+        }
+        # Equal exploration is a soundness check, but only when both
+        # arms were cut by the same deterministic budget -- a max_time
+        # truncation on a congested runner legitimately desynchronizes
+        # the counts.
+        comparable = all(
+            r.completed or r.budget_exhausted == "max_states"
+            for r in (incremental, full)
+        )
+        if comparable and (
+            incremental.states_explored != full.states_explored
+            or incremental.transitions != full.transitions
+        ):
+            raise SystemExit(
+                f"A/B mismatch on {name}: incremental explored "
+                f"{incremental.states_explored}/{incremental.transitions} "
+                f"vs full {full.states_explored}/{full.transitions}"
+            )
+        if not comparable:
+            row["time_truncated"] = True
+        inc_states += incremental.states_explored
+        inc_time += incremental.elapsed_seconds
+        full_states += full.states_explored
+        full_time += full.elapsed_seconds
+        row["incremental_speedup"] = (
+            round(
+                (incremental.states_explored / incremental.elapsed_seconds)
+                / (full.states_explored / full.elapsed_seconds),
+                3,
+            )
+            if incremental.elapsed_seconds > 0
+            and full.elapsed_seconds > 0
+            and full.states_explored
+            else None
+        )
+        if workers >= 2:
+            for mode in ("rounds", "shared"):
+                parallel = hunt(
+                    name, config, workers=workers, dedupe=mode, **budget
+                )
+                row[f"workers{workers}_{mode}"] = _smoke_row(parallel)
+        report["specs"][name] = row
+    inc_rate = inc_states / inc_time if inc_time > 0 else 0.0
+    full_rate = full_states / full_time if full_time > 0 else 0.0
+    report["aggregate"] = {
+        "incremental_states_per_second": round(inc_rate, 1),
+        "full_recompute_states_per_second": round(full_rate, 1),
+        "incremental_speedup": round(inc_rate / full_rate, 3) if full_rate else None,
+    }
+    return report
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="Table 5 efficiency smoke benchmark (engine-based)"
@@ -212,25 +297,64 @@ def main(argv=None):
     parser.add_argument(
         "--strategy", choices=("bfs", "portfolio"), default="bfs"
     )
+    parser.add_argument(
+        "--dedupe", choices=("rounds", "shared"), default="rounds",
+        help="cross-worker visited-set mode for the parallel runs",
+    )
     parser.add_argument("--json", dest="json_path", default=None)
     parser.add_argument(
         "--compare-legacy",
         action="store_true",
         help="also run the seed checker and report the speedup ratio",
     )
-    args = parser.parse_args(argv)
-    report = run_smoke(
-        args.max_states,
-        args.max_time,
-        args.workers,
-        args.strategy,
-        args.compare_legacy,
+    parser.add_argument(
+        "--ab-incremental",
+        action="store_true",
+        help="emit the BENCH_engine.json perf trajectory instead: "
+        "incremental vs full-recompute A/B per spec (+ parallel modes "
+        "with --workers >= 2)",
     )
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=None,
+        help="with --ab-incremental: exit 1 unless the aggregate "
+        "incremental/full-recompute throughput ratio is at least this "
+        "(CI perf-smoke gate; 1.0 = never slower than full recompute)",
+    )
+    args = parser.parse_args(argv)
+    if args.ab_incremental:
+        report = run_engine_trajectory(
+            args.max_states, args.max_time, args.workers
+        )
+    else:
+        report = run_smoke(
+            args.max_states,
+            args.max_time,
+            args.workers,
+            args.strategy,
+            args.compare_legacy,
+            args.dedupe,
+        )
     text = json.dumps(report, indent=2)
     print(text)
     if args.json_path:
         with open(args.json_path, "w") as fh:
             fh.write(text + "\n")
+    if args.ab_incremental and args.min_ratio is not None:
+        ratio = report["aggregate"]["incremental_speedup"]
+        if ratio is None or ratio < args.min_ratio:
+            print(
+                f"perf-smoke gate FAILED: incremental/full ratio {ratio} "
+                f"< required {args.min_ratio}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"perf-smoke gate ok: incremental/full ratio {ratio} >= "
+            f"{args.min_ratio}",
+            file=sys.stderr,
+        )
     return 0
 
 

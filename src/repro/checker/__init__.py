@@ -5,8 +5,20 @@ portfolio racing, coverage, shrinking and rendering."""
 from repro.checker.bfs import BFSChecker, check
 from repro.checker.coverage import CoverageReport, measure_coverage
 from repro.checker.dfs import DFSChecker, IterativeDeepeningChecker
-from repro.checker.engine import STRATEGIES, CompiledSpec, ExplorationEngine, explore
-from repro.checker.fingerprint import Fingerprinter, fingerprint_state
+from repro.checker.engine import (
+    DEDUPE_MODES,
+    STRATEGIES,
+    CompiledSpec,
+    ExplorationEngine,
+    compiled_for,
+    explore,
+)
+from repro.checker.fingerprint import (
+    Fingerprinter,
+    IncrementalFingerprinter,
+    fingerprint_state,
+)
+from repro.checker.visited import SharedVisitedSet
 from repro.checker.pretty import format_state, format_trace
 from repro.checker.random_walk import RandomWalker
 from repro.checker.result import CheckResult, Violation
@@ -23,12 +35,16 @@ __all__ = [
     "CheckResult",
     "CompiledSpec",
     "CoverageReport",
+    "DEDUPE_MODES",
     "DFSChecker",
     "ExplorationEngine",
     "Fingerprinter",
+    "IncrementalFingerprinter",
     "IterativeDeepeningChecker",
     "RandomWalker",
     "STRATEGIES",
+    "SharedVisitedSet",
+    "compiled_for",
     "Trace",
     "TraceOracle",
     "Violation",

@@ -70,6 +70,17 @@ from repro.tla.state import State
 #: Strategy names accepted by the engine (and the CLI ``--strategy`` flag).
 STRATEGIES = ("bfs", "dfs", "random", "portfolio")
 
+#: Cross-worker dedupe modes for the parallel strategies (``--dedupe``).
+#: ``rounds`` merges visited-fingerprint sets at round barriers and is
+#: bitwise-identical to the sequential run; ``shared`` dedupes in real
+#: time through a shared-memory visited table (same visited-state count
+#: and violation set, order-insensitive).
+DEDUPE_MODES = ("rounds", "shared")
+
+#: Placeholder ``seen`` set for dedupe-off expansions (never read or
+#: written when ``dedupe=False``).
+_UNUSED_SEEN: set = set()
+
 #: Candidate successor record produced by :meth:`CompiledSpec.expand`:
 #: (instance_index, successor_state, fingerprint, child_known_disabled,
 #:  violated_invariant_indices, masked, within_constraint, slot_digests)
@@ -93,9 +104,14 @@ class CompiledSpec:
         "fingerprinter",
         "labels",
         "appliers",
+        "actions",
         "affects",
         "guard_groups",
         "guard_memos",
+        "outcome_groups",
+        "outcome_memos",
+        "direct",
+        "eager",
         "ungrouped",
         "invariant_fns",
         "invariants",
@@ -105,10 +121,16 @@ class CompiledSpec:
         "constraint",
         "mask",
         "n_instances",
+        "debug",
     )
 
     #: Disabled-guard memo entries kept per instance before reset.
     GUARD_MEMO_LIMIT = 1 << 18
+
+    #: Outcome memo entries kept per dependency-closure group before
+    #: reset (entries hold update tuples, so the cap is tighter than the
+    #: bitmask-valued guard memo).
+    OUTCOME_MEMO_LIMIT = 1 << 17
 
     def __init__(
         self,
@@ -116,15 +138,18 @@ class CompiledSpec:
         fingerprinter: Optional[Fingerprinter] = None,
         mask: Optional[Callable[[State], bool]] = None,
         incremental: bool = True,
+        debug: bool = False,
     ):
         self.spec = spec
         self.config = spec.config
         self.schema = spec.schema
         self.fingerprinter = fingerprinter or Fingerprinter()
         self.mask = mask
+        self.debug = debug
         instances = spec.action_instances()
         self.n_instances = len(instances)
         self.labels = [inst.label for inst in instances]
+        self.actions = [inst.action for inst in instances]
         appliers = []
         for inst in instances:
             kwargs = dict(inst.binding)
@@ -160,16 +185,65 @@ class CompiledSpec:
             # is built and hashed once per state, and the memo stores a
             # disabled-instance bitmask per projection value.
             schema_index = spec.schema._index
-            by_read_set: Dict[Tuple[int, ...], List[int]] = {}
+            # Outcome memoization, by dependency *closure* (Action.
+            # dependency_closure: reads | writes | update_sources).  The
+            # closure determines the function's entire outcome -- the
+            # enabled/disabled verdict and every update value -- so the
+            # memo stores, per projection of the state onto the closure,
+            # the full per-instance outcome vector: the group's disabled
+            # bitmask plus the raw (slot, new-value) update pairs of the
+            # enabled members.  A state whose closure projection was
+            # seen before (in particular: a child whose projection the
+            # parent's action left untouched) inherits the verdict and
+            # the memoized update bindings without re-evaluating
+            # anything, turning the per-state guard sweep from
+            # O(actions) into O(affected actions).
+            by_closure: Dict[Tuple[int, ...], List[int]] = {}
+            closure_of: Dict[int, Tuple[int, ...]] = {}
+            direct: List[int] = []
             ungrouped: List[int] = []
+            # A closure spanning most of the schema (fault actions that
+            # rewrite every volatile variable and read the message bus)
+            # keys the memo on a near-unique projection: all cost, no
+            # hits.  Those instances evaluate directly; the narrow ones
+            # memoize.
+            closure_limit = max(4, len(spec.schema) // 2)
+            for i, inst in enumerate(instances):
+                closure = inst.action.dependency_closure()
+                if closure is None:
+                    ungrouped.append(i)  # unread guard: never memoized
+                    continue
+                idxs = tuple(sorted(schema_index[name] for name in closure))
+                closure_of[i] = idxs
+                if len(idxs) > closure_limit:
+                    direct.append(i)
+                else:
+                    by_closure.setdefault(idxs, []).append(i)
+            outcome_groups: List[Tuple[Callable[[tuple], Any], Tuple[int, ...]]] = []
+            for idxs, members in by_closure.items():
+                key_fn = itemgetter(*idxs) if len(idxs) > 1 else itemgetter(idxs[0])
+                outcome_groups.append((key_fn, tuple(members)))
+            self.outcome_groups = outcome_groups
+            self.outcome_memos: List[dict] = [{} for _ in outcome_groups]
+            self.direct = tuple(direct)
+            self.ungrouped = tuple(ungrouped)
+            # Narrow disabled-verdict memos, by guard read set.  A group
+            # whose members all have closure == reads is fully shadowed
+            # by the outcome group keyed on the identical projection, so
+            # it is skipped (same key, strictly less information).
+            by_read_set: Dict[Tuple[int, ...], List[int]] = {}
             for i, inst in enumerate(instances):
                 idxs = tuple(sorted(schema_index[name] for name in inst.action.reads))
                 if idxs:
                     by_read_set.setdefault(idxs, []).append(i)
-                else:
-                    ungrouped.append(i)  # unread guard: never memoized
+            direct_set = set(direct)
             groups: List[Tuple[Callable[[tuple], Any], int]] = []
             for idxs, members in by_read_set.items():
+                if all(
+                    closure_of.get(i) == idxs and i not in direct_set
+                    for i in members
+                ):
+                    continue
                 key_fn = itemgetter(*idxs) if len(idxs) > 1 else itemgetter(idxs[0])
                 bits = 0
                 for i in members:
@@ -177,14 +251,21 @@ class CompiledSpec:
                 groups.append((key_fn, bits))
             self.guard_groups = groups
             self.guard_memos: List[dict] = [{} for _ in groups]
-            self.ungrouped = tuple(ungrouped)
         else:
             everything = (1 << self.n_instances) - 1
             affects = [everything] * self.n_instances
             self.guard_groups = []
             self.guard_memos = []
+            self.outcome_groups = []
+            self.outcome_memos = []
+            self.direct = ()
             self.ungrouped = tuple(range(self.n_instances))
         self.affects = affects
+        # Instances evaluated on every state they are not proven
+        # disabled in: wide-closure instances (skippable via inherited
+        # disabled bits) plus undeclared-reads instances (never
+        # skippable).
+        self.eager = self.direct + self.ungrouped
         self.invariants = list(spec.invariants)
         self.invariant_fns = [inv.predicate for inv in self.invariants]
         self.constraint = spec.constraint
@@ -247,6 +328,56 @@ class CompiledSpec:
         ok = self.constraint is None or bool(self.constraint(config, state))
         return viols, False, ok
 
+    def step(
+        self,
+        state: State,
+        state_fp: int,
+        state_digests: Tuple[int, ...],
+        known_disabled: int,
+        rng: random.Random,
+    ):
+        """One random-walk step through the incremental successor path.
+
+        Expands with dedupe off -- every state-changing successor, in
+        instance order, exactly the distribution
+        ``Specification.successors`` enumerates (and one ``rng.choice``
+        consuming the same entropy) -- and returns
+        ``(instance_index, state, fp, known_disabled, digests)`` for the
+        chosen successor, or ``None`` in a dead end.  Shared by
+        :class:`~repro.checker.random_walk.RandomWalker` and the
+        engine's ``random``/``portfolio`` strategies.
+        """
+        _, candidates = self.expand(
+            state, known_disabled, _UNUSED_SEEN, state_fp, state_digests,
+            classify_candidates=False, dedupe=False,
+        )
+        if not candidates:
+            return None
+        idx, nxt, fp, known, _, _, _, digests = rng.choice(candidates)
+        return idx, nxt, fp, known, digests
+
+    def _check_outcome(self, idx: int, outcome, state: State) -> None:
+        """Debug mode: re-evaluate one instance and compare against a
+        memoized/inherited outcome (catches untruthful ``reads`` /
+        ``writes`` / ``update_sources`` declarations)."""
+        updates = self.appliers[idx](self.config, state)
+        schema_index = self.schema._index
+        fresh = (
+            None
+            if updates is None
+            else tuple(sorted((schema_index[n], v) for n, v in updates.items()))
+        )
+        stored = None if outcome is None else tuple(sorted(outcome))
+        if fresh != stored:
+            action = self.actions[idx]
+            sources = {k: sorted(v) for k, v in action.update_sources.items()}
+            raise AssertionError(
+                f"action {self.labels[idx]} violated its dependency "
+                f"declaration (reads={sorted(action.reads)}, "
+                f"writes={sorted(action.writes)}, update_sources={sources}): "
+                f"memoized outcome {stored!r} != fresh outcome {fresh!r}"
+            )
+
     def expand(
         self,
         state: State,
@@ -255,6 +386,7 @@ class CompiledSpec:
         state_fp: int,
         state_digests: Tuple[int, ...],
         classify_candidates: bool = True,
+        dedupe: bool = True,
     ) -> Tuple[int, List[Candidate]]:
         """Expand one frontier state.
 
@@ -263,6 +395,9 @@ class CompiledSpec:
         fingerprint set; candidate fingerprints are added to it so the
         same successor is emitted at most once per expansion context (the
         merge step performs the authoritative cross-context dedup).
+        ``dedupe=False`` skips that filter and emits every state-changing
+        successor exactly in instance order -- the random walkers use it
+        to draw from the full successor distribution.
         ``state_fp``/``state_digests`` are the parent's fingerprint and
         per-slot digests: each successor fingerprint costs one digest
         lookup per *changed* slot (``fp ^ old_digest ^ new_digest``), and
@@ -275,7 +410,9 @@ class CompiledSpec:
         """
         config = self.config
         appliers = self.appliers
+        debug = self.debug
         memo_limit = self.GUARD_MEMO_LIMIT
+        outcome_limit = self.OUTCOME_MEMO_LIMIT
         values = state.values
         schema = self.schema
         schema_index = schema._index
@@ -284,6 +421,9 @@ class CompiledSpec:
         disabled = known_disabled
         raw: List[Tuple[int, List[Tuple[int, Any]]]] = []
         pending: List[Tuple[dict, Any, int]] = []
+        # Tier 1: disabled-verdict memos keyed on the narrow guard read
+        # set.  Cheap, high hit rate; lets the outcome tier below skip
+        # function calls for members already proven disabled.
         for group_index, (key_fn, bits) in enumerate(self.guard_groups):
             memo = self.guard_memos[group_index]
             key = key_fn(values)
@@ -292,32 +432,74 @@ class CompiledSpec:
                 disabled |= hit
             else:
                 pending.append((memo, key, bits))
-            todo = bits & ~disabled
-            while todo:
-                low = todo & -todo
-                todo ^= low
-                idx = low.bit_length() - 1
+        # Tier 2: full-outcome memos keyed on the dependency closure
+        # (reads | writes | update_sources).  A hit replays the stored
+        # verdicts and update bindings without calling any action
+        # function; a miss evaluates the not-yet-disabled members once
+        # and records the complete per-instance outcome vector (sound
+        # because every disabled bit above is itself a function of the
+        # guard reads, a subset of the closure this entry is keyed on).
+        for group_index, (key_fn, members) in enumerate(self.outcome_groups):
+            memo = self.outcome_memos[group_index]
+            key = key_fn(values)
+            entry = memo.get(key)
+            if entry is not None:
+                group_disabled, enabled = entry
+                disabled |= group_disabled
+                for idx, outcome in enabled:
+                    if debug:
+                        self._check_outcome(idx, outcome, state)
+                    changes = [
+                        (slot, value)
+                        for slot, value in outcome
+                        if values[slot] is not value and values[slot] != value
+                    ]
+                    if changes:
+                        raw.append((idx, changes))
+                if debug:
+                    todo = group_disabled
+                    while todo:
+                        low = todo & -todo
+                        todo ^= low
+                        self._check_outcome(low.bit_length() - 1, None, state)
+                continue
+            group_disabled = 0
+            enabled = []
+            for idx in members:
+                bit = 1 << idx
+                if disabled & bit:
+                    group_disabled |= bit
+                    continue
                 updates = appliers[idx](config, state)
                 if updates is None:
-                    disabled |= low
+                    disabled |= bit
+                    group_disabled |= bit
                     continue
+                if debug:
+                    self.actions[idx].validate_updates(updates)
+                outcome = tuple(
+                    (schema_index[name], value) for name, value in updates.items()
+                )
+                enabled.append((idx, outcome))
                 changes = [
                     (slot, value)
-                    for slot, value in (
-                        (schema_index[name], value)
-                        for name, value in updates.items()
-                    )
+                    for slot, value in outcome
                     if values[slot] is not value and values[slot] != value
                 ]
                 if changes:
                     raw.append((idx, changes))
-        for idx in self.ungrouped:
+            if len(memo) >= outcome_limit:
+                memo.clear()
+            memo[key] = (group_disabled, tuple(enabled))
+        for idx in self.eager:
             if (disabled >> idx) & 1:
                 continue
             updates = appliers[idx](config, state)
             if updates is None:
                 disabled |= 1 << idx
                 continue
+            if debug:
+                self.actions[idx].validate_updates(updates)
             changes = [
                 (slot, value)
                 for slot, value in (
@@ -342,9 +524,10 @@ class CompiledSpec:
                 digest = slot_digest(slot, value)
                 fp ^= state_digests[slot] ^ digest
                 new_digests.append(digest)
-            if fp in seen:
-                continue
-            seen.add(fp)
+            if dedupe:
+                if fp in seen:
+                    continue
+                seen.add(fp)
             successor_values = list(values)
             digests = list(state_digests)
             for (slot, value), digest in zip(changes, new_digests):
@@ -368,6 +551,38 @@ class CompiledSpec:
                 )
             )
         return transitions, candidates
+
+
+def compiled_for(
+    spec: Specification,
+    fingerprinter: Optional[Fingerprinter] = None,
+    mask: Optional[Callable[[State], bool]] = None,
+    incremental: bool = True,
+    debug: bool = False,
+) -> CompiledSpec:
+    """The compiled form of a specification, cached on the spec.
+
+    The default configuration (64-bit fingerprints, no mask, incremental
+    analysis) is compiled once per :class:`Specification` instance and
+    shared by every consumer -- engine runs, random walkers, the
+    conformance campaign's suffix replays -- so the interference matrix
+    is built once and the guard/outcome memos stay warm across calls.
+    Campaign workers fork after the parent pre-warms the cache and
+    inherit the compiled core by memory image.
+    """
+    if fingerprinter is None and mask is None and incremental and not debug:
+        core = getattr(spec, "_compiled_core", None)
+        if core is None:
+            core = CompiledSpec(spec)
+            spec._compiled_core = core
+        return core
+    return CompiledSpec(
+        spec,
+        fingerprinter=fingerprinter,
+        mask=mask,
+        incremental=incremental,
+        debug=debug,
+    )
 
 
 class ExplorationEngine:
@@ -394,6 +609,22 @@ class ExplorationEngine:
     incremental:
         Enable the declared-reads guard short-circuiting (on by default;
         switch off to force full guard re-evaluation on every state).
+    dedupe:
+        Cross-worker visited-set mode for the parallel strategies.
+        ``"rounds"`` (default) merges fingerprint sets at round barriers
+        and is bitwise-identical to the sequential run; ``"shared"``
+        dedupes through a shared-memory visited table in real time --
+        the same visited-state count at fixed budgets and the same
+        violation set on any run the budget does not truncate mid-round
+        (at an exact mid-round ``max_states`` cut, which of the round's
+        equal-count candidates fall inside the budget is race-dependent,
+        as is the reported counterexample's parent chain).  ``"shared"``
+        also unlocks sharded parallel DFS and the portfolio's shared
+        visited accounting.
+    debug:
+        Cross-check every memoized/inherited action outcome against a
+        fresh evaluation and validate update dicts against the declared
+        write sets (slow; catches untruthful dependency declarations).
     """
 
     def __init__(
@@ -410,10 +641,16 @@ class ExplorationEngine:
         seed: int = 0,
         fingerprinter: Optional[Fingerprinter] = None,
         incremental: bool = True,
+        dedupe: str = "rounds",
+        debug: bool = False,
     ):
         if strategy not in STRATEGIES:
             raise ValueError(
                 f"unknown strategy {strategy!r}; options: {list(STRATEGIES)}"
+            )
+        if dedupe not in DEDUPE_MODES:
+            raise ValueError(
+                f"unknown dedupe mode {dedupe!r}; options: {list(DEDUPE_MODES)}"
             )
         self.spec = spec
         self.strategy = strategy
@@ -427,10 +664,21 @@ class ExplorationEngine:
         self.seed = seed
         self.fingerprinter = fingerprinter
         self.incremental = incremental
+        self.dedupe = dedupe
+        self.debug = debug
 
     def run(self) -> CheckResult:
         was_collecting = gc.isenabled()
         gc.disable()
+        table = None
+        names = getattr(self, "_shared_visited", None)
+        if names:
+            # A portfolio parent handed this contender a shared visited
+            # table; attach it for the duration of the run.
+            from repro.checker import visited
+
+            table = visited.SharedVisitedSet.attach(names)
+        self._visited_table = table
         try:
             if self.strategy == "bfs":
                 return self._run_bfs()
@@ -440,15 +688,19 @@ class ExplorationEngine:
                 return self._run_random()
             return self._run_portfolio()
         finally:
+            if table is not None:
+                table.close()
+            self._visited_table = None
             if was_collecting:
                 gc.enable()
 
     def _compile(self) -> CompiledSpec:
-        return CompiledSpec(
+        return compiled_for(
             self.spec,
             fingerprinter=self.fingerprinter,
             mask=self.mask,
             incremental=self.incremental,
+            debug=self.debug,
         )
 
     # ------------------------------------------------------------- BFS
@@ -490,6 +742,10 @@ class ExplorationEngine:
                     return True
             return False
 
+        # A portfolio parent's shared table (publish accepted states so
+        # the walker band steers away from BFS-covered territory).
+        publish = getattr(self, "_visited_table", None)
+
         # Round 0: the initial states.
         # Frontier entries: (fp, payload, known_disabled, slot_digests).
         frontier: List[Tuple[int, Any, int, Tuple[int, ...]]] = []
@@ -501,6 +757,8 @@ class ExplorationEngine:
             parent_link[fp] = None
             init_by_fp[fp] = init
             seen.add(fp)
+            if publish is not None:
+                publish.add(fp)
             delta.append(fp)
             viols, masked, ok = core.classify(init)
             if masked:
@@ -520,10 +778,20 @@ class ExplorationEngine:
             stop = True
 
         pool = None
+        shared_table = None
         if self.workers > 1 and frontier and not stop:
             from repro.checker import parallel
 
             if parallel.available():
+                if self.dedupe == "shared":
+                    from repro.checker import visited
+
+                    if visited.available():
+                        shared_table = visited.SharedVisitedSet(
+                            visited.suggest_capacity(self.max_states)
+                        )
+                        for known_fp in parent_link:
+                            shared_table.add(known_fp)
                 pool = parallel.WorkerPool(core, self.workers)
 
         depth = 0
@@ -548,7 +816,17 @@ class ExplorationEngine:
                         )
                         for fp, payload, known, digests in frontier
                     ]
-                    rounds = pool.round(delta, payload_frontier)
+                    if shared_table is not None:
+                        # Real-time dedupe: workers consult the shared
+                        # table instead of replaying the delta, and the
+                        # parent grows it between rounds.
+                        if shared_table.should_grow(len(parent_link)):
+                            shared_table.grow(len(parent_link))
+                        rounds = pool.round(
+                            [], payload_frontier, shared_table.descriptors()
+                        )
+                    else:
+                        rounds = pool.round(delta, payload_frontier)
                     results_iter = iter(rounds)
                 else:
                     def _sequential():
@@ -580,6 +858,8 @@ class ExplorationEngine:
                         if fp in parent_link:
                             continue
                         parent_link[fp] = (entry_fp, idx)
+                        if publish is not None:
+                            publish.add(fp)
                         if child_depth > result.max_depth:
                             result.max_depth = child_depth
                         delta.append(fp)
@@ -601,6 +881,8 @@ class ExplorationEngine:
         finally:
             if pool is not None:
                 pool.close()
+            if shared_table is not None:
+                shared_table.close()
 
         result.states_explored = len(parent_link)
         result.elapsed_seconds = time.monotonic() - start
@@ -612,6 +894,11 @@ class ExplorationEngine:
     # ------------------------------------------------------------- DFS
 
     def _run_dfs(self) -> CheckResult:
+        if self.workers > 1 and self.dedupe == "shared":
+            from repro.checker import parallel, visited
+
+            if parallel.available() and visited.available():
+                return parallel.run_dfs_sharded(self)
         core = self._compile()
         spec = self.spec
         result = CheckResult(spec_name=spec.name)
@@ -681,6 +968,11 @@ class ExplorationEngine:
 
     # ---------------------------------------------------------- random
 
+    #: Consecutive globally-visited steps before a shared-dedupe walker
+    #: abandons a walk as covered territory (portfolio ``--dedupe
+    #: shared``).
+    WALK_STALE_LIMIT = 8
+
     def _run_random(self, rng: Optional[random.Random] = None) -> CheckResult:
         core = self._compile()
         spec = self.spec
@@ -694,7 +986,9 @@ class ExplorationEngine:
         if self.max_states is None and self.max_time is None:
             max_walks = 1_000
         seen: set = set()
-        fp_of = core.fingerprinter.of_state
+        table = getattr(self, "_visited_table", None)
+        stale_limit = self.WALK_STALE_LIMIT
+        seed_fp = core.fingerprinter.of_values_with_digests
         initials = spec.initial_states()
         walks = 0
         stop = False
@@ -714,9 +1008,12 @@ class ExplorationEngine:
                 break
             walks += 1
             state = rng.choice(initials)
+            fp, digests = seed_fp(state.values)
+            known = 0
             states = [state]
             labels: List[Any] = []
-            seen.add(fp_of(state))
+            seen.add(fp)
+            stale = 0 if table is None or table.add(fp) else 1
             for _ in range(max_steps):
                 viols, masked, ok = core.classify(state)
                 if masked:
@@ -739,17 +1036,24 @@ class ExplorationEngine:
                     break
                 if not ok:
                     break
-                options = list(spec.successors(state))
-                if not options:
+                chosen = core.step(state, fp, digests, known, rng)
+                if chosen is None:
                     break
-                label, nxt = rng.choice(options)
+                idx, nxt, fp, known, digests = chosen
                 result.transitions += 1
-                labels.append(label)
+                labels.append(core.labels[idx])
                 states.append(nxt)
                 state = nxt
-                seen.add(fp_of(state))
+                seen.add(fp)
                 if len(states) - 1 > result.max_depth:
                     result.max_depth = len(states) - 1
+                if table is not None:
+                    if table.add(fp):
+                        stale = 0
+                    else:
+                        stale += 1
+                        if stale >= stale_limit:
+                            break  # the band already covered this region
 
         result.states_explored = len(seen)
         result.elapsed_seconds = time.monotonic() - start
@@ -771,6 +1075,8 @@ class ExplorationEngine:
             seed=seed,
             fingerprinter=self.fingerprinter,
             incremental=self.incremental,
+            dedupe=self.dedupe,
+            debug=self.debug,
         )
         kwargs.update(overrides)
         return ExplorationEngine(self.spec, **kwargs)
@@ -851,15 +1157,17 @@ class ExplorationEngine:
         result = CheckResult(spec_name=spec.name)
         start = time.monotonic()
         max_steps = self.max_depth if self.max_depth is not None else 60
-        fp_of = core.fingerprinter.of_state
+        seed_fp = core.fingerprinter.of_values_with_digests
         initials = spec.initial_states()
         for _ in range(count):
             if time_budget is not None and time.monotonic() - start >= time_budget:
                 break
             state = rng.choice(initials)
+            fp, digests = seed_fp(state.values)
+            known = 0
             states = [state]
             labels: List[Any] = []
-            seen.add(fp_of(state))
+            seen.add(fp)
             for _ in range(max_steps):
                 viols, masked, ok = core.classify(state)
                 if masked:
@@ -875,15 +1183,15 @@ class ExplorationEngine:
                     return result
                 if not ok:
                     break
-                options = list(spec.successors(state))
-                if not options:
+                chosen = core.step(state, fp, digests, known, rng)
+                if chosen is None:
                     break
-                label, nxt = rng.choice(options)
+                idx, nxt, fp, known, digests = chosen
                 result.transitions += 1
-                labels.append(label)
+                labels.append(core.labels[idx])
                 states.append(nxt)
                 state = nxt
-                seen.add(fp_of(state))
+                seen.add(fp)
                 if len(states) - 1 > result.max_depth:
                     result.max_depth = len(states) - 1
         result.states_explored = len(seen)

@@ -214,6 +214,58 @@ class Fingerprinter:
         return f"Fingerprinter(bits={self.bits})"
 
 
+class IncrementalFingerprinter(Fingerprinter):
+    """A schema-aware fingerprinter with a name-keyed delta API.
+
+    :class:`Fingerprinter` works on slot indices; the exploration engine
+    (and, through it, the random walkers and campaign suffix replays)
+    threads per-slot digest tuples through its frontier and pays one
+    digest lookup per *changed* slot.  This subclass is the public
+    name-keyed mirror of that arithmetic for external callers driving
+    states by hand via :meth:`State.set_many
+    <repro.tla.state.State.set_many>`:
+
+        fp' = fp ^ H(var, old) ^ H(var, new)   over written variables only
+
+    A delta is itself an XOR mask: ``parent_fp ^ delta(values, updates)``
+    is the successor fingerprint, and deltas compose by XOR.
+    """
+
+    __slots__ = ("schema",)
+
+    def __init__(self, schema, bits: int = 64):
+        super().__init__(bits=bits)
+        self.schema = schema
+
+    def seed(self, state: State) -> Tuple[int, Tuple[int, ...]]:
+        """Full fingerprint + per-slot digests of a walk's start state."""
+        return self.of_values_with_digests(state.values)
+
+    def delta(self, values: Tuple[Any, ...], updates) -> int:
+        """The XOR fingerprint delta of a name-keyed update dict.
+
+        An update that leaves a variable's value unchanged contributes
+        nothing (``H ^ H == 0``), matching :class:`State` equality.
+        """
+        index = self.schema._index
+        slot_digest = self.slot_digest
+        mask = 0
+        for name, new_value in updates.items():
+            slot = index[name]
+            old_value = values[slot]
+            if old_value is new_value:
+                continue
+            mask ^= slot_digest(slot, old_value) ^ slot_digest(slot, new_value)
+        return mask
+
+    def successor(
+        self, fingerprint: int, state: State, updates
+    ) -> Tuple[State, int]:
+        """Apply a name-keyed update: ``(next_state, next_fingerprint)``."""
+        nxt, mask = state.set_many(updates, fingerprinter=self)
+        return nxt, fingerprint ^ mask
+
+
 def fingerprint_state(state: State) -> int:
     """Fingerprint one state with a default 64-bit fingerprinter.
 

@@ -203,22 +203,42 @@ class TaskPool(ForkPool):
 
 
 def _bfs_worker_main(conn) -> None:
-    """Worker loop: receive (delta_fps, frontier_shard), expand, reply."""
+    """Worker loop: receive (delta_fps, frontier_shard, segments), expand,
+    reply.
+
+    ``segments`` selects the dedupe mode per round: ``None`` keeps the
+    private visited set incrementally synchronized from ``delta``
+    (``--dedupe rounds``); a tuple of shared-memory segment names attaches
+    the :class:`~repro.checker.visited.SharedVisitedSet` those names
+    describe, so candidate fingerprints dedupe against every worker in
+    real time (``--dedupe shared``; ``delta`` arrives empty).
+    """
     core: "CompiledSpec" = _HANDOFF
     schema = core.schema
     seen: set = set()
+    shared = None
     try:
         while True:
             message = conn.recv()
             if message is None:
                 break
-            delta, entries = message
-            seen.update(delta)
+            delta, entries, segments = message
+            if segments is not None:
+                from repro.checker import visited
+
+                if shared is None:
+                    shared = visited.SharedVisitedSet.attach(segments)
+                else:
+                    shared.attach_new(segments)
+                table = shared
+            else:
+                seen.update(delta)
+                table = seen
             out = []
             for entry_fp, values, known, digests in entries:
                 state = State(schema, values)
                 transitions, candidates = core.expand(
-                    state, known, seen, entry_fp, digests
+                    state, known, table, entry_fp, digests
                 )
                 out.append(
                     (
@@ -234,6 +254,8 @@ def _bfs_worker_main(conn) -> None:
     except (EOFError, BrokenPipeError, KeyboardInterrupt):  # pragma: no cover
         pass
     finally:
+        if shared is not None:
+            shared.close()
         conn.close()
 
 
@@ -253,6 +275,7 @@ class WorkerPool(ForkPool):
         self,
         delta: List[int],
         frontier: List[Tuple[int, Tuple, int, Tuple[int, ...]]],
+        segments: Optional[Tuple[str, ...]] = None,
     ) -> List[Tuple[int, int, list]]:
         """Expand one frontier layer; results arrive in frontier order."""
         shard_count = len(self.connections)
@@ -264,11 +287,217 @@ class WorkerPool(ForkPool):
             shards.append(frontier[cursor : cursor + size])
             cursor += size
         for connection, shard in zip(self.connections, shards):
-            connection.send((delta, shard))
+            connection.send((delta, shard, segments))
         merged: List[Tuple[int, int, list]] = []
         for connection in self.connections:
             merged.extend(connection.recv())
         return merged
+
+
+# ------------------------------------------------------- sharded DFS
+
+
+def run_dfs_sharded(engine: "ExplorationEngine") -> CheckResult:
+    """Bounded DFS sharded across forked workers (``--dedupe shared``).
+
+    The parent claims the initial states, expands them one level, and
+    deals the depth-1 subtrees round-robin across ``engine.workers``
+    forked workers.  All workers share one
+    :class:`~repro.checker.visited.SharedVisitedSet`: a state claimed by
+    any worker prunes every other worker's subtree in real time, so the
+    shards cooperate instead of re-exploring each other's territory
+    (the ROADMAP's "shard the DFS visited sets" item).
+
+    Unlike the round-synchronous BFS modes this traversal is *not*
+    deterministic across runs -- subtree interleaving depends on
+    scheduling -- but reported violations always carry replayable
+    traces, and the merge consumes worker results in shard order.
+    Like the sequential DFS, the search stops at the first violation
+    (each shard stops at its own first; the merge reports the first in
+    shard order).  ``max_states`` is split evenly across workers;
+    distinct-state accounting sums each worker's successful table
+    claims, which a lost compare-and-publish race can overcount by the
+    handful of states two workers claimed simultaneously.
+    """
+    from repro.checker import visited
+
+    spec = engine.spec
+    core = engine._compile()
+    result = CheckResult(spec_name=spec.name)
+    start = time.monotonic()
+    max_depth = engine.max_depth if engine.max_depth is not None else 40
+    table = visited.SharedVisitedSet(visited.suggest_capacity(engine.max_states))
+    try:
+        roots: List[Tuple] = []
+        local_seen: set = set()
+        for init in spec.initial_states():
+            if (
+                engine.max_states is not None
+                and result.states_explored >= engine.max_states
+            ):
+                result.budget_exhausted = "max_states"
+                break
+            fp, digests = core.fingerprinter.of_values_with_digests(init.values)
+            if not table.add(fp):
+                continue
+            result.states_explored += 1
+            viols, masked, ok = core.classify(init)
+            if masked:
+                continue
+            if viols:
+                result.violations.append(
+                    Violation(
+                        invariant=core.invariants[viols[0]],
+                        trace=Trace(states=[init], labels=[]),
+                    )
+                )
+                return result
+            if not ok or max_depth < 1:
+                continue
+            transitions, candidates = core.expand(
+                init, 0, local_seen, fp, digests, classify_candidates=False
+            )
+            result.transitions += transitions
+            for idx, nxt, nfp, nknown, _, _, _, ndigests in candidates:
+                roots.append(
+                    (nxt.values, nfp, (idx,), init.values, nknown, ndigests)
+                )
+
+        workers = max(1, engine.workers)
+        shards = [roots[index::workers] for index in range(workers)]
+        share, rem = (None, 0)
+        if engine.max_states is not None:
+            budget = max(0, engine.max_states - result.states_explored)
+            share, rem = divmod(budget, workers)
+        time_left = None
+        if engine.max_time is not None:
+            time_left = max(0.05, engine.max_time - (time.monotonic() - start))
+        names = table.descriptors()
+
+        def run_shard(task):
+            shard_index, shard = task
+            shard_table = visited.SharedVisitedSet.attach(names)
+            shard_start = time.monotonic()
+            out = {
+                "states": 0,
+                "transitions": 0,
+                "max_depth": 0,
+                "violations": [],
+                "budget_exhausted": None,
+            }
+            state_budget = None
+            if share is not None:
+                state_budget = share + (1 if shard_index < rem else 0)
+            schema = core.schema
+            throwaway: set = set()
+            stack = list(reversed(shard))
+            try:
+                while stack:
+                    if state_budget is not None and out["states"] >= state_budget:
+                        out["budget_exhausted"] = "max_states"
+                        break
+                    if (
+                        time_left is not None
+                        and time.monotonic() - shard_start > time_left
+                    ):
+                        out["budget_exhausted"] = "max_time"
+                        break
+                    values, fp, chain, init_values, known, digests = stack.pop()
+                    if not shard_table.add(fp):
+                        continue
+                    out["states"] += 1
+                    depth = len(chain)
+                    if depth > out["max_depth"]:
+                        out["max_depth"] = depth
+                    state = State(schema, values)
+                    viols, masked, ok = core.classify(state)
+                    if masked:
+                        continue
+                    if viols:
+                        # Mirror the sequential DFS: the search stops at
+                        # its first violation.
+                        out["violations"].append(
+                            (
+                                core.invariants[viols[0]].ident,
+                                core.invariants[viols[0]].instance,
+                                [core.labels[i] for i in chain],
+                                init_values,
+                            )
+                        )
+                        break
+                    if depth >= max_depth or not ok:
+                        continue
+                    throwaway.clear()
+                    transitions, candidates = core.expand(
+                        state, known, throwaway, fp, digests,
+                        classify_candidates=False,
+                    )
+                    out["transitions"] += transitions
+                    for idx, nxt, nfp, nknown, _, _, _, ndigests in candidates:
+                        if nfp not in shard_table:
+                            stack.append(
+                                (
+                                    nxt.values,
+                                    nfp,
+                                    chain + (idx,),
+                                    init_values,
+                                    nknown,
+                                    ndigests,
+                                )
+                            )
+                out["exhausted_stack"] = not stack
+            finally:
+                shard_table.close()
+            return out
+
+        pool = TaskPool(run_shard, workers)
+        try:
+            deadline = None if time_left is None else time.monotonic() + time_left + 5.0
+            outcomes = pool.map(list(enumerate(shards)), deadline=deadline)
+        finally:
+            pool.close()
+
+        exhausted_all = True
+        by_key = {(inv.ident, inv.instance): inv for inv in spec.invariants}
+        for outcome in outcomes:
+            if outcome is None:
+                # Deadline-skipped or lost to a worker death: the shard's
+                # subtree was not searched, which must be visible in the
+                # result rather than passing for a clean partial run.
+                exhausted_all = False
+                if result.budget_exhausted is None:
+                    result.budget_exhausted = "max_time"
+                continue
+            result.states_explored += outcome["states"]
+            result.transitions += outcome["transitions"]
+            if outcome["max_depth"] > result.max_depth:
+                result.max_depth = outcome["max_depth"]
+            if outcome["budget_exhausted"] is not None:
+                exhausted_all = False
+                if result.budget_exhausted is None:
+                    result.budget_exhausted = outcome["budget_exhausted"]
+            if not outcome.get("exhausted_stack", False):
+                exhausted_all = False
+            if result.violations:
+                continue  # first violation in shard order wins
+            for ident, instance, labels, init_values in outcome["violations"][:1]:
+                initial = State(spec.schema, init_values)
+                states = spec.replay(labels, initial)
+                result.violations.append(
+                    Violation(
+                        invariant=by_key[(ident, instance)],
+                        trace=Trace(states=states, labels=list(labels)),
+                    )
+                )
+        result.completed = (
+            exhausted_all
+            and not result.violations
+            and result.budget_exhausted is None
+        )
+    finally:
+        table.close()
+        result.elapsed_seconds = time.monotonic() - start
+    return result
 
 
 # ------------------------------------------------------ portfolio race
@@ -337,16 +566,33 @@ def run_portfolio(engine: "ExplorationEngine") -> CheckResult:
     Returns the first result that carries a violation, else the BFS
     result (the only contender able to prove completion) once every
     contender has reported or the time budget lapses.
+
+    With ``--dedupe shared`` the contenders additionally share one
+    visited table: the BFS contender publishes every accepted state and
+    the walkers publish every step, so a walker that strays into
+    territory the band has already covered cuts its walk short and
+    respins somewhere fresh instead of re-walking known states.
     """
     global _HANDOFF
     context = mp.get_context("fork")
     results_queue = context.Queue()
     contenders = []
+    table = None
+    if engine.dedupe == "shared":
+        from repro.checker import visited
+
+        if visited.available():
+            table = visited.SharedVisitedSet(
+                visited.suggest_capacity(engine.max_states)
+            )
     specs = [("bfs", engine._spawn("bfs", engine.seed))]
     for index in range(1, engine.workers):
         specs.append(
             (f"walk-{index}", engine._spawn("random", engine.seed + index))
         )
+    if table is not None:
+        for _, contender_engine in specs:
+            contender_engine._shared_visited = table.descriptors()
     start = time.monotonic()
     for tag, contender in specs:
         _HANDOFF = contender
@@ -392,6 +638,8 @@ def run_portfolio(engine: "ExplorationEngine") -> CheckResult:
         for process in contenders:
             process.join(timeout=2.0)
         results_queue.close()
+        if table is not None:
+            table.close()
 
     if winner is None:
         winner = outcomes.get("bfs")

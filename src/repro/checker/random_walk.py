@@ -4,6 +4,16 @@ The conformance checker (Section 3.5.2) "randomly explores the model-level
 state space to obtain a set of traces under a predefined time budget"; this
 module is that explorer.  Walks are seeded and therefore reproducible,
 matching the deterministic-replay requirement.
+
+Walks step through the exploration engine's incremental successor path
+(:meth:`CompiledSpec.expand <repro.checker.engine.CompiledSpec.expand>`
+with dedupe off): guards benefit from the compiled spec's memoized
+outcomes and inherited disabled bits, and each successor's fingerprint is
+delta-updated rather than recomputed.  The enumeration order and the
+state-changing filter are identical to ``Specification.successors``, so
+a seeded walk chooses exactly the same label sequence either way -- the
+conformance campaign's finding fingerprints (and its checked-in
+baselines) are invariant to the engine wiring.
 """
 
 from __future__ import annotations
@@ -12,6 +22,7 @@ import random
 import time
 from typing import Callable, List, Optional
 
+from repro.checker.engine import CompiledSpec, compiled_for
 from repro.checker.trace import Trace
 from repro.tla.spec import Specification
 from repro.tla.state import State
@@ -20,9 +31,15 @@ from repro.tla.state import State
 class RandomWalker:
     """Generates random traces of a specification."""
 
-    def __init__(self, spec: Specification, seed: int = 0):
+    def __init__(
+        self,
+        spec: Specification,
+        seed: int = 0,
+        compiled: Optional[CompiledSpec] = None,
+    ):
         self.spec = spec
         self.rng = random.Random(seed)
+        self._core = compiled if compiled is not None else compiled_for(spec)
 
     def walk(self, max_steps: int = 30, start: Optional[State] = None) -> Trace:
         """One random walk from ``start`` (default: a random initial state).
@@ -37,16 +54,19 @@ class RandomWalker:
         else:
             initials = self.spec.initial_states()
             state = self.rng.choice(initials)
+        core = self._core
+        fp, digests = core.fingerprinter.of_values_with_digests(state.values)
+        known = 0
         states: List[State] = [state]
         labels = []
         for _ in range(max_steps):
             if not self.spec.within_constraint(state):
                 break
-            options = list(self.spec.successors(state))
-            if not options:
+            chosen = core.step(state, fp, digests, known, self.rng)
+            if chosen is None:
                 break
-            label, nxt = self.rng.choice(options)
-            labels.append(label)
+            idx, nxt, fp, known, digests = chosen
+            labels.append(core.labels[idx])
             states.append(nxt)
             state = nxt
         return Trace(states=states, labels=labels)

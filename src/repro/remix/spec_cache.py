@@ -147,6 +147,13 @@ def cached_spec(
     def build() -> Specification:
         spec = make_spec(name, config)
         spec.action_instances()  # pre-enumerate so workers inherit the index
+        # Pre-compile the incremental engine core (interference matrix,
+        # guard/outcome memo groups) in the parent: the campaign's
+        # forked workers and every suffix RandomWalker then share it by
+        # memory image instead of recompiling per cell.
+        from repro.checker.engine import compiled_for
+
+        compiled_for(spec)
         return spec
 
     return _single_flight(_SPECS, key, build, count=True)

@@ -70,7 +70,9 @@ class Action:
         the action's dependency variables (Appendix B, Definition 2).
     writes:
         Names of the variables this action may update.  Validated against
-        the update dicts the function returns.
+        the update dicts the function returns (and re-validated on every
+        application by the engine's debug mode, since the engine hot path
+        bypasses :meth:`apply`).
     update_sources:
         Optional mapping ``written_var -> set of vars its new value is
         computed from``, used by the transitive dependency/interaction
@@ -101,6 +103,45 @@ class Action:
     def __repr__(self) -> str:
         return f"Action({self.name})"
 
+    def dependency_closure(self) -> Optional[frozenset]:
+        """All variables the action *function* is a function of, or
+        ``None`` when unknown.
+
+        The declaration contract the incremental engine relies on, for
+        an action with declared ``reads``:
+
+        - the *enabling condition* is a pure function of ``reads`` alone
+          (that is what ``reads`` declares, and what both the disabled-
+          verdict memo and the interference matrix key on);
+        - every *update value* is a pure function of
+          ``reads | writes | update_sources`` (written vars may read
+          their own old value, e.g. budget decrements and per-server
+          vector updates; ``update_sources`` declares any source beyond
+          that, per Definition 2 rule 3) -- so the closure determines
+          the function's entire outcome.
+
+        Actions that omit ``reads`` have an unknown dependency set and
+        must be re-evaluated in every state.  The engine's debug mode
+        (:class:`repro.checker.engine.CompiledSpec` with ``debug=True``)
+        cross-checks memoized outcomes against fresh evaluations to
+        validate declarations.
+        """
+        if not self.reads:
+            return None
+        closure = set(self.reads) | set(self.writes)
+        for sources in self.update_sources.values():
+            closure |= sources
+        return frozenset(closure)
+
+    def validate_updates(self, updates: Dict[str, Any]) -> Dict[str, Any]:
+        """Check an update dict against the declared write set."""
+        unknown = set(updates) - self.writes
+        if unknown:
+            raise ValueError(
+                f"action {self.name} wrote undeclared variables: {sorted(unknown)}"
+            )
+        return updates
+
     def bindings(self, config: Any) -> Iterable[Tuple[Tuple[str, Any], ...]]:
         """Enumerate all parameter bindings for a configuration."""
         if not self.params:
@@ -118,12 +159,7 @@ class Action:
         updates = self.fn(config, state, **dict(binding))
         if updates is None:
             return None
-        unknown = set(updates) - self.writes
-        if unknown:
-            raise ValueError(
-                f"action {self.name} wrote undeclared variables: {sorted(unknown)}"
-            )
-        return state.set(**updates)
+        return state.set_many(self.validate_updates(updates))
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,8 @@ tuple; structural sharing of the (immutable) values keeps that cheap.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, Mapping, Tuple
+import weakref
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
 
 
 class Schema:
@@ -19,11 +20,19 @@ class Schema:
     same object for the same names, so the identity comparison in
     :meth:`State.__eq__` keeps working for states rebuilt in another
     process (the parallel checker) or restored from a pickle.
+
+    The intern table holds its entries *weakly*: a schema stays interned
+    for exactly as long as something (a state, a spec) still references
+    it.  Long-lived campaign processes compose many throwaway specs, and
+    a strong table would keep every schema those specs ever built alive
+    for the life of the process.
     """
 
-    __slots__ = ("names", "_index")
+    __slots__ = ("names", "_index", "__weakref__")
 
-    _interned: Dict[Tuple[str, ...], "Schema"] = {}
+    _interned: "weakref.WeakValueDictionary[Tuple[str, ...], Schema]" = (
+        weakref.WeakValueDictionary()
+    )
 
     def __new__(cls, names: Tuple[str, ...]):
         key = tuple(names)
@@ -135,6 +144,29 @@ class State(Mapping):
         for name, value in updates.items():
             values[index[name]] = value
         return State(self.schema, tuple(values))
+
+    def set_many(
+        self, updates: Mapping[str, Any], fingerprinter: Optional[Any] = None
+    ):
+        """Functional update from a mapping, optionally with a
+        fingerprint delta.
+
+        Without ``fingerprinter`` this is ``self.set(**updates)`` minus
+        the kwargs repacking.  With a schema-bound
+        :class:`~repro.checker.fingerprint.IncrementalFingerprinter` it
+        returns ``(state, fp_delta)`` where ``fp_delta`` is the XOR mask
+        over the *changed* variables: the successor's fingerprint is
+        ``parent_fp ^ fp_delta``, so callers never re-fingerprint the
+        whole state.
+        """
+        values = list(self.values)
+        index = self.schema._index
+        for name, value in updates.items():
+            values[index[name]] = value
+        nxt = State(self.schema, tuple(values))
+        if fingerprinter is None:
+            return nxt
+        return nxt, fingerprinter.delta(self.values, updates)
 
     def project(self, variables) -> Tuple[Any, ...]:
         """Project the state onto a set of variables (Appendix B: s|M).

@@ -239,6 +239,9 @@ def faults_module(config: ZkConfig) -> Module:
             params=servers,
             reads=["state", "crash_budget"],
             writes=["state", "zab_state", "msgs", "crash_budget", *_VOLATILE_WRITES],
+            # _volatile_reset seeds the post-crash vote from durable data
+            # (_own_vote reads current_epoch and history).
+            update_sources={"current_vote": ["current_epoch", "history"]},
         ),
         Action(
             "NodeRestart",
@@ -267,6 +270,7 @@ def faults_module(config: ZkConfig) -> Module:
             params=servers,
             reads=["state", "my_leader", "disconnected", "accepted_epoch", "queued_requests"],
             writes=["state", "zab_state", *_VOLATILE_WRITES],
+            update_sources={"current_vote": ["current_epoch", "history"]},
         ),
         Action(
             "LeaderShutdown",
@@ -274,6 +278,7 @@ def faults_module(config: ZkConfig) -> Module:
             params=servers,
             reads=["state", "my_leader", "disconnected"],
             writes=["state", "zab_state", *_VOLATILE_WRITES],
+            update_sources={"current_vote": ["current_epoch", "history"]},
         ),
         Action(
             "DiscardStaleMessage",

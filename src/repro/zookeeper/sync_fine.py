@@ -429,7 +429,12 @@ def sync_fine_concurrent_module(config: ZkConfig) -> Module:
                 params={"i": lambda cfg: cfg.servers},
                 reads=["state", "queued_requests", "my_leader", "disconnected"],
                 writes=["queued_requests", "history", "msgs"],
-                update_sources={"history": ["queued_requests"]},
+                # The per-txn ACK is only sent within the same sync
+                # session (entry.epoch == accepted_epoch[i]).
+                update_sources={
+                    "history": ["queued_requests"],
+                    "msgs": ["queued_requests", "accepted_epoch"],
+                },
             ),
             Action(
                 "FollowerProcessUPTODATE",

