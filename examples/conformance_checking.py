@@ -15,18 +15,24 @@ Run:  python examples/conformance_checking.py
 """
 
 from repro.impl import Ensemble
-from repro.remix import ConformanceChecker
-from repro.zookeeper import V391, ZkConfig, make_spec
-from repro.zookeeper.specs import SELECTIONS
+from repro.remix import ConformanceChecker, system_plugin
+from repro.zookeeper import V391, ZkConfig
 
 
 def main():
+    plugin = system_plugin("zookeeper")
     config = ZkConfig(max_txns=1, max_crashes=1, max_partitions=0, max_epoch=3)
-    spec = make_spec("mSpec-3", config)
+    spec = plugin.make_spec("mSpec-3", config)
+    mapping = plugin.make_mapping("mSpec-3")
 
     print("1) Conformance of mSpec-3 against the implementation:")
     checker = ConformanceChecker(
-        spec, SELECTIONS["mSpec-3"], lambda: Ensemble(3, V391), seed=42
+        spec,
+        None,
+        plugin.ensemble_factory(config),
+        seed=42,
+        mapping=mapping,
+        compared_variables=plugin.compared_variables,
     )
     report = checker.run(traces=40, max_steps=25)
     print(f"   {report.summary()}")
@@ -36,9 +42,11 @@ def main():
           "is lost (an injected 'wrong variable assignment'):")
     broken = ConformanceChecker(
         spec,
-        SELECTIONS["mSpec-3"],
+        None,
         lambda: Ensemble(3, V391, divergence="skip_epoch_update"),
         seed=42,
+        mapping=mapping,
+        compared_variables=plugin.compared_variables,
     )
     report = broken.run(traces=40, max_steps=25)
     print(f"   {report.summary()}")

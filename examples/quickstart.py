@@ -14,19 +14,21 @@ Run:  python examples/quickstart.py
 """
 
 from repro.checker import BFSChecker
-from repro.impl import Ensemble
-from repro.remix import ConformanceChecker
-from repro.zookeeper import V391, ZkConfig, make_spec
-from repro.zookeeper.specs import SELECTIONS
+from repro.remix import ConformanceChecker, system_plugin
+from repro.zookeeper import ZkConfig
 
 
 def main():
+    # Every protocol reaches the harness through its registered system
+    # plugin; ZooKeeper is simply the default one.
+    plugin = system_plugin("zookeeper")
+
     # A small TLC-style configuration: 3 servers, 1 transaction,
     # 1 crash, epochs bounded at 3.
     config = ZkConfig(max_txns=1, max_crashes=1, max_partitions=0, max_epoch=3)
 
     print("Composing mSpec-1 (Table 1) ...")
-    spec = make_spec("mSpec-1", config)
+    spec = plugin.make_spec("mSpec-1", config)
     print(f"  modules: {[m.name for m in spec.modules]}")
     print(f"  invariants: {len(spec.invariants)} "
           f"({sum(1 for i in spec.invariants if i.source == 'protocol')} "
@@ -44,7 +46,11 @@ def main():
 
     print("\nConfirming at the code level (deterministic replay) ...")
     checker = ConformanceChecker(
-        spec, SELECTIONS["mSpec-1"], lambda: Ensemble(3, V391)
+        spec,
+        None,
+        plugin.ensemble_factory(config),
+        mapping=plugin.make_mapping("mSpec-1"),
+        compared_variables=plugin.compared_variables,
     )
     report = checker.confirm_violation(violation.trace)
     assert report is not None

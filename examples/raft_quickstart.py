@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Raft quickstart: a second protocol through the same harness.
+
+The campaign machinery (matrix scheduling, deterministic replay, trace
+shrinking) is system-agnostic; protocols plug in behind
+``repro.remix.system_plugin``.  This example runs a small conformance
+campaign against the bundled toy Raft implementation -- whose restart
+path has two planted bugs (a forgotten durable vote and a retained
+volatile commit index) -- and prints the minimized repro traces.
+
+Run:  python examples/raft_quickstart.py
+"""
+
+from repro.remix import ConformanceCampaign, system_plugin
+
+
+def main():
+    plugin = system_plugin("raft")
+    print(f"System plugin: {plugin.name} -- {plugin.title}")
+    print(f"  grains:    {', '.join(plugin.grains)}")
+    print(f"  scenarios: {', '.join(plugin.scenario_names())}")
+    print(f"  faults:    {', '.join(plugin.fault_names())}")
+
+    print("\nCampaign: commit scenario x crash-restart-follower fault, "
+          "both directions, with shrinking ...")
+    campaign = ConformanceCampaign(
+        system="raft",
+        grains=("raft-coarse",),
+        scenarios=("commit",),
+        faults=("crash-restart-follower",),
+        directions=("topdown", "bottomup"),
+        traces=2,
+        max_steps=6,
+        shrink=True,
+    )
+    report = campaign.run()
+    totals = report.totals
+    print(f"  {totals['cells']} cells, {totals['traces']} traces, "
+          f"{totals['distinct_findings']} distinct findings "
+          f"({totals['bottomup_findings']} bottom-up)")
+
+    assert totals["distinct_findings"] > 0, "expected the planted bugs"
+    variables = {
+        finding.get("variable")
+        for finding in report.findings
+        if finding["kind"] == "state_mismatch"
+    }
+    print(f"\nDiverging variables at the restart step: {sorted(variables)}")
+    assert "voted_for" in variables, "bug 1: the vote was never persisted"
+    assert "commit_index" in variables, "bug 2: stale volatile commit index"
+
+    print("\nMinimized repros (model actions -> divergence):")
+    for finding in report.findings[:4]:
+        min_trace = finding.get("min_trace") or {}
+        if min_trace.get("status") != "ok":
+            continue
+        labels = " -> ".join(
+            f"{label['name']}({', '.join(f'{k}={v}' for k, v in label['args'].items())})"
+            for label in min_trace["labels"]
+        )
+        print(f"  [{finding['fingerprint']}] {labels}")
+        print(f"      {finding['detail']}")
+
+    print("\nThe same matrix, shrinker and report pipeline that checks "
+          "ZooKeeper found Raft's planted restart bugs -- no checker "
+          "changes required.")
+
+
+if __name__ == "__main__":
+    main()

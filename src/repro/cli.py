@@ -5,7 +5,9 @@ Exposes the main workflows without writing Python:
 - ``check``       model-check one of the Table 1 specifications
 - ``conformance`` run conformance checking against the simulator
 - ``campaign``    run a parallel conformance campaign over the
-                  (grain x scenario x fault x seed) matrix
+                  (grain x scenario x fault x seed) matrix of any
+                  registered system plugin (``--system``)
+- ``systems``     list the registered system plugins
 - ``bugs``        hunt each of the six paper bugs (a mini Table 4)
 - ``protocol``    verify the Zab protocol variants (§5.4)
 - ``efforts``     print the Table 3 effort metrics
@@ -131,9 +133,6 @@ def cmd_campaign(args) -> int:
     from repro.remix import spec_cache
     from repro.remix.campaign import (
         COMPAT_SCHEMAS,
-        DEFAULT_FAULTS,
-        DEFAULT_GRAINS,
-        DEFAULT_SCENARIOS,
         DIRECTIONS,
         ConformanceCampaign,
         new_fingerprints,
@@ -147,10 +146,11 @@ def cmd_campaign(args) -> int:
     )
     try:
         campaign = ConformanceCampaign(
-            grains=args.grains or DEFAULT_GRAINS,
-            scenarios=args.scenarios or DEFAULT_SCENARIOS,
-            faults=args.faults or DEFAULT_FAULTS,
+            grains=args.grains,
+            scenarios=args.scenarios,
+            faults=args.faults,
             directions=directions,
+            system=args.system,
             seeds=args.seeds,
             traces=args.traces,
             max_steps=args.steps,
@@ -343,6 +343,18 @@ def cmd_protocol(args) -> int:
     return failures
 
 
+def cmd_systems(args) -> int:
+    from repro.remix.registry import registered_systems, system_plugin
+
+    for name in registered_systems():
+        plugin = system_plugin(name)
+        print(f"{name:12s} {plugin.title}")
+        print(f"{'':12s}   grains:    {', '.join(plugin.grains)}")
+        print(f"{'':12s}   scenarios: {', '.join(plugin.scenario_names())}")
+        print(f"{'':12s}   faults:    {', '.join(plugin.fault_names())}")
+    return 0
+
+
 def cmd_efforts(args) -> int:
     from repro.analysis import table3
 
@@ -391,16 +403,22 @@ def build_parser() -> argparse.ArgumentParser:
     # choices) so the remix stack stays a lazy import like the other
     # heavy subcommands.
     p_camp.add_argument(
+        "--system", default="zookeeper",
+        help="registered system plugin to campaign over "
+        "(default: zookeeper; see `python -m repro systems`)",
+    )
+    p_camp.add_argument(
         "--grains", nargs="+", default=None,
-        help="Table 1 grains to campaign over (default: mSpec-1..3)",
+        help="spec grains to campaign over (default: all the system's "
+        "mappable grains, e.g. mSpec-1..3 for zookeeper)",
     )
     p_camp.add_argument(
         "--scenarios", nargs="+", default=None,
-        help="scenario prefixes (default: election sync broadcast commit)",
+        help="scenario prefixes (default: all the system's prefixes)",
     )
     p_camp.add_argument(
         "--faults", nargs="+", default=None,
-        help="fault schedules (default: all canned schedules)",
+        help="fault schedules (default: all the system's schedules)",
     )
     p_camp.add_argument(
         "--directions", choices=["topdown", "bottomup", "both"],
@@ -470,6 +488,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_proto.add_argument("--max-time", type=float, default=180.0)
     _add_engine_args(p_proto)
     p_proto.set_defaults(fn=cmd_protocol)
+
+    sub.add_parser(
+        "systems", help="list registered system plugins"
+    ).set_defaults(fn=cmd_systems)
 
     sub.add_parser("efforts", help="Table 3 effort metrics").set_defaults(
         fn=cmd_efforts

@@ -4,6 +4,7 @@ target; substitutes the Java implementation per DESIGN.md section 2)."""
 from repro.impl.ensemble import Ensemble
 from repro.impl.exceptions import (
     CommitOrderError,
+    ImplError,
     NullPointerException,
     SyncAssertionError,
     UnrecognizedAckError,
@@ -15,6 +16,7 @@ from repro.impl.node import ZkNode
 __all__ = [
     "CommitOrderError",
     "Ensemble",
+    "ImplError",
     "Network",
     "NullPointerException",
     "SyncAssertionError",

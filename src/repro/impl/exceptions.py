@@ -1,15 +1,23 @@
 """Implementation-level exceptions, mirroring the symptoms the real
 ZooKeeper bugs produce (the paper's conformance checker "reports
 implementation bugs with obvious symptoms like assertion failures when
-replaying traces", §3.5.2)."""
+replaying traces", §3.5.2).
+
+:class:`ImplError` is the system-agnostic base the remix layer catches;
+other system plugins (e.g. :mod:`repro.raft.impl`) derive their own
+hierarchies from it."""
 
 from __future__ import annotations
 
 
-class ZkImplError(Exception):
-    """Base class for implementation-level failures."""
+class ImplError(Exception):
+    """Base class for implementation-level failures of any system."""
 
     bug_id = ""
+
+
+class ZkImplError(ImplError):
+    """Base class for ZooKeeper implementation-level failures."""
 
 
 class NullPointerException(ZkImplError):

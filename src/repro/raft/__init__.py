@@ -1,0 +1,21 @@
+"""A compact Raft system plugin: the second protocol through the harness.
+
+The package exists to prove the campaign machinery is system-agnostic
+(ISSUE 6): leader-election and log-replication spec grains, a toy
+in-process implementation with three planted bugs, scenario prefixes and
+fault schedules -- all plugged in behind
+:class:`repro.raft.plugin.RaftPlugin` with zero changes to
+:mod:`repro.checker`.
+"""
+
+from repro.raft.config import FIXED_VARIANT, RaftConfig, RaftVariant
+from repro.raft.impl import CommitAheadError, RaftEnsemble, RaftImplError
+
+__all__ = [
+    "CommitAheadError",
+    "FIXED_VARIANT",
+    "RaftConfig",
+    "RaftEnsemble",
+    "RaftImplError",
+    "RaftVariant",
+]

@@ -1,0 +1,91 @@
+"""Canned Raft scenario prefixes and fault schedules for the campaign.
+
+Three prefixes (election, replicate, commit) scripted at whatever grain
+the specification composes, and four fault schedules resolved against
+the campaign's leader/follower choice -- the Raft counterparts of
+:mod:`repro.zookeeper.scenarios` and :mod:`repro.zookeeper.faults`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.system.plugin import (
+    ROLE_FOLLOWER,
+    ROLE_LEADER,
+    ROLE_PAIR,
+    FaultSchedule,
+    Scenario,
+)
+from repro.tla.spec import Specification
+
+__all__ = ["FAULT_SCHEDULES", "SCENARIO_PREFIXES", "scenario_prefix"]
+
+
+def _elect(scenario: Scenario, leader: int, quorum: Tuple[int, ...]) -> Scenario:
+    """Elect ``leader`` within ``quorum`` at the composed granularity."""
+    names = {a.name for a in scenario.spec.actions}
+    if "ElectLeader" in names:
+        return scenario.apply("ElectLeader", i=leader, Q=tuple(quorum))
+    scenario.apply("BecomeCandidate", i=leader)
+    for voter in quorum:
+        if voter != leader:
+            scenario.apply("GrantVote", pair=(voter, leader))
+    return scenario.apply("BecomeLeader", i=leader)
+
+
+def election_prefix(
+    spec: Specification, leader: int, quorum: Tuple[int, ...]
+) -> Scenario:
+    """A completed election: ``leader`` leads, ``quorum`` voted."""
+    return _elect(Scenario(spec), leader, quorum)
+
+
+def replicate_prefix(
+    spec: Specification, leader: int, quorum: Tuple[int, ...]
+) -> Scenario:
+    """An election plus one entry replicated to the lowest follower."""
+    scenario = election_prefix(spec, leader, quorum)
+    follower = min(j for j in quorum if j != leader)
+    scenario.apply("ClientRequest", i=leader)
+    return scenario.apply("ReplicateLog", pair=(leader, follower))
+
+
+def commit_prefix(
+    spec: Specification, leader: int, quorum: Tuple[int, ...]
+) -> Scenario:
+    """Replication carried through to a committed, learned entry."""
+    scenario = replicate_prefix(spec, leader, quorum)
+    follower = min(j for j in quorum if j != leader)
+    scenario.apply("LeaderAdvanceCommit", i=leader)
+    return scenario.apply("FollowerLearnCommit", pair=(follower, leader))
+
+
+#: Campaign scenario axis: name -> builder(spec, leader, quorum).
+SCENARIO_PREFIXES = {
+    "election": election_prefix,
+    "replicate": replicate_prefix,
+    "commit": commit_prefix,
+}
+
+
+def scenario_prefix(
+    name: str, spec: Specification, leader: int, quorum
+) -> Scenario:
+    """Build a named prefix (convenience mirror of the plugin hook)."""
+    return SCENARIO_PREFIXES[name](spec, leader, tuple(sorted(quorum)))
+
+
+#: Campaign fault axis, in matrix order.
+FAULT_SCHEDULES = (
+    FaultSchedule("none"),
+    FaultSchedule("crash-leader", (("NodeCrash", (("i", ROLE_LEADER),)),)),
+    FaultSchedule(
+        "crash-restart-follower",
+        (
+            ("NodeCrash", (("i", ROLE_FOLLOWER),)),
+            ("NodeRestart", (("i", ROLE_FOLLOWER),)),
+        ),
+    ),
+    FaultSchedule("partition", (("PartitionStart", (("pair", ROLE_PAIR),)),)),
+)

@@ -27,7 +27,12 @@ from repro.remix.minimize import (
     shrink_finding,
     unreplayable_min_traces,
 )
-from repro.remix.registry import SpecRegistry
+from repro.remix.registry import (
+    SpecRegistry,
+    register_system,
+    registered_systems,
+    system_plugin,
+)
 from repro.remix.spec_cache import cached_mapping, cached_prefix, cached_spec
 from repro.remix.trace_validation import (
     ImplExplorer,
@@ -62,8 +67,11 @@ __all__ = [
     "mapping_for",
     "rebuild_validation_witness",
     "rebuild_witness",
+    "register_system",
+    "registered_systems",
     "replay_min_trace",
     "shrink_finding",
+    "system_plugin",
     "unreplayable_min_traces",
     "validation_findings",
 ]

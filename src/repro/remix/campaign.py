@@ -80,7 +80,7 @@ import json
 import time
 import zlib
 from collections.abc import Mapping as ABCMapping
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.checker import parallel
@@ -88,11 +88,13 @@ from repro.checker.parallel import TaskPool
 from repro.checker.random_walk import RandomWalker
 from repro.checker.trace import Trace
 from repro.remix.coordinator import Coordinator
+from repro.remix.registry import system_plugin
 from repro.remix.spec_cache import cached_mapping, cached_prefix, cached_spec
 from repro.remix.trace_validation import TraceValidator, ValidationReport
-from repro.zookeeper.config import SpecVariant, ZkConfig
-from repro.zookeeper.faults import FAULT_SCHEDULES, fault_schedule
-from repro.zookeeper.scenarios import SCENARIO_PREFIXES, ScenarioError
+from repro.system.plugin import ScenarioError
+from repro.zookeeper.config import ZkConfig
+from repro.zookeeper.faults import FAULT_SCHEDULES
+from repro.zookeeper.scenarios import SCENARIO_PREFIXES
 
 #: Version tag of the JSON report; bump on breaking schema changes.
 #: /2 adds per-finding ``witness`` metadata (suffix seed/steps, enough to
@@ -129,16 +131,16 @@ def campaign_config() -> ZkConfig:
     )
 
 
-def config_from_meta(meta: Dict[str, Any]) -> ZkConfig:
-    """Reconstruct the campaign :class:`ZkConfig` from a report's meta
-    block, so min_traces verify against the spec they were produced with
-    (pre-variant /1-era blocks fall back to the default variant)."""
-    fields = dict(meta.get("config", {}))
-    variant = fields.pop("variant", None)
-    config = ZkConfig(**fields) if fields else campaign_config()
-    if variant:
-        config = config.with_variant(SpecVariant(**variant))
-    return config
+def config_from_meta(meta: Dict[str, Any]) -> Any:
+    """Reconstruct the campaign configuration from a report's meta
+    block, so min_traces verify against the spec they were produced with.
+
+    Dispatches on the block's ``system`` entry (absent in pre-plugin
+    reports, which are always ZooKeeper); the plugin handles its own
+    legacy quirks (e.g. pre-variant /1-era ZooKeeper blocks fall back to
+    the default variant)."""
+    system = meta.get("system", "zookeeper")
+    return system_plugin(system).config_from_meta(meta)
 
 
 def parse_budget(text: str) -> float:
@@ -203,10 +205,14 @@ def _cell_seed(job: "CampaignJob", trace_index: int) -> int:
     Top-down coordinates keep their historical (direction-free) form so
     /2-era witnesses rebuild unchanged; bottom-up cells of the same
     coordinates prepend the direction and therefore explore differently.
+    Non-default systems likewise prepend their name, which keeps every
+    ZooKeeper seed stream bit-identical to pre-plugin campaigns.
     """
     coordinates = f"{job.grain}/{job.scenario}/{job.fault}/{job.seed}"
     if job.direction != "topdown":
         coordinates = f"{job.direction}/{coordinates}"
+    if job.system != "zookeeper":
+        coordinates = f"{job.system}/{coordinates}"
     return (zlib.crc32(coordinates.encode("utf-8")) << 16) ^ (
         job.seed * 1_000_003 + trace_index
     )
@@ -332,6 +338,7 @@ class CampaignJob:
     traces: int
     max_steps: int
     direction: str = "topdown"
+    system: str = "zookeeper"
 
     @property
     def cell_id(self) -> str:
@@ -364,16 +371,21 @@ def run_cell(job: CampaignJob, config: ZkConfig) -> Dict[str, Any]:
     This is the campaign's worker function: it runs identically inline
     and inside a forked :class:`TaskPool` worker.
     """
-    from repro.impl.ensemble import Ensemble
-
-    spec = cached_spec(job.grain, config)
-    mapping = cached_mapping(job.grain)
+    plugin = system_plugin(job.system)
+    spec = cached_spec(job.grain, config, system=job.system)
+    mapping = cached_mapping(job.grain, system=job.system)
     leader = config.n_servers - 1
     follower = 0
     cell = _skipped_cell(job)
     try:
         prefix = cached_prefix(
-            job.grain, config, job.scenario, job.fault, leader, follower
+            job.grain,
+            config,
+            job.scenario,
+            job.fault,
+            leader,
+            follower,
+            system=job.system,
         )
     except ScenarioError as error:
         cell["status"] = "inapplicable"
@@ -381,7 +393,9 @@ def run_cell(job: CampaignJob, config: ZkConfig) -> Dict[str, Any]:
         return cell
 
     coordinator = Coordinator(
-        mapping, lambda: Ensemble(config.n_servers, config.variant)
+        mapping,
+        plugin.ensemble_factory(config),
+        compared_variables=plugin.compared_variables,
     )
     cell["status"] = "ok"
     covered = set()
@@ -436,16 +450,21 @@ def run_validation_cell(job: CampaignJob, config: ZkConfig) -> Dict[str, Any]:
     coordinates, so the cell is a pure function of ``(job, config)`` and
     worker count never changes the merged report.
     """
-    from repro.impl.ensemble import Ensemble
-
-    spec = cached_spec(job.grain, config)
-    mapping = cached_mapping(job.grain)
+    plugin = system_plugin(job.system)
+    spec = cached_spec(job.grain, config, system=job.system)
+    mapping = cached_mapping(job.grain, system=job.system)
     leader = config.n_servers - 1
     follower = 0
     cell = _skipped_cell(job)
     try:
         prefix = cached_prefix(
-            job.grain, config, job.scenario, job.fault, leader, follower
+            job.grain,
+            config,
+            job.scenario,
+            job.fault,
+            leader,
+            follower,
+            system=job.system,
         )
     except ScenarioError as error:
         cell["status"] = "inapplicable"
@@ -460,8 +479,10 @@ def run_validation_cell(job: CampaignJob, config: ZkConfig) -> Dict[str, Any]:
         validator = TraceValidator(
             spec,
             mapping,
-            lambda: Ensemble(config.n_servers, config.variant),
+            plugin.ensemble_factory(config),
             seed=explorer_seed,
+            compared_variables=plugin.compared_variables,
+            budgets=plugin.budget_limits(config),
         )
         executed, _, _ = validator.explorer.explore(
             job.max_steps, prefix=prefix.labels
@@ -714,9 +735,9 @@ class ConformanceCampaign:
 
     def __init__(
         self,
-        grains: Sequence[str] = DEFAULT_GRAINS,
-        scenarios: Sequence[str] = DEFAULT_SCENARIOS,
-        faults: Sequence[str] = DEFAULT_FAULTS,
+        grains: Optional[Sequence[str]] = None,
+        scenarios: Optional[Sequence[str]] = None,
+        faults: Optional[Sequence[str]] = None,
         seeds: int = 1,
         traces: int = 2,
         max_steps: int = 12,
@@ -728,10 +749,21 @@ class ConformanceCampaign:
         shrink: bool = False,
         shrink_rounds: int = 10,
         directions: Sequence[str] = DEFAULT_DIRECTIONS,
+        system: str = "zookeeper",
     ):
-        self.grains = tuple(grains)
-        self.scenarios = tuple(scenarios)
-        self.faults = tuple(faults)
+        self.system = system
+        self.plugin = system_plugin(system)  # raises for unknown systems
+        self.grains = (
+            tuple(grains) if grains is not None else tuple(self.plugin.grains)
+        )
+        self.scenarios = (
+            tuple(scenarios)
+            if scenarios is not None
+            else self.plugin.scenario_names()
+        )
+        self.faults = (
+            tuple(faults) if faults is not None else self.plugin.fault_names()
+        )
         self.directions = tuple(directions)
         self.seeds = max(1, seeds)
         self.traces = traces
@@ -739,7 +771,7 @@ class ConformanceCampaign:
         self.seed = seed
         self.workers = max(1, workers)
         self.budget = budget
-        self.config = config or campaign_config()
+        self.config = config or self.plugin.campaign_config()
         self.adaptive = adaptive
         self.shrink = shrink
         self.shrink_rounds = shrink_rounds
@@ -748,20 +780,24 @@ class ConformanceCampaign:
                 raise KeyError(
                     f"unknown direction {name!r}; options: {list(DIRECTIONS)}"
                 )
+        note = (
+            " (SysSpec/mSpec-4 have no code-level action mapping)"
+            if self.system == "zookeeper"
+            else ""
+        )
         for name in self.grains:
-            if name not in DEFAULT_GRAINS:
+            if name not in self.plugin.grains:
                 raise KeyError(
                     f"unknown or unmappable grain {name!r}; options: "
-                    f"{list(DEFAULT_GRAINS)} (SysSpec/mSpec-4 have no "
-                    f"code-level action mapping)"
+                    f"{list(self.plugin.grains)}{note}"
                 )
         for name in self.faults:
-            fault_schedule(name)  # validate early
+            self.plugin.fault_schedule(name)  # validate early
         for name in self.scenarios:
-            if name not in SCENARIO_PREFIXES:
+            if name not in self.plugin.scenario_prefixes:
                 raise KeyError(
                     f"unknown scenario {name!r}; options: "
-                    f"{list(SCENARIO_PREFIXES)}"
+                    f"{list(self.plugin.scenario_prefixes)}"
                 )
 
     def jobs(self) -> List[CampaignJob]:
@@ -786,6 +822,7 @@ class ConformanceCampaign:
                     traces=self.traces,
                     max_steps=self.max_steps,
                     direction=direction,
+                    system=self.system,
                 )
             )
         return out
@@ -800,7 +837,9 @@ class ConformanceCampaign:
             return run_cell(payload, self.config)
         from repro.remix.minimize import shrink_finding
 
-        return shrink_finding(payload, self.config, self.shrink_rounds)
+        return shrink_finding(
+            payload, self.config, self.shrink_rounds, system=self.system
+        )
 
     def _map(
         self,
@@ -867,6 +906,7 @@ class ConformanceCampaign:
                         traces=self.traces,
                         max_steps=self.max_steps,
                         direction=direction,
+                        system=self.system,
                     )
                 )
                 sampled[index] += 1
@@ -918,13 +958,19 @@ class ConformanceCampaign:
         # fork with every shared artifact already in memory.
         leader = self.config.n_servers - 1
         for grain in self.grains:
-            cached_spec(grain, self.config)
-            cached_mapping(grain)
+            cached_spec(grain, self.config, system=self.system)
+            cached_mapping(grain, system=self.system)
             for scenario in self.scenarios:
                 for fault in self.faults:
                     try:
                         cached_prefix(
-                            grain, self.config, scenario, fault, leader, 0
+                            grain,
+                            self.config,
+                            scenario,
+                            fault,
+                            leader,
+                            0,
+                            system=self.system,
                         )
                     except ScenarioError:
                         pass  # the cell will report itself inapplicable
@@ -941,6 +987,7 @@ class ConformanceCampaign:
                     pool, [("cell", job) for job in jobs], deadline
                 )
             meta = {
+                "system": self.system,
                 "directions": list(self.directions),
                 "grains": list(self.grains),
                 "scenarios": list(self.scenarios),
@@ -953,14 +1000,7 @@ class ConformanceCampaign:
                 "budget_seconds": self.budget,
                 "adaptive": self.adaptive,
                 "shrink": self.shrink,
-                "config": {
-                    "n_servers": self.config.n_servers,
-                    "max_txns": self.config.max_txns,
-                    "max_crashes": self.config.max_crashes,
-                    "max_partitions": self.config.max_partitions,
-                    "max_epoch": self.config.max_epoch,
-                    "variant": asdict(self.config.variant),
-                },
+                "config": self.plugin.config_meta(self.config),
             }
             report = merge_cells(meta, jobs, results)
             if self.shrink:

@@ -23,8 +23,8 @@ from typing import Callable, List, Optional
 
 from repro.checker.random_walk import RandomWalker
 from repro.checker.trace import Trace
-from repro.impl.exceptions import ZkImplError
-from repro.remix.coordinator import Coordinator, Discrepancy
+from repro.impl.exceptions import ImplError
+from repro.remix.coordinator import COMPARED_VARIABLES, Coordinator, Discrepancy
 from repro.remix.mapping import ActionMapping, mapping_for
 from repro.tla.spec import Specification
 
@@ -33,7 +33,7 @@ from repro.tla.spec import Specification
 class ImplBugReport:
     """An implementation bug surfaced during replay (with its trace)."""
 
-    error: ZkImplError
+    error: ImplError
     step: int
     trace: Trace
 
@@ -83,10 +83,19 @@ class ConformanceChecker:
         ensemble_factory: Callable,
         seed: int = 0,
         mapping: Optional[ActionMapping] = None,
+        compared_variables=None,
     ):
+        """``selection`` is a ZooKeeper grain selection for
+        :func:`mapping_for`; pass ``selection=None`` with an explicit
+        ``mapping`` (and a plugin's ``compared_variables``) to check any
+        other system."""
         self.spec = spec
         self.mapping = mapping or mapping_for(selection)
-        self.coordinator = Coordinator(self.mapping, ensemble_factory)
+        if compared_variables is None:
+            compared_variables = COMPARED_VARIABLES
+        self.coordinator = Coordinator(
+            self.mapping, ensemble_factory, compared_variables
+        )
         self.walker = RandomWalker(spec, seed=seed)
 
     def run(

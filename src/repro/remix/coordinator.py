@@ -14,7 +14,7 @@ from typing import List, Optional
 
 from repro.checker.trace import Trace
 from repro.impl.ensemble import Ensemble
-from repro.impl.exceptions import ZkImplError
+from repro.impl.exceptions import ImplError
 from repro.remix.mapping import ActionMapping
 from repro.tla.action import ActionLabel
 
@@ -84,7 +84,7 @@ class ReplayResult:
 
     steps_executed: int = 0
     discrepancies: List[Discrepancy] = field(default_factory=list)
-    impl_error: Optional[ZkImplError] = None
+    impl_error: Optional[ImplError] = None
     impl_error_step: Optional[int] = None
 
     @property
@@ -134,7 +134,7 @@ class Coordinator:
                 continue
             try:
                 executed = mapped.step(ensemble, label)
-            except ZkImplError as exc:
+            except ImplError as exc:
                 result.impl_error = exc
                 result.impl_error_step = step
                 return result

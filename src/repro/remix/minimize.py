@@ -39,16 +39,16 @@ from repro.checker.random_walk import RandomWalker
 from repro.checker.shrink import shrink_labels_oracle, shrink_trace_oracle
 from repro.checker.trace import Trace
 from repro.remix.campaign import (
-    campaign_config,
     config_from_meta,
     trace_findings,
     validation_findings,
 )
 from repro.remix.coordinator import Coordinator
+from repro.remix.registry import system_plugin
 from repro.remix.spec_cache import cached_mapping, cached_prefix, cached_spec
 from repro.remix.trace_validation import ImplExplorer, TraceValidator
+from repro.system.plugin import ScenarioError
 from repro.zookeeper.config import ZkConfig
-from repro.zookeeper.scenarios import ScenarioError
 
 
 def _args_to_json(value: Any) -> Any:
@@ -102,17 +102,28 @@ def labels_from_json(spec, entries) -> Optional[List]:
     return instances
 
 
-def rebuild_witness(grain: str, witness: Dict[str, Any], config: ZkConfig) -> Trace:
+def rebuild_witness(
+    grain: str,
+    witness: Dict[str, Any],
+    config: ZkConfig,
+    system: str = "zookeeper",
+) -> Trace:
     """Reconstruct a top-down finding's witnessing trace from its stored
     metadata (deterministic: scripted prefix + fault + seeded random
     suffix)."""
-    spec = cached_spec(grain, config)
+    spec = cached_spec(grain, config, system=system)
     # Role ids are stored in the witness; the fallbacks mirror run_cell's
     # historical choice for /2-era findings that predate the keys.
     leader = witness.get("leader", config.n_servers - 1)
     follower = witness.get("follower", 0)
     prefix = cached_prefix(
-        grain, config, witness["scenario"], witness["fault"], leader, follower
+        grain,
+        config,
+        witness["scenario"],
+        witness["fault"],
+        leader,
+        follower,
+        system=system,
     )
     walker = RandomWalker(spec, seed=witness["suffix_seed"])
     suffix = walker.walk(witness["suffix_steps"], start=prefix.state)
@@ -123,26 +134,35 @@ def rebuild_witness(grain: str, witness: Dict[str, Any], config: ZkConfig) -> Tr
 
 
 def rebuild_validation_witness(
-    grain: str, witness: Dict[str, Any], config: ZkConfig
+    grain: str,
+    witness: Dict[str, Any],
+    config: ZkConfig,
+    system: str = "zookeeper",
 ) -> List:
     """Reconstruct a bottom-up finding's witnessing *label sequence* by
     re-running the deterministic implementation explorer under the
     stored explorer seed (scripted prefix first, then the seeded random
     suffix -- exactly what the validation cell executed)."""
-    from repro.impl.ensemble import Ensemble
-
-    spec = cached_spec(grain, config)
-    mapping = cached_mapping(grain)
+    plugin = system_plugin(system)
+    spec = cached_spec(grain, config, system=system)
+    mapping = cached_mapping(grain, system=system)
     leader = witness.get("leader", config.n_servers - 1)
     follower = witness.get("follower", 0)
     prefix = cached_prefix(
-        grain, config, witness["scenario"], witness["fault"], leader, follower
+        grain,
+        config,
+        witness["scenario"],
+        witness["fault"],
+        leader,
+        follower,
+        system=system,
     )
     explorer = ImplExplorer(
         spec,
         mapping,
-        lambda: Ensemble(config.n_servers, config.variant),
+        plugin.ensemble_factory(config),
         seed=witness["explorer_seed"],
+        budgets=plugin.budget_limits(config),
     )
     executed, _, _ = explorer.explore(
         witness["explorer_steps"], prefix=prefix.labels
@@ -155,14 +175,20 @@ class ConformanceOracle:
     iff re-running it through the coordinator reproduces the target
     finding fingerprint."""
 
-    def __init__(self, grain: str, fingerprint: str, config: ZkConfig):
-        from repro.impl.ensemble import Ensemble
-
+    def __init__(
+        self,
+        grain: str,
+        fingerprint: str,
+        config: ZkConfig,
+        system: str = "zookeeper",
+    ):
+        plugin = system_plugin(system)
         self.grain = grain
         self.fingerprint = fingerprint
         self.coordinator = Coordinator(
-            cached_mapping(grain),
-            lambda: Ensemble(config.n_servers, config.variant),
+            cached_mapping(grain, system=system),
+            plugin.ensemble_factory(config),
+            compared_variables=plugin.compared_variables,
         )
         self.replays = 0
 
@@ -185,15 +211,22 @@ class ValidationOracle:
     on purpose (that can be the very finding under minimization), so the
     implementation drives and the model only judges."""
 
-    def __init__(self, grain: str, fingerprint: str, config: ZkConfig):
-        from repro.impl.ensemble import Ensemble
-
+    def __init__(
+        self,
+        grain: str,
+        fingerprint: str,
+        config: ZkConfig,
+        system: str = "zookeeper",
+    ):
+        plugin = system_plugin(system)
         self.grain = grain
         self.fingerprint = fingerprint
         self.validator = TraceValidator(
-            cached_spec(grain, config),
-            cached_mapping(grain),
-            lambda: Ensemble(config.n_servers, config.variant),
+            cached_spec(grain, config, system=system),
+            cached_mapping(grain, system=system),
+            plugin.ensemble_factory(config),
+            compared_variables=plugin.compared_variables,
+            budgets=plugin.budget_limits(config),
         )
         self.replays = 0
 
@@ -210,6 +243,7 @@ def shrink_finding(
     finding: Dict[str, Any],
     config: Optional[ZkConfig] = None,
     max_rounds: int = 10,
+    system: str = "zookeeper",
 ) -> Dict[str, Any]:
     """The campaign shrink-stage worker: rebuild one distinct finding's
     witness and delta-debug it under a :class:`ConformanceOracle`.
@@ -220,17 +254,17 @@ def shrink_finding(
     not reproduce the fingerprint (should not happen -- everything is
     deterministic -- but reported loudly rather than asserted).
     """
-    config = config or campaign_config()
+    config = config or system_plugin(system).campaign_config()
     witness = finding.get("witness")
     if not witness:
         return {"status": "no_witness"}
     grain = finding["grain"]
     if finding.get("direction") == "bottomup":
         try:
-            labels = rebuild_validation_witness(grain, witness, config)
+            labels = rebuild_validation_witness(grain, witness, config, system)
         except ScenarioError as error:  # pragma: no cover - defensive
             return {"status": "unreproducible", "reason": str(error)}
-        oracle = ValidationOracle(grain, finding["fingerprint"], config)
+        oracle = ValidationOracle(grain, finding["fingerprint"], config, system)
         if not oracle(labels):
             return {"status": "unreproducible", "witness_steps": len(labels)}
         shrunk_labels = shrink_labels_oracle(
@@ -243,12 +277,12 @@ def shrink_finding(
             "oracle_replays": oracle.replays,
             "labels": [label_to_json(label) for label in shrunk_labels],
         }
-    spec = cached_spec(grain, config)
+    spec = cached_spec(grain, config, system=system)
     try:
-        trace = rebuild_witness(grain, witness, config)
+        trace = rebuild_witness(grain, witness, config, system)
     except ScenarioError as error:  # pragma: no cover - defensive
         return {"status": "unreproducible", "reason": str(error)}
-    oracle = ConformanceOracle(grain, finding["fingerprint"], config)
+    oracle = ConformanceOracle(grain, finding["fingerprint"], config, system)
     if not oracle(trace):
         return {"status": "unreproducible", "witness_steps": len(trace)}
     shrunk = shrink_trace_oracle(spec, trace, oracle, max_rounds=max_rounds)
@@ -262,7 +296,9 @@ def shrink_finding(
 
 
 def replay_min_trace(
-    finding: Dict[str, Any], config: Optional[ZkConfig] = None
+    finding: Dict[str, Any],
+    config: Optional[ZkConfig] = None,
+    system: str = "zookeeper",
 ) -> bool:
     """True iff the finding's ``min_trace`` reproduces the finding
     fingerprint end-to-end -- the check CI runs on shrunk reports.
@@ -271,12 +307,12 @@ def replay_min_trace(
     level AND reproduce the fingerprint at the code level; bottom-up
     findings re-drive the implementation and reproduce the fingerprint
     under lockstep validation."""
-    config = config or campaign_config()
+    config = config or system_plugin(system).campaign_config()
     min_trace = finding.get("min_trace") or {}
     if min_trace.get("status") != "ok":
         return False
     grain = finding["grain"]
-    spec = cached_spec(grain, config)
+    spec = cached_spec(grain, config, system=system)
     instances = labels_from_json(spec, min_trace["labels"])
     if instances is None:
         return False
@@ -285,7 +321,9 @@ def replay_min_trace(
         # the model level; the implementation drives, lockstep validation
         # judges the fingerprint.
         labels = [inst.label for inst in instances]
-        return ValidationOracle(grain, finding["fingerprint"], config)(labels)
+        return ValidationOracle(grain, finding["fingerprint"], config, system)(
+            labels
+        )
     state = spec.initial_states()[0]
     states = [state]
     labels = []
@@ -297,7 +335,9 @@ def replay_min_trace(
         states.append(nxt)
         state = nxt
     trace = Trace(states=states, labels=labels)
-    return ConformanceOracle(grain, finding["fingerprint"], config)(trace)
+    return ConformanceOracle(grain, finding["fingerprint"], config, system)(
+        trace
+    )
 
 
 def unreplayable_min_traces(
@@ -305,13 +345,15 @@ def unreplayable_min_traces(
 ) -> List[str]:
     """Fingerprints whose ``min_trace`` is missing or fails
     :func:`replay_min_trace`; empty means every finding carries a
-    replayable minimal repro.  The config defaults to the one recorded
-    in the report's ``campaign.config`` block, so verification runs
-    against the spec the campaign actually used."""
+    replayable minimal repro.  The config (and system) default to the
+    ones recorded in the report's ``campaign`` block, so verification
+    runs against the spec the campaign actually used."""
+    meta = report_json.get("campaign", {})
+    system = meta.get("system", "zookeeper")
     if config is None:
-        config = config_from_meta(report_json.get("campaign", {}))
+        config = config_from_meta(meta)
     return [
         finding["fingerprint"]
         for finding in report_json.get("findings", ())
-        if not replay_min_trace(finding, config)
+        if not replay_min_trace(finding, config, system)
     ]

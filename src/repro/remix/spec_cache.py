@@ -27,10 +27,11 @@ persists across CLI invocations is their derived, picklable products:
 scripted **scenario-prefix traces** (scenario + injected fault schedule,
 :func:`cached_prefix`), which every campaign cell -- top-down replay,
 bottom-up validation and the shrink stage's witness rebuilds -- starts
-from.  Entries live under one directory per *spec-source digest* (a
-SHA-1 over the ``repro.tla`` and ``repro.zookeeper`` sources plus a
-format version), so editing any spec source invalidates the whole cache
-rather than ever serving stale traces.  The location is
+from.  Entries live under one directory per *system and spec-source
+digest* (a SHA-1 over the plugin's declared source packages plus a
+format version), so editing any spec source invalidates that system's
+whole cache -- and nobody else's -- rather than ever serving stale
+traces.  The location is
 ``~/.cache/repro-spec-cache`` unless ``REPRO_SPEC_CACHE_DIR`` overrides
 it (set it to ``off`` -- or pass ``--spec-cache off`` on the CLI -- to
 disable persistence).  Writes are atomic (temp file + rename), so
@@ -79,7 +80,14 @@ _INFLIGHT: Dict[Any, threading.Lock] = {}
 #: from the environment, "" = disabled, otherwise a directory path.
 _DISK_OVERRIDE: Optional[str] = None
 
+#: Memoized source digest of the default (zookeeper) system.  Kept as
+#: its own module attribute -- rather than an entry of
+#: ``_SOURCE_DIGESTS`` -- so tests can monkeypatch it to simulate a
+#: spec-source edit.
 _SOURCE_DIGEST: Optional[str] = None
+
+#: Memoized source digests of non-default systems, keyed by plugin name.
+_SOURCE_DIGESTS: Dict[str, str] = {}
 
 
 def _single_flight(
@@ -125,27 +133,37 @@ def _single_flight(
         return value
 
 
+def _plugin(system: str):
+    """Resolve a system plugin by name (lazy import avoids a cycle with
+    the package ``__init__``'s eager campaign import)."""
+    from repro.remix.registry import system_plugin
+
+    return system_plugin(system)
+
+
 def cached_spec(
     name: str,
     config: Optional[ZkConfig] = None,
     variant: Optional[SpecVariant] = None,
+    *,
+    system: str = "zookeeper",
 ) -> Specification:
-    """A shared, composed Table 1 specification for ``(name, config)``.
+    """A shared, composed specification for ``(system, name, config)``.
 
-    The first call per key composes via
-    :func:`repro.zookeeper.specs.make_spec` and primes the instance
-    index; later calls (and forked children) reuse the same object.
-    Concurrent first calls compose exactly once (single-flight).
+    The first call per key composes via the system plugin's
+    ``make_spec`` and primes the instance index; later calls (and forked
+    children) reuse the same object.  Concurrent first calls compose
+    exactly once (single-flight).  ``variant`` is a ZooKeeper-only
+    convenience that folds into the config before keying.
     """
-    from repro.zookeeper.specs import make_spec
-
-    config = config or ZkConfig()
+    plugin = _plugin(system)
+    config = config or plugin.default_config()
     if variant is not None:
         config = config.with_variant(variant)
-    key = (name, config)
+    key = (system, name, config)
 
     def build() -> Specification:
-        spec = make_spec(name, config)
+        spec = plugin.make_spec(name, config)
         spec.action_instances()  # pre-enumerate so workers inherit the index
         # Pre-compile the incremental engine core (interference matrix,
         # guard/outcome memo groups) in the parent: the campaign's
@@ -159,16 +177,13 @@ def cached_spec(
     return _single_flight(_SPECS, key, build, count=True)
 
 
-def cached_mapping(name: str):
-    """The shared :class:`~repro.remix.mapping.ActionMapping` for a Table
-    1 grain (mappings depend only on the granularity selection)."""
-    from repro.remix.mapping import mapping_for
-    from repro.zookeeper.specs import SELECTIONS
-
+def cached_mapping(name: str, *, system: str = "zookeeper"):
+    """The shared :class:`~repro.remix.mapping.ActionMapping` for one
+    grain of one system (mappings depend only on the grain)."""
     return _single_flight(
         _MAPPINGS,
-        ("mapping", name),
-        lambda: mapping_for(SELECTIONS[name]),
+        ("mapping", system, name),
+        lambda: _plugin(system).make_mapping(name),
         count=False,
     )
 
@@ -202,42 +217,55 @@ def _disk_dir() -> Optional[str]:
     )
 
 
-def source_digest() -> str:
-    """A SHA-1 over the spec-defining sources (``repro.tla`` and
-    ``repro.zookeeper``) plus the payload format version.
+def _compute_digest(system: str) -> str:
+    import importlib
+
+    digest = hashlib.sha1(f"format/{_DISK_FORMAT}".encode())
+    for package in _plugin(system).spec_source_packages:
+        pkg = importlib.import_module(package)
+        root = os.path.dirname(pkg.__file__)
+        for entry in sorted(os.listdir(root)):
+            if not entry.endswith(".py"):
+                continue
+            digest.update(entry.encode())
+            with open(os.path.join(root, entry), "rb") as fh:
+                digest.update(fh.read())
+    return digest.hexdigest()[:20]
+
+
+def source_digest(system: str = "zookeeper") -> str:
+    """A SHA-1 over one system's spec-defining sources (the packages its
+    plugin declares in ``spec_source_packages``) plus the payload format
+    version.
 
     This is the cache's *invalidation rule*: entries live under one
-    directory per digest, so any edit to any spec source orphans every
-    previous entry instead of ever serving a stale trace."""
+    directory per (system, digest), so any edit to any spec source
+    orphans every previous entry of that system -- and only that system
+    -- instead of ever serving a stale trace."""
     global _SOURCE_DIGEST
-    if _SOURCE_DIGEST is None:
-        import repro.tla as tla_pkg
-        import repro.zookeeper as zk_pkg
-
-        digest = hashlib.sha1(f"format/{_DISK_FORMAT}".encode())
-        for pkg in (tla_pkg, zk_pkg):
-            root = os.path.dirname(pkg.__file__)
-            for entry in sorted(os.listdir(root)):
-                if not entry.endswith(".py"):
-                    continue
-                digest.update(entry.encode())
-                with open(os.path.join(root, entry), "rb") as fh:
-                    digest.update(fh.read())
-        _SOURCE_DIGEST = digest.hexdigest()[:20]
-    return _SOURCE_DIGEST
+    if system == "zookeeper":
+        if _SOURCE_DIGEST is None:
+            _SOURCE_DIGEST = _compute_digest(system)
+        return _SOURCE_DIGEST
+    digest = _SOURCE_DIGESTS.get(system)
+    if digest is None:
+        digest = _SOURCE_DIGESTS[system] = _compute_digest(system)
+    return digest
 
 
-def _entry_path(directory: str, key_json: str) -> str:
+def _entry_path(directory: str, key_json: str, system: str) -> str:
     entry = hashlib.sha1(key_json.encode("utf-8")).hexdigest()[:24]
-    return os.path.join(directory, source_digest(), f"{entry}.pkl")
+    return os.path.join(
+        directory, f"{system}-{source_digest(system)}", f"{entry}.pkl"
+    )
 
 
-def _disk_load(key_json: str) -> Optional[Any]:
+def _disk_load(key_json: str, system: str) -> Optional[Any]:
     directory = _disk_dir()
     if directory is None:
         return None
     try:
-        with open(_entry_path(directory, key_json), "rb") as fh:
+        with open(_entry_path(directory, key_json, system), "rb") as fh:
             payload = pickle.load(fh)
     except (OSError, pickle.PickleError, EOFError, AttributeError):
         with _LOCK:
@@ -248,11 +276,11 @@ def _disk_load(key_json: str) -> Optional[Any]:
     return payload
 
 
-def _disk_store(key_json: str, payload: Any) -> None:
+def _disk_store(key_json: str, payload: Any, system: str) -> None:
     directory = _disk_dir()
     if directory is None:
         return
-    path = _entry_path(directory, key_json)
+    path = _entry_path(directory, key_json, system)
     try:
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, tmp = tempfile.mkstemp(
@@ -280,10 +308,12 @@ def _prefix_key_json(
     leader: int,
     follower: int,
     quorum: Tuple[int, ...],
+    system: str,
 ) -> str:
     return json.dumps(
         {
             "kind": "prefix",
+            "system": system,
             "grain": grain,
             "config": asdict(config),
             "scenario": scenario,
@@ -305,34 +335,36 @@ def cached_prefix(
     leader: int,
     follower: int,
     quorum: Optional[Tuple[int, ...]] = None,
+    *,
+    system: str = "zookeeper",
 ):
     """The scripted campaign prefix for one cell coordinate: scenario
     prefix plus injected fault schedule, as a fresh
-    :class:`~repro.zookeeper.scenarios.Scenario`.
+    :class:`~repro.system.plugin.Scenario`.
 
     Resolution order: per-process memory (forked workers inherit it),
     then the on-disk layer (repeated CLI invocations start warm), then
     scripting it from scratch (and persisting the labels + state values,
     which unlike specifications are plain picklable data).
-    :class:`~repro.zookeeper.scenarios.ScenarioError` (an inapplicable
+    :class:`~repro.system.plugin.ScenarioError` (an inapplicable
     scenario or fault for this grain/config) propagates uncached.
     """
+    from repro.system.plugin import Scenario
     from repro.tla.state import State
-    from repro.zookeeper.faults import fault_schedule
-    from repro.zookeeper.scenarios import Scenario, scenario_prefix
 
+    plugin = _plugin(system)
     quorum = tuple(quorum) if quorum is not None else config.servers
-    spec = cached_spec(grain, config)
-    key = (grain, config, scenario, fault, leader, follower, quorum)
+    spec = cached_spec(grain, config, system=system)
+    key = (system, grain, config, scenario, fault, leader, follower, quorum)
     with _LOCK:
         entry = _PREFIXES.get(key)
         if entry is not None:
             _STATS["prefix_hits"] += 1
     if entry is None:
         key_json = _prefix_key_json(
-            grain, config, scenario, fault, leader, follower, quorum
+            grain, config, scenario, fault, leader, follower, quorum, system
         )
-        payload = _disk_load(key_json)
+        payload = _disk_load(key_json, system)
         if (
             isinstance(payload, tuple)
             and len(payload) == 2
@@ -340,13 +372,13 @@ def cached_prefix(
         ):
             entry = (tuple(payload[0]), tuple(payload[1]))
         else:
-            built = scenario_prefix(scenario, spec, leader, quorum)
-            fault_schedule(fault).inject(built, leader, follower)
+            built = plugin.scenario_prefix(scenario, spec, leader, quorum)
+            plugin.fault_schedule(fault).inject(built, leader, follower)
             entry = (
                 tuple(built.labels),
                 tuple(state.values for state in built.states),
             )
-            _disk_store(key_json, entry)
+            _disk_store(key_json, entry, system)
         with _LOCK:
             _PREFIXES.setdefault(key, entry)
             _STATS["prefix_misses"] += 1

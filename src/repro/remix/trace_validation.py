@@ -24,10 +24,10 @@ from __future__ import annotations
 import copy
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.impl.ensemble import Ensemble
-from repro.impl.exceptions import ZkImplError
+from repro.impl.exceptions import ImplError
 from repro.remix.coordinator import (
     COMPARED_VARIABLES,
     CONFIG_LABEL,
@@ -37,12 +37,6 @@ from repro.remix.mapping import ActionMapping
 from repro.tla.action import ActionLabel
 from repro.tla.spec import Specification
 from repro.tla.state import State
-
-#: Action names whose executions count against a model budget; the
-#: explorer must respect them for lockstep validation to be meaningful
-#: (budgets are bounds of the verification *model*, not of the code).
-_BUDGETED = ("NodeCrash", "PartitionStart", "LeaderProcessRequest")
-
 
 @dataclass
 class ValidationIssue:
@@ -85,7 +79,7 @@ class ValidationReport:
     issues: List[ValidationIssue] = field(default_factory=list)
     #: (run, step, label, error) -- the implementation exception that
     #: ended a run, attributed to the run that raised it.
-    impl_errors: List[Tuple[int, int, ActionLabel, ZkImplError]] = field(
+    impl_errors: List[Tuple[int, int, ActionLabel, ImplError]] = field(
         default_factory=list
     )
     #: The implementation labels that executed, across all runs (what a
@@ -172,11 +166,23 @@ class ImplExplorer:
         mapping: ActionMapping,
         ensemble_factory: Callable[[], Ensemble],
         seed: int = 0,
+        budgets: Optional[Mapping[str, int]] = None,
     ):
+        """``budgets`` maps budgeted action names to their model bounds
+        (a system plugin's ``budget_limits``); ``None`` derives the
+        ZooKeeper defaults from the spec's configuration."""
         self.spec = spec
         self.mapping = mapping
         self.ensemble_factory = ensemble_factory
         self.rng = random.Random(seed)
+        if budgets is None:
+            config = spec.config
+            budgets = {
+                "NodeCrash": config.max_crashes,
+                "PartitionStart": config.max_partitions,
+                "LeaderProcessRequest": config.max_txns,
+            }
+        self.budgets = dict(budgets)
         self._labels = [
             inst.label
             for inst in spec.action_instances()
@@ -199,13 +205,13 @@ class ImplExplorer:
         probe = copy.deepcopy(ensemble)
         try:
             ok = mapped.step(probe, label)
-        except ZkImplError as exc:
+        except ImplError as exc:
             return probe, exc
         return (probe if ok else None), None
 
     def explore(
         self, max_steps: int = 20, prefix: Sequence[ActionLabel] = ()
-    ) -> Tuple[List[ActionLabel], Ensemble, Optional[ZkImplError]]:
+    ) -> Tuple[List[ActionLabel], Ensemble, Optional[ImplError]]:
         """One implementation run: the labels executed, the final
         ensemble, and the exception that ended the run (if any).
 
@@ -221,7 +227,8 @@ class ImplExplorer:
         count against the same budgets."""
         ensemble = self.ensemble_factory()
         executed: List[ActionLabel] = []
-        budget_used = {name: 0 for name in _BUDGETED}
+        budgets = self.budgets
+        budget_used = {name: 0 for name in budgets}
         for label in prefix:
             committed, error = self._try_step(ensemble, label)
             if error is not None:
@@ -233,12 +240,6 @@ class ImplExplorer:
             executed.append(label)
             if label.name in budget_used:
                 budget_used[label.name] += 1
-        config = self.spec.config
-        budgets = {
-            "NodeCrash": config.max_crashes,
-            "PartitionStart": config.max_partitions,
-            "LeaderProcessRequest": config.max_txns,
-        }
         for _ in range(max_steps):
             candidates = list(self._labels)
             self.rng.shuffle(candidates)
@@ -275,9 +276,12 @@ class TraceValidator:
         ensemble_factory: Callable[[], Ensemble],
         seed: int = 0,
         compared_variables=COMPARED_VARIABLES,
+        budgets: Optional[Mapping[str, int]] = None,
     ):
         self.spec = spec
-        self.explorer = ImplExplorer(spec, mapping, ensemble_factory, seed)
+        self.explorer = ImplExplorer(
+            spec, mapping, ensemble_factory, seed, budgets=budgets
+        )
         self.mapping = mapping
         self.ensemble_factory = ensemble_factory
         self.compared_variables = tuple(compared_variables)
@@ -310,7 +314,7 @@ class TraceValidator:
             mapped = self.mapping.lookup(label)
             try:
                 ok = mapped.step(ensemble, label)
-            except ZkImplError as exc:
+            except ImplError as exc:
                 report.impl_errors.append((run, step, label, exc))
                 # the model must agree that this path is an error path:
                 # the corresponding model action must lead to an error

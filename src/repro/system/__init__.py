@@ -1,0 +1,27 @@
+"""The protocol-agnostic system-plugin surface.
+
+A system plugin packages everything the conformance campaign needs to
+check one protocol: spec grains, scenario prefixes, fault schedules, an
+implementation adapter and a configuration type.  See
+``docs/plugin-authoring.md`` for the full authoring walkthrough.
+"""
+
+from repro.system.plugin import (
+    FaultSchedule,
+    ROLE_FOLLOWER,
+    ROLE_LEADER,
+    ROLE_PAIR,
+    Scenario,
+    ScenarioError,
+    SystemPlugin,
+)
+
+__all__ = [
+    "FaultSchedule",
+    "ROLE_FOLLOWER",
+    "ROLE_LEADER",
+    "ROLE_PAIR",
+    "Scenario",
+    "ScenarioError",
+    "SystemPlugin",
+]

@@ -9,9 +9,14 @@ SyncRequestProcessor queue alive across an epoch change
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Tuple
 
+from repro.system.plugin import (
+    FaultSchedule,
+    ROLE_FOLLOWER as _ROLE_FOLLOWER,
+    ROLE_LEADER as _ROLE_LEADER,
+    ROLE_PAIR as _ROLE_PAIR,
+)
 from repro.tla.action import Action
 from repro.tla.module import Module
 from repro.tla.values import Rec, last_zxid
@@ -295,56 +300,9 @@ def faults_module(config: ZkConfig) -> Module:
 
 # --- campaign fault schedules ------------------------------------------------
 
-#: Placeholder argument values resolved against the campaign's (leader,
-#: follower) roles when a schedule is injected.
-_ROLE_LEADER = "leader"
-_ROLE_FOLLOWER = "follower"
-_ROLE_PAIR = "leader-follower-pair"
-
-
-@dataclass(frozen=True)
-class FaultSchedule:
-    """A scripted fault injection appended to a scenario prefix.
-
-    ``steps`` is a sequence of ``(action_name, ((param, role), ...))``
-    entries whose role placeholders are resolved against the campaign's
-    leader/follower choice at injection time.  Injection raises
-    :class:`~repro.zookeeper.scenarios.ScenarioError` when a step is not
-    enabled, which the campaign records as an inapplicable cell rather
-    than a finding.
-    """
-
-    name: str
-    steps: Tuple[Tuple[str, Tuple[Tuple[str, str], ...]], ...] = ()
-
-    def resolve(self, leader: int, follower: int):
-        """Resolve the role placeholders against a concrete leader and
-        follower: ``[(action_name, args_dict), ...]`` in schedule order.
-
-        Used by :meth:`inject` (model-level scenarios) and by the
-        campaign's bottom-up direction, which drives the same resolved
-        fault steps through the implementation explorer."""
-        resolved = []
-        for action, params in self.steps:
-            args = {}
-            for key, role in params:
-                if role == _ROLE_LEADER:
-                    args[key] = leader
-                elif role == _ROLE_FOLLOWER:
-                    args[key] = follower
-                elif role == _ROLE_PAIR:
-                    args[key] = tuple(sorted((leader, follower)))
-                else:  # pragma: no cover - schedule construction error
-                    raise ValueError(f"unknown role {role!r}")
-            resolved.append((action, args))
-        return resolved
-
-    def inject(self, scenario, leader: int, follower: int):
-        """Apply the scripted faults to a scenario, in order."""
-        for action, args in self.resolve(leader, follower):
-            scenario.apply(action, **args)
-        return scenario
-
+# FaultSchedule and the role placeholders now live in
+# repro.system.plugin; they are re-imported above so existing call sites
+# (tests, campaign code) keep working unchanged.
 
 #: The canned fault matrix a campaign crosses with its scenario prefixes.
 FAULT_SCHEDULES: Tuple[FaultSchedule, ...] = (

@@ -9,51 +9,22 @@ same few prefixes; building them here keeps them in one place and makes
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, Tuple
 
-from repro.tla.action import ActionLabel
+from repro.system.plugin import Scenario as _BaseScenario
+from repro.system.plugin import ScenarioError
 from repro.tla.spec import Specification
-from repro.tla.state import State
+
+__all__ = [
+    "SCENARIO_PREFIXES",
+    "Scenario",
+    "ScenarioError",
+    "scenario_prefix",
+]
 
 
-class ScenarioError(RuntimeError):
-    """A scripted action was not enabled."""
-
-
-class Scenario:
-    """A fluent builder driving a specification through named actions."""
-
-    def __init__(self, spec: Specification, state: Optional[State] = None):
-        self.spec = spec
-        self.state = state or spec.initial_states()[0]
-        self.labels: List[ActionLabel] = []
-        self.states: List[State] = [self.state]
-
-    def _instance(self, name: str, args: dict):
-        inst = self.spec.instance_named(name, args)
-        if inst is None:
-            raise ScenarioError(f"no action instance {name}{args}")
-        return inst
-
-    def apply(self, name: str, **args) -> "Scenario":
-        """Apply one action; raises ScenarioError when disabled."""
-        inst = self._instance(name, args)
-        nxt = inst.apply(self.spec.config, self.state)
-        if nxt is None:
-            raise ScenarioError(f"{name}{args} is not enabled")
-        self.state = nxt
-        self.labels.append(inst.label)
-        self.states.append(nxt)
-        return self
-
-    def can(self, name: str, **args) -> bool:
-        inst = self._instance(name, args)
-        return inst.apply(self.spec.config, self.state) is not None
-
-    def trace(self):
-        from repro.checker.trace import Trace
-
-        return Trace(states=list(self.states), labels=list(self.labels))
+class Scenario(_BaseScenario):
+    """The generic scenario builder plus ZooKeeper composite steps."""
 
     # --- composite steps -----------------------------------------------------
 

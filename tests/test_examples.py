@@ -42,6 +42,14 @@ def test_conformance_checking():
     assert "current_epoch" in result.stdout
 
 
+def test_raft_quickstart():
+    result = run_example("raft_quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "voted_for" in result.stdout
+    assert "commit_index" in result.stdout
+    assert "NodeRestart" in result.stdout
+
+
 @pytest.mark.slow
 def test_custom_composition():
     result = run_example("custom_composition.py", timeout=420)
