@@ -146,20 +146,20 @@ def run_campaign_smoke(
 ):
     """Run a small conformance campaign; returns the report JSON (the
     same ``repro.campaign/3`` schema as ``python -m repro campaign``)."""
-    from repro.remix.campaign import ConformanceCampaign, parse_budget
+    from repro.remix.campaign import CampaignRequest, run_campaign
 
-    campaign = ConformanceCampaign(
+    request = CampaignRequest(
         seeds=seeds,
         traces=traces,
         max_steps=steps,
         seed=seed,
         workers=workers,
-        budget=parse_budget(budget) if budget else None,
+        budget=budget or None,
         shrink=shrink,
         adaptive=adaptive,
         directions=directions,
     )
-    return campaign.run().to_json()
+    return run_campaign(request).to_json()
 
 
 def main(argv=None):

@@ -11,7 +11,7 @@ volatile commit index) -- and prints the minimized repro traces.
 Run:  python examples/raft_quickstart.py
 """
 
-from repro.remix import ConformanceCampaign, system_plugin
+from repro.remix import CampaignRequest, run_campaign, system_plugin
 
 
 def main():
@@ -23,7 +23,7 @@ def main():
 
     print("\nCampaign: commit scenario x crash-restart-follower fault, "
           "both directions, with shrinking ...")
-    campaign = ConformanceCampaign(
+    request = CampaignRequest(
         system="raft",
         grains=("raft-coarse",),
         scenarios=("commit",),
@@ -33,7 +33,7 @@ def main():
         max_steps=6,
         shrink=True,
     )
-    report = campaign.run()
+    report = run_campaign(request)
     totals = report.totals
     print(f"  {totals['cells']} cells, {totals['traces']} traces, "
           f"{totals['distinct_findings']} distinct findings "

@@ -1,0 +1,36 @@
+"""Pluggable execution backends for campaign-style task fan-out.
+
+A backend maps a list of self-describing, JSON-able task messages over
+workers and returns results slotted by task index (so the output is
+independent of scheduling, worker count, or transport).  Three live
+here:
+
+- ``inline`` -- no workers, tasks run in the calling process (the
+  implicit fallback when one worker is requested or fork is
+  unavailable).
+- ``fork`` -- the historical :class:`~repro.checker.parallel.TaskPool`:
+  forked worker processes that inherit the parent's memory image
+  (warmed spec caches included).
+- ``socket`` -- worker *subprocesses* (or external joiners) connected
+  over TCP, executing newline-delimited JSON task frames.  The first
+  backend that can leave the host.
+
+All backends execute the same handler on the same task messages, which
+is what makes a campaign's report bitwise-identical across backends.
+"""
+
+from repro.checker.backends.base import (
+    BACKENDS,
+    ExecutionBackend,
+    InlineBackend,
+    create_backend,
+    resolve_handler,
+)
+
+__all__ = [
+    "BACKENDS",
+    "ExecutionBackend",
+    "InlineBackend",
+    "create_backend",
+    "resolve_handler",
+]

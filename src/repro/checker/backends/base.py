@@ -1,0 +1,131 @@
+"""The :class:`ExecutionBackend` interface and the inline reference
+implementation.
+
+A backend's contract is deliberately small:
+
+- ``map(tasks, deadline=None, on_result=None)`` runs every task through
+  the backend's *handler* and returns the results slotted by task
+  index.  Tasks not yet dispatched when the ``time.monotonic()``
+  ``deadline`` passes are skipped and come back as ``None``; a task
+  that raises surfaces as :class:`RuntimeError`.  ``on_result(index,
+  task, result)`` fires in *completion* order as results arrive --
+  that's the streaming hook the campaign service turns into
+  ``cell_done`` events.  It must never change the returned list.
+- ``close()`` releases workers/connections; ``map`` may be called any
+  number of times before it.
+
+Handlers are named by an importable ``"module:function"`` spec rather
+than passed as callables, so a backend whose workers live in fresh
+processes (the socket backend) can resolve the same function on the
+other side of the wire.  Tasks and results must be JSON-able for the
+same reason.
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from typing import Any, Callable, List, Optional, Sequence
+
+#: The backend names ``create_backend`` accepts (``--backend`` on the
+#: CLI).  ``inline`` is deliberately absent: it is the implicit
+#: fallback, not a user-facing choice.
+BACKENDS = ("fork", "socket")
+
+#: Signature of the streaming hook: ``(index, task, result)``.
+ResultHook = Callable[[int, Any, Any], None]
+
+
+def resolve_handler(spec: Any) -> Callable[[Any], Any]:
+    """Resolve a ``"module:function"`` handler spec to the callable.
+
+    Already-callable specs pass through untouched (handy for tests and
+    for the in-process backends)."""
+    if callable(spec):
+        return spec
+    module_name, _, attr = str(spec).partition(":")
+    if not module_name or not attr:
+        raise ValueError(
+            f"handler spec must look like 'module:function', got {spec!r}"
+        )
+    handler = getattr(importlib.import_module(module_name), attr)
+    if not callable(handler):
+        raise ValueError(f"handler {spec!r} resolved to a non-callable")
+    return handler
+
+
+class ExecutionBackend:
+    """Abstract base: map self-contained tasks over workers, slot the
+    results by index."""
+
+    #: Human-readable backend name (``"inline"``/``"fork"``/``"socket"``).
+    name = "abstract"
+
+    def map(
+        self,
+        tasks: Sequence[Any],
+        deadline: Optional[float] = None,
+        on_result: Optional[ResultHook] = None,
+    ) -> List[Optional[Any]]:
+        """Run every task; return results in task order (see module
+        docstring for the deadline/error/streaming contract)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release workers and transport resources (idempotent)."""
+
+
+class InlineBackend(ExecutionBackend):
+    """Run tasks in the calling process, one at a time.
+
+    The reference implementation of the contract, and the fallback when
+    parallelism is unavailable or pointless (``workers <= 1``)."""
+
+    name = "inline"
+
+    def __init__(self, handler: Any):
+        self._handler = resolve_handler(handler)
+
+    def map(
+        self,
+        tasks: Sequence[Any],
+        deadline: Optional[float] = None,
+        on_result: Optional[ResultHook] = None,
+    ) -> List[Optional[Any]]:
+        results: List[Optional[Any]] = []
+        for index, task in enumerate(tasks):
+            if deadline is not None and time.monotonic() >= deadline:
+                results.append(None)  # skipped: mirrors the pools
+                continue
+            result = self._handler(task)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, task, result)
+        return results
+
+
+def create_backend(
+    name: str, handler: Any, workers: int, **options: Any
+) -> ExecutionBackend:
+    """Construct the named backend, falling back to inline where the
+    named one cannot help.
+
+    ``fork`` degrades to :class:`InlineBackend` when a single worker is
+    requested or the platform lacks the ``fork`` start method (the
+    historical campaign behaviour).  ``socket`` always builds the real
+    thing -- even one worker exercises the wire, which is the point of
+    asking for it."""
+    if name == "fork":
+        from repro.checker import parallel
+        from repro.checker.backends.fork import ForkBackend
+
+        if workers > 1 and parallel.available():
+            return ForkBackend(handler, workers)
+        return InlineBackend(handler)
+    if name == "socket":
+        from repro.checker.backends.sockets import SocketBackend
+
+        return SocketBackend(handler, workers, **options)
+    raise ValueError(
+        f"unknown execution backend {name!r}; options: {list(BACKENDS)}"
+    )

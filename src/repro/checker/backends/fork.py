@@ -1,0 +1,36 @@
+"""The fork backend: :class:`~repro.checker.parallel.TaskPool` behind
+the :class:`~repro.checker.backends.base.ExecutionBackend` contract.
+
+Forked workers inherit the parent's memory image, so anything the
+campaign pre-warmed (composed specs, scripted prefixes) is free in
+every worker.  This is the default backend and the throughput baseline
+the socket backend must match bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.checker.backends.base import ExecutionBackend, ResultHook, resolve_handler
+from repro.checker.parallel import TaskPool
+
+
+class ForkBackend(ExecutionBackend):
+    """A :class:`TaskPool` of forked workers executing the handler."""
+
+    name = "fork"
+
+    def __init__(self, handler: Any, workers: int):
+        self._pool = TaskPool(resolve_handler(handler), workers)
+        self.workers = max(1, workers)
+
+    def map(
+        self,
+        tasks: Sequence[Any],
+        deadline: Optional[float] = None,
+        on_result: Optional[ResultHook] = None,
+    ) -> List[Optional[Any]]:
+        return self._pool.map(tasks, deadline=deadline, on_result=on_result)
+
+    def close(self) -> None:
+        self._pool.close()

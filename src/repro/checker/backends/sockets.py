@@ -1,0 +1,379 @@
+"""The socket backend: task fan-out to worker processes over TCP.
+
+The parent binds a listener (``127.0.0.1:0`` by default), spawns
+``workers`` subprocesses running ``python -m repro worker HOST:PORT``,
+and ships them self-describing task frames as newline-delimited JSON:
+
+    {"type": "task", "id": 3, "handler": "repro.remix.campaign:execute_campaign_task", "task": {...}}
+    {"type": "result", "id": 3, "ok": true, "result": {...}}
+
+Each frame names its handler by importable ``module:function`` spec and
+carries the complete task payload, so a worker needs nothing but the
+``repro`` package on its path -- no fork inheritance, no pickling, no
+shared filesystem.  External workers (another host, a container) can
+join the same listener with ``python -m repro worker``; the parent
+accepts late joiners mid-map and feeds them like any other.
+
+Determinism: dispatch is greedy (a worker gets a new task as soon as it
+replies) but results are slotted by task index, exactly like the fork
+:class:`~repro.checker.parallel.TaskPool` -- so a campaign over sockets
+merges bit-identically to the same campaign over fork.
+
+Failure semantics mirror the fork pool:
+
+- a task that *raises* in a worker re-raises here as ``RuntimeError``;
+- a worker that *dies* mid-task (crash, OOM kill, unplugged host) has
+  its in-flight task requeued at the front of the queue for a
+  surviving worker -- cells are reassigned, not lost;
+- with no survivors (and none able to join), remaining tasks come back
+  as ``None``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import selectors
+import socket
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.checker.backends.base import ExecutionBackend, ResultHook, resolve_handler
+
+#: Version tag every worker announces in its hello frame.
+PROTOCOL = "repro.backend.wire/1"
+
+_JSON_SEPARATORS = (",", ":")
+
+
+def _encode(message: Dict[str, Any]) -> bytes:
+    return json.dumps(message, separators=_JSON_SEPARATORS).encode("utf-8") + b"\n"
+
+
+class JsonLineConnection:
+    """One newline-delimited-JSON peer over a connected socket."""
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self._buffer = b""
+
+    def fileno(self) -> int:
+        return self.sock.fileno()
+
+    def send(self, message: Dict[str, Any]) -> None:
+        self.sock.sendall(_encode(message))
+
+    def recv(self) -> Optional[Dict[str, Any]]:
+        """Block until one complete frame arrives; ``None`` on EOF."""
+        while b"\n" not in self._buffer:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                return None
+            self._buffer += chunk
+        line, _, self._buffer = self._buffer.partition(b"\n")
+        return json.loads(line)
+
+    def read_ready(self) -> Optional[List[Dict[str, Any]]]:
+        """One non-blocking-ish read (call only when selectable):
+        returns every complete frame received so far, or ``None`` on
+        EOF/reset (the peer is gone)."""
+        try:
+            chunk = self.sock.recv(65536)
+        except OSError:
+            return None
+        if not chunk:
+            return None
+        self._buffer += chunk
+        frames: List[Dict[str, Any]] = []
+        while b"\n" in self._buffer:
+            line, _, self._buffer = self._buffer.partition(b"\n")
+            frames.append(json.loads(line))
+        return frames
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+def worker_main(host: str, port: int) -> None:
+    """The worker loop behind ``python -m repro worker HOST:PORT``.
+
+    Connects to the backend's listener, announces itself, then executes
+    task frames until a shutdown frame or EOF.  Handlers are resolved
+    from their ``module:function`` spec on first use and memoized, so a
+    long-lived worker pays the import (and any module-level cache
+    warming) once."""
+    conn = JsonLineConnection(socket.create_connection((host, port)))
+    handlers: Dict[str, Any] = {}
+    try:
+        conn.send({"type": "hello", "protocol": PROTOCOL, "pid": os.getpid()})
+        while True:
+            message = conn.recv()
+            if message is None or message.get("type") == "shutdown":
+                break
+            if message.get("type") != "task":
+                continue  # unknown frame types are ignored, not fatal
+            spec = message["handler"]
+            handler = handlers.get(spec)
+            if handler is None:
+                handler = handlers[spec] = resolve_handler(spec)
+            reply: Dict[str, Any] = {"type": "result", "id": message["id"]}
+            try:
+                reply["ok"] = True
+                reply["result"] = handler(message["task"])
+            except Exception as error:  # surfaced in the parent
+                reply = {
+                    "type": "result",
+                    "id": message["id"],
+                    "ok": False,
+                    "error": repr(error),
+                }
+            conn.send(reply)
+    except (BrokenPipeError, ConnectionResetError, KeyboardInterrupt):
+        pass  # the parent went away; nothing useful left to do
+    finally:
+        conn.close()
+
+
+def _worker_env() -> Dict[str, str]:
+    """Environment for spawned workers: make sure the ``repro`` package
+    the *parent* runs is importable in the child, even when the parent
+    got it from a pytest/pyproject ``pythonpath`` the child would not
+    inherit."""
+    import repro
+
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root + os.pathsep + existing if existing else package_root
+    )
+    return env
+
+
+class SocketBackend(ExecutionBackend):
+    """Fan tasks out to TCP-connected worker processes.
+
+    ``spawn=True`` (the default) launches ``workers`` local
+    subprocesses via ``python -m repro worker``; ``spawn=False`` binds
+    the listener and waits for external workers to join (print the
+    address from :attr:`address` and start them by hand)."""
+
+    name = "socket"
+
+    def __init__(
+        self,
+        handler: Any,
+        workers: int = 1,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        spawn: bool = True,
+        connect_timeout: float = 30.0,
+    ):
+        if callable(handler):
+            raise ValueError(
+                "socket backend needs an importable 'module:function' "
+                "handler spec (workers run in fresh processes)"
+            )
+        self.handler_spec = str(handler)
+        resolve_handler(self.handler_spec)  # fail fast on typos, locally
+        self.workers = max(1, workers)
+        self.connect_timeout = connect_timeout
+        self._spawn = spawn
+        self._ever_connected = False
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(128)
+        #: The ``(host, port)`` external workers should join.
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listener, selectors.EVENT_READ, "listener")
+        self._connections: List[JsonLineConnection] = []
+        self._processes: List[subprocess.Popen] = []
+        if spawn:
+            env = _worker_env()
+            for _ in range(self.workers):
+                self._processes.append(
+                    subprocess.Popen(
+                        [
+                            sys.executable,
+                            "-m",
+                            "repro",
+                            "worker",
+                            f"{self.address[0]}:{self.address[1]}",
+                        ],
+                        env=env,
+                        stdout=subprocess.DEVNULL,  # parent stdout may be a JSON report
+                    )
+                )
+
+    # ------------------------------------------------------ connections
+
+    def _accept(self) -> None:
+        try:
+            sock, _ = self._listener.accept()
+        except OSError:  # pragma: no cover
+            return
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        conn = JsonLineConnection(sock)
+        self._selector.register(sock, selectors.EVENT_READ, conn)
+        self._connections.append(conn)
+        self._ever_connected = True
+
+    def _drop(self, conn: JsonLineConnection) -> None:
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError):  # pragma: no cover
+            pass
+        if conn in self._connections:
+            self._connections.remove(conn)
+        conn.close()
+
+    def _workers_possible(self) -> bool:
+        """Could another worker still join?  In spawn mode that means a
+        spawned process is alive; with external workers we can never be
+        sure, so assume yes (bounded by the connect timeout)."""
+        if self._spawn:
+            return any(proc.poll() is None for proc in self._processes)
+        return True
+
+    def _wait_for_connection(self) -> None:
+        """Block until at least one worker is connected, a connect
+        timeout elapses, or no worker can ever join again.
+
+        Raises ``RuntimeError`` only when *no worker ever connected* --
+        once real work has been done, total worker loss degrades to
+        ``None`` results, mirroring the fork pool."""
+        deadline = time.monotonic() + self.connect_timeout
+        while not self._connections:
+            if not self._workers_possible():
+                if self._ever_connected:
+                    return
+                raise RuntimeError(
+                    "socket backend: all spawned workers exited before "
+                    "connecting (is the repro package importable in the "
+                    "worker interpreter?)"
+                )
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                if self._ever_connected:
+                    return
+                raise RuntimeError(
+                    f"socket backend: no worker connected to "
+                    f"{self.address[0]}:{self.address[1]} within "
+                    f"{self.connect_timeout:.0f}s"
+                )
+            for key, _ in self._selector.select(min(remaining, 0.2)):
+                if key.data == "listener":
+                    self._accept()
+
+    # ------------------------------------------------------------- map
+
+    def map(
+        self,
+        tasks: Sequence[Any],
+        deadline: Optional[float] = None,
+        on_result: Optional[ResultHook] = None,
+    ) -> List[Optional[Any]]:
+        results: List[Optional[Any]] = [None] * len(tasks)
+        unresolved = set(range(len(tasks)))
+        queue: List[int] = list(range(len(tasks)))
+        active: Dict[JsonLineConnection, int] = {}
+
+        def dispatch(conn: JsonLineConnection) -> None:
+            """Feed one queued task to an idle connection (skipping
+            deadline-expired ones, which stay ``None``)."""
+            while queue:
+                index = queue.pop(0)
+                if deadline is not None and time.monotonic() >= deadline:
+                    unresolved.discard(index)  # skipped
+                    continue
+                try:
+                    conn.send(
+                        {
+                            "type": "task",
+                            "id": index,
+                            "handler": self.handler_spec,
+                            "task": tasks[index],
+                        }
+                    )
+                except OSError:
+                    # Died between reply and redispatch: requeue and let
+                    # the event loop retire the connection.
+                    queue.insert(0, index)
+                    self._drop(conn)
+                    return
+                active[conn] = index
+                return
+
+        while unresolved:
+            if not self._connections:
+                self._wait_for_connection()
+                if not self._connections:
+                    # Permanent starvation: remaining tasks stay None,
+                    # exactly like the fork pool with no survivors.
+                    break
+            for conn in list(self._connections):
+                if conn not in active and queue:
+                    dispatch(conn)
+            if not active:
+                if not queue:
+                    break  # everything left was deadline-skipped
+                continue  # dispatch lost its connections; reconnect loop
+            for key, _ in self._selector.select(0.2):
+                if key.data == "listener":
+                    self._accept()  # late joiner: picks up work next turn
+                    continue
+                conn = key.data
+                frames = conn.read_ready()
+                if frames is None:
+                    # Worker died: reassign its in-flight task (the
+                    # graceful-loss path; the cell is requeued, not lost).
+                    self._drop(conn)
+                    if conn in active:
+                        queue.insert(0, active.pop(conn))
+                    continue
+                for message in frames:
+                    if message.get("type") != "result":
+                        continue  # hello and friends
+                    index = message["id"]
+                    if active.get(conn) == index:
+                        del active[conn]
+                    if not message.get("ok"):
+                        raise RuntimeError(
+                            f"task {index} failed: {message.get('error')}"
+                        )
+                    results[index] = message.get("result")
+                    unresolved.discard(index)
+                    if on_result is not None:
+                        on_result(index, tasks[index], results[index])
+        return results
+
+    def close(self) -> None:
+        for conn in list(self._connections):
+            try:
+                conn.send({"type": "shutdown"})
+            except OSError:
+                pass
+            self._drop(conn)
+        for proc in self._processes:
+            try:
+                proc.wait(timeout=2.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.terminate()
+                try:
+                    proc.wait(timeout=1.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+        self._processes = []
+        try:
+            self._selector.unregister(self._listener)
+        except (KeyError, ValueError):
+            pass
+        self._selector.close()
+        self._listener.close()

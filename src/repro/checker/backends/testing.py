@@ -1,0 +1,53 @@
+"""Handlers for exercising backends in the test-suite.
+
+They live in-package (rather than under ``tests/``) because socket
+workers run in fresh interpreters that import handlers by
+``module:function`` spec -- the test directory is not importable there,
+the installed package is.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict
+
+
+def echo(task: Any) -> Any:
+    """Return the task unchanged."""
+    return task
+
+
+def add_one(task: Dict[str, Any]) -> Dict[str, Any]:
+    """Return ``{"value": task["value"] + 1}``."""
+    return {"value": task["value"] + 1}
+
+
+def sleepy(task: Dict[str, Any]) -> Dict[str, Any]:
+    """Sleep ``task["sleep"]`` seconds, then echo ``task["value"]``."""
+    time.sleep(task.get("sleep", 0.0))
+    return {"value": task.get("value")}
+
+
+def boom(task: Dict[str, Any]) -> Dict[str, Any]:
+    """Raise ``ValueError`` when asked to, else echo.
+
+    Exercises the task-failure path (``RuntimeError`` in the parent)."""
+    if task.get("raise"):
+        raise ValueError(f"boom: {task.get('value')}")
+    return {"value": task.get("value")}
+
+
+def die_once(task: Dict[str, Any]) -> Dict[str, Any]:
+    """Kill the executing worker the *first* time a marked task runs.
+
+    ``task["marker"]`` is a filesystem path used as a has-this-task-run
+    flag: the first worker to execute the task creates the marker and
+    hard-exits without replying; the retry (on a surviving worker) sees
+    the marker and succeeds.  Exercises worker-loss reassignment."""
+    marker = task.get("marker")
+    if marker and not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write(str(os.getpid()))
+        os._exit(17)
+    return {"value": task.get("value"), "retried": bool(marker)}

@@ -148,6 +148,7 @@ class TaskPool(ForkPool):
         self,
         tasks: Sequence[Any],
         deadline: Optional[float] = None,
+        on_result: Optional[Callable[[int, Any, Any], None]] = None,
     ) -> List[Optional[Any]]:
         """Run every task; results arrive in task order.
 
@@ -158,6 +159,10 @@ class TaskPool(ForkPool):
         dies mid-task (OOM kill, segfault) is dropped and its in-flight
         task requeued onto the survivors; with no survivors the
         remaining tasks come back as ``None``.
+
+        ``on_result(index, task, result)`` fires in *completion* order
+        as results arrive (the streaming hook behind campaign events);
+        it never affects the returned list.
         """
         results: List[Optional[Any]] = [None] * len(tasks)
         active: Dict[Any, int] = {}
@@ -195,6 +200,8 @@ class TaskPool(ForkPool):
                 if not ok:
                     raise RuntimeError(f"task {index} failed: {payload}")
                 results[index] = payload
+                if on_result is not None:
+                    on_result(index, tasks[index], payload)
                 dispatch(connection)
         return results
 

@@ -7,11 +7,22 @@ Exposes the main workflows without writing Python:
 - ``campaign``    run a parallel conformance campaign over the
                   (grain x scenario x fault x seed) matrix of any
                   registered system plugin (``--system``)
+- ``serve``       run the long-lived campaign server (streams
+                  ``repro.campaign.event/1`` JSON-lines per request)
+- ``client``      send one campaign request to a server and stream
+                  its events to stdout
+- ``worker``      join a socket-backend listener as a remote worker
 - ``systems``     list the registered system plugins
 - ``bugs``        hunt each of the six paper bugs (a mini Table 4)
 - ``protocol``    verify the Zab protocol variants (§5.4)
 - ``efforts``     print the Table 3 effort metrics
 - ``lineage``     print the Figure 8 bug lineage
+
+The ``campaign``/``serve``/``client`` trio all speak the same
+serialized :class:`~repro.remix.request.CampaignRequest`:
+``campaign --dry-run`` prints it, ``campaign --request FILE`` (or
+``-`` for stdin) runs it, and ``serve``/``client`` move it over a
+socket.
 """
 
 from __future__ import annotations
@@ -127,43 +138,70 @@ def cmd_conformance(args) -> int:
     return 0 if report.conforms else 1
 
 
+def request_from_args(args):
+    """Build a :class:`CampaignRequest` straight from the ``campaign``
+    argparse namespace (the one flags->request seam; no per-flag
+    plumbing anywhere else)."""
+    from repro.remix.request import DIRECTIONS, CampaignRequest
+
+    directions = (
+        DIRECTIONS if args.directions == "both" else (args.directions,)
+    )
+    return CampaignRequest(
+        system=args.system,
+        directions=directions,
+        grains=args.grains,
+        scenarios=args.scenarios,
+        faults=args.faults,
+        seeds=args.seeds,
+        traces=args.traces,
+        max_steps=args.steps,
+        seed=args.seed,
+        workers=args.workers,
+        backend=args.backend,
+        budget=args.budget,
+        adaptive=args.adaptive,
+        shrink=args.shrink,
+    )
+
+
+def _load_request(source: str):
+    """Read a serialized ``CampaignRequest`` from a file (``-`` =
+    stdin).  Accepts either the bare request JSON or a server envelope
+    ``{"request": {...}}``."""
+    import json
+
+    from repro.remix.request import CampaignRequest
+
+    text = sys.stdin.read() if source == "-" else open(source).read()
+    data = json.loads(text)
+    if isinstance(data, dict) and "request" in data:
+        data = data["request"]
+    return CampaignRequest.from_json(data)
+
+
 def cmd_campaign(args) -> int:
     import json
 
     from repro.remix import spec_cache
-    from repro.remix.campaign import (
-        COMPAT_SCHEMAS,
-        DIRECTIONS,
-        ConformanceCampaign,
-        new_fingerprints,
-        parse_budget,
-    )
+    from repro.remix.campaign import COMPAT_SCHEMAS, new_fingerprints, run_campaign
+    from repro.remix.request import RequestError
 
     if args.spec_cache is not None:
         spec_cache.set_disk_cache_dir(args.spec_cache)
-    directions = (
-        DIRECTIONS if args.directions == "both" else (args.directions,)
-    )
     try:
-        campaign = ConformanceCampaign(
-            grains=args.grains,
-            scenarios=args.scenarios,
-            faults=args.faults,
-            directions=directions,
-            system=args.system,
-            seeds=args.seeds,
-            traces=args.traces,
-            max_steps=args.steps,
-            seed=args.seed,
-            workers=args.workers,
-            budget=parse_budget(args.budget) if args.budget else None,
-            adaptive=args.adaptive,
-            shrink=args.shrink,
+        request = (
+            _load_request(args.request)
+            if args.request
+            else request_from_args(args)
         )
-    except (KeyError, ValueError) as error:
+    except (RequestError, KeyError, ValueError, OSError) as error:
         message = error.args[0] if error.args else str(error)
         print(f"campaign: {message}", file=sys.stderr)
         return 2
+    if args.dry_run:
+        print(json.dumps(request.to_json(), indent=2))
+        return 0
     baseline = None
     if args.baseline:
         # Load and validate before the (multi-minute) campaign runs: a
@@ -182,7 +220,7 @@ def cmd_campaign(args) -> int:
                 file=sys.stderr,
             )
             return 2
-    report = campaign.run()
+    report = run_campaign(request)
     payload = report.to_json()
     # Warm-start accounting goes to stderr so `--json -` stdout stays
     # pure JSON; disk hits > 0 means this invocation reused prefixes a
@@ -267,6 +305,104 @@ def _write_repros(directory: str, report, stream=sys.stdout) -> None:
         f"{len(report.findings)} repro traces written to {directory}/",
         file=stream,
     )
+
+
+def cmd_serve(args) -> int:
+    import json
+
+    from repro.remix import spec_cache
+    from repro.remix.request import RequestError
+    from repro.remix.service import CampaignServer, serve_request
+
+    if args.spec_cache is not None:
+        spec_cache.set_disk_cache_dir(args.spec_cache)
+    if args.request:
+        # One-shot offline mode: run the request in-process and stream
+        # its repro.campaign.event/1 lines to stdout (no TCP involved).
+        try:
+            request = _load_request(args.request)
+        except (RequestError, ValueError, OSError) as error:
+            message = error.args[0] if error.args else str(error)
+            print(f"serve: {message}", file=sys.stderr)
+            return 2
+        report = serve_request(
+            request,
+            lambda event: print(json.dumps(event), flush=True),
+            heartbeat=args.heartbeat,
+        )
+        return 0 if report is not None else 1
+    server = CampaignServer(
+        host=args.host,
+        port=args.port,
+        heartbeat=args.heartbeat,
+        max_requests=args.max_requests,
+    )
+    host, port = server.start()
+    # The first stdout line announces the bound address (ephemeral
+    # ports included), so scripts can connect without racing logs.
+    print(
+        json.dumps({"event": "serving", "host": host, "port": port}),
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def cmd_client(args) -> int:
+    import json
+    import socket
+
+    from repro.remix.request import RequestError
+
+    try:
+        request = _load_request(args.request)
+    except (RequestError, ValueError, OSError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"client: {message}", file=sys.stderr)
+        return 2
+    payload = {"request": request.to_json()}
+    if args.deadline is not None:
+        payload["deadline"] = args.deadline
+    try:
+        sock = socket.create_connection((args.host, args.port), timeout=30)
+    except OSError as error:
+        print(f"client: {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 2
+    outcome = 1  # stream ended without a report
+    with sock:
+        sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+        sock.settimeout(None)
+        with sock.makefile("r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if not line:
+                    continue
+                print(line, flush=True)
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    continue
+                if event.get("event") == "report":
+                    outcome = 0
+                elif event.get("event") == "error":
+                    outcome = 1
+    return outcome
+
+
+def cmd_worker(args) -> int:
+    from repro.checker.backends.sockets import worker_main
+
+    host, _, port = args.address.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"worker: expected HOST:PORT, got {args.address!r}", file=sys.stderr)
+        return 2
+    worker_main(host, int(port))
+    return 0
 
 
 def _hunt_bug(args, spec_name, config, family, instance, masked, variant):
@@ -443,7 +579,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_camp.add_argument(
         "--workers", type=int, default=1,
-        help="forked campaign workers (1 = inline)",
+        help="campaign workers (1 = inline for the fork backend)",
+    )
+    p_camp.add_argument(
+        "--backend", choices=["fork", "socket"], default="fork",
+        help="execution backend: 'fork' (forked TaskPool workers, the "
+        "default) or 'socket' (TCP worker subprocesses; reports are "
+        "bitwise-identical across backends)",
     )
     p_camp.add_argument("--seed", type=int, default=0)
     p_camp.add_argument(
@@ -475,7 +617,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="on-disk spec cache directory ('off' disables persistence; "
         "default: $REPRO_SPEC_CACHE_DIR or ~/.cache/repro-spec-cache)",
     )
+    p_camp.add_argument(
+        "--request", default=None, metavar="FILE",
+        help="run a serialized CampaignRequest JSON instead of flags "
+        "('-' reads stdin; the same JSON serve/client speak)",
+    )
+    p_camp.add_argument(
+        "--dry-run", action="store_true",
+        help="print the normalized CampaignRequest JSON and exit "
+        "(feed it back via --request or to serve/client)",
+    )
     p_camp.set_defaults(fn=cmd_campaign)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived campaign server streaming repro.campaign.event/1 "
+        "JSON-lines per request",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0 = ephemeral; the bound address is "
+        "announced as the first stdout line)",
+    )
+    p_serve.add_argument(
+        "--heartbeat", type=float, default=5.0,
+        help="seconds between heartbeat events on an active stream",
+    )
+    p_serve.add_argument(
+        "--max-requests", type=int, default=None,
+        help="shut down after serving this many requests (CI harness)",
+    )
+    p_serve.add_argument(
+        "--request", default=None, metavar="FILE",
+        help="one-shot offline mode: run this request JSON ('-' = stdin) "
+        "in-process, stream its events to stdout, and exit",
+    )
+    p_serve.add_argument(
+        "--spec-cache", default=None, metavar="DIR",
+        help="on-disk spec cache directory (shared across requests)",
+    )
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_client = sub.add_parser(
+        "client",
+        help="send one campaign request to a server, stream events to stdout",
+    )
+    p_client.add_argument("--host", default="127.0.0.1")
+    p_client.add_argument("--port", type=int, required=True)
+    p_client.add_argument(
+        "--request", default="-", metavar="FILE",
+        help="CampaignRequest JSON to send (default '-' = stdin)",
+    )
+    p_client.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-request wall-clock deadline in seconds (the server "
+        "folds it into the campaign budget)",
+    )
+    p_client.set_defaults(fn=cmd_client)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="join a socket-backend listener as a remote campaign worker",
+    )
+    p_worker.add_argument(
+        "address", metavar="HOST:PORT",
+        help="the socket backend's listener address",
+    )
+    p_worker.set_defaults(fn=cmd_worker)
 
     p_hunt = sub.add_parser("bugs", help="hunt the six paper bugs")
     p_hunt.add_argument("--max-states", type=int, default=1_000_000)

@@ -4,6 +4,7 @@ from repro.remix.campaign import (
     CampaignJob,
     CampaignReport,
     ConformanceCampaign,
+    run_campaign,
     validation_findings,
 )
 from repro.remix.conformance import (
@@ -33,6 +34,8 @@ from repro.remix.registry import (
     registered_systems,
     system_plugin,
 )
+from repro.remix.request import CampaignRequest, RequestError
+from repro.remix.service import EVENT_SCHEMA, CampaignServer, serve_request
 from repro.remix.spec_cache import cached_mapping, cached_prefix, cached_spec
 from repro.remix.trace_validation import (
     ImplExplorer,
@@ -46,8 +49,12 @@ __all__ = [
     "COMPARED_VARIABLES",
     "CampaignJob",
     "CampaignReport",
+    "CampaignRequest",
+    "CampaignServer",
     "ConformanceCampaign",
     "ConformanceChecker",
+    "EVENT_SCHEMA",
+    "RequestError",
     "ConformanceOracle",
     "ConformanceReport",
     "Coordinator",
@@ -70,6 +77,8 @@ __all__ = [
     "register_system",
     "registered_systems",
     "replay_min_trace",
+    "run_campaign",
+    "serve_request",
     "shrink_finding",
     "system_plugin",
     "unreplayable_min_traces",

@@ -78,17 +78,24 @@ import hashlib
 import itertools
 import json
 import time
+import warnings
 import zlib
 from collections.abc import Mapping as ABCMapping
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.checker import parallel
-from repro.checker.parallel import TaskPool
+from repro.checker.backends import ExecutionBackend, create_backend
 from repro.checker.random_walk import RandomWalker
 from repro.checker.trace import Trace
 from repro.remix.coordinator import Coordinator
 from repro.remix.registry import system_plugin
+from repro.remix.request import (  # redundant aliases: re-exports (the historical home)
+    DEFAULT_DIRECTIONS as DEFAULT_DIRECTIONS,
+    DIRECTIONS as DIRECTIONS,
+    CampaignRequest as CampaignRequest,
+    RequestError as RequestError,
+    parse_budget as parse_budget,
+)
 from repro.remix.spec_cache import cached_mapping, cached_prefix, cached_spec
 from repro.remix.trace_validation import TraceValidator, ValidationReport
 from repro.system.plugin import ScenarioError
@@ -116,11 +123,9 @@ DEFAULT_GRAINS: Tuple[str, ...] = ("mSpec-1", "mSpec-2", "mSpec-3")
 DEFAULT_SCENARIOS: Tuple[str, ...] = tuple(SCENARIO_PREFIXES)
 DEFAULT_FAULTS: Tuple[str, ...] = tuple(s.name for s in FAULT_SCHEDULES)
 
-#: The two conformance directions a campaign can schedule.
-DIRECTIONS: Tuple[str, ...] = ("topdown", "bottomup")
-
-#: Default direction axis: top-down only, matching pre-/3 campaigns.
-DEFAULT_DIRECTIONS: Tuple[str, ...] = ("topdown",)
+#: Handler spec every execution backend resolves for campaign tasks;
+#: the socket backend ships it inside each task frame.
+TASK_HANDLER = "repro.remix.campaign:execute_campaign_task"
 
 
 def campaign_config() -> ZkConfig:
@@ -141,27 +146,6 @@ def config_from_meta(meta: Dict[str, Any]) -> Any:
     the default variant)."""
     system = meta.get("system", "zookeeper")
     return system_plugin(system).config_from_meta(meta)
-
-
-def parse_budget(text: str) -> float:
-    """Parse a wall-clock budget like ``"5s"``, ``"2m"`` or ``"90"``."""
-    text = text.strip().lower()
-    scale = 1.0
-    if text.endswith("ms"):
-        scale, text = 0.001, text[:-2]
-    elif text.endswith("s"):
-        scale, text = 1.0, text[:-1]
-    elif text.endswith("m"):
-        scale, text = 60.0, text[:-1]
-    elif text.endswith("h"):
-        scale, text = 3600.0, text[:-1]
-    try:
-        value = float(text) * scale
-    except ValueError:
-        raise ValueError(f"unparseable budget {text!r}") from None
-    if value <= 0:
-        raise ValueError(f"budget must be positive, got {value}")
-    return value
 
 
 # ------------------------------------------------------------ fingerprints
@@ -516,6 +500,48 @@ def run_validation_cell(job: CampaignJob, config: ZkConfig) -> Dict[str, Any]:
     return cell
 
 
+def execute_campaign_task(message: Dict[str, Any]) -> Any:
+    """Execute one self-describing campaign task message.
+
+    This is the single worker entry point behind *every* execution
+    backend (inline, fork, socket) -- one code path per cell is what
+    makes the merged report bitwise-identical across backends.  The
+    message is plain JSON: it names the system, carries the serialized
+    config, and describes either a matrix cell or a shrink job::
+
+        {"kind": "cell", "system": "zookeeper", "config": {...},
+         "job": {"index": 0, "grain": "mSpec-1", "scenario": "election",
+                 "fault": "none", "seed": 7, "traces": 2,
+                 "max_steps": 12, "direction": "topdown",
+                 "system": "zookeeper"}}
+        {"kind": "shrink", "system": ..., "config": {...},
+         "finding": {...}, "shrink_rounds": 10}
+
+    Results are plain JSON too, so the message can travel over any
+    transport (a fork pipe, a TCP frame) without pickling.
+    """
+    system = message.get("system", "zookeeper")
+    config = system_plugin(system).config_from_meta(
+        {"system": system, "config": message.get("config", {})}
+    )
+    kind = message.get("kind")
+    if kind == "cell":
+        job = CampaignJob(**message["job"])
+        if job.direction == "bottomup":
+            return run_validation_cell(job, config)
+        return run_cell(job, config)
+    if kind == "shrink":
+        from repro.remix.minimize import shrink_finding
+
+        return shrink_finding(
+            message["finding"],
+            config,
+            message.get("shrink_rounds", 10),
+            system=system,
+        )
+    raise ValueError(f"unknown campaign task kind {kind!r}")
+
+
 # ------------------------------------------------------------ the report
 
 
@@ -725,16 +751,47 @@ def allocate_round(
 
 
 class ConformanceCampaign:
-    """Enumerate the matrix, fan it across workers, merge the report.
+    """Enumerate the matrix, fan it across an execution backend, merge
+    the report.
 
-    ``adaptive=True`` schedules the same total job budget in rounds that
-    chase novel-fingerprint yield instead of enumerating uniformly;
-    ``shrink=True`` appends the post-merge minimization stage (see the
-    module docstring).
+    Takes one :class:`~repro.remix.request.CampaignRequest` -- already
+    normalized and validated -- as its single argument; the legacy
+    keyword form survives as the :meth:`from_kwargs` deprecation shim.
+    ``adaptive=True`` on the request schedules the same total job
+    budget in rounds that chase novel-fingerprint yield instead of
+    enumerating uniformly; ``shrink=True`` appends the post-merge
+    minimization stage (see the module docstring).
     """
 
-    def __init__(
-        self,
+    def __init__(self, request: CampaignRequest):
+        if not isinstance(request, CampaignRequest):
+            raise TypeError(
+                "ConformanceCampaign takes a CampaignRequest; the old "
+                "keyword form lives on as "
+                "ConformanceCampaign.from_kwargs(...)"
+            )
+        self.request = request
+        self.system = request.system
+        self.plugin = system_plugin(request.system)
+        self.grains = tuple(request.grains)
+        self.scenarios = tuple(request.scenarios)
+        self.faults = tuple(request.faults)
+        self.directions = tuple(request.directions)
+        self.seeds = request.seeds
+        self.traces = request.traces
+        self.max_steps = request.max_steps
+        self.seed = request.seed
+        self.workers = request.workers
+        self.backend = request.backend
+        self.budget = request.budget
+        self.config = request.config_object()
+        self.adaptive = request.adaptive
+        self.shrink = request.shrink
+        self.shrink_rounds = request.shrink_rounds
+
+    @classmethod
+    def from_kwargs(
+        cls,
         grains: Optional[Sequence[str]] = None,
         scenarios: Optional[Sequence[str]] = None,
         faults: Optional[Sequence[str]] = None,
@@ -750,55 +807,40 @@ class ConformanceCampaign:
         shrink_rounds: int = 10,
         directions: Sequence[str] = DEFAULT_DIRECTIONS,
         system: str = "zookeeper",
-    ):
-        self.system = system
-        self.plugin = system_plugin(system)  # raises for unknown systems
-        self.grains = (
-            tuple(grains) if grains is not None else tuple(self.plugin.grains)
+        backend: str = "fork",
+    ) -> "ConformanceCampaign":
+        """Deprecation shim for the historical 17-kwarg constructor.
+
+        Builds the equivalent :class:`CampaignRequest` (identical
+        normalization, validation, and report), so callers migrate by
+        constructing the request themselves."""
+        warnings.warn(
+            "ConformanceCampaign.from_kwargs() is deprecated; build a "
+            "CampaignRequest and call ConformanceCampaign(request) or "
+            "run_campaign(request)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        self.scenarios = (
-            tuple(scenarios)
-            if scenarios is not None
-            else self.plugin.scenario_names()
+        return cls(
+            CampaignRequest(
+                system=system,
+                directions=directions,
+                grains=grains,
+                scenarios=scenarios,
+                faults=faults,
+                seeds=seeds,
+                traces=traces,
+                max_steps=max_steps,
+                seed=seed,
+                workers=workers,
+                backend=backend,
+                budget=budget,
+                adaptive=adaptive,
+                shrink=shrink,
+                shrink_rounds=shrink_rounds,
+                config=config,
+            )
         )
-        self.faults = (
-            tuple(faults) if faults is not None else self.plugin.fault_names()
-        )
-        self.directions = tuple(directions)
-        self.seeds = max(1, seeds)
-        self.traces = traces
-        self.max_steps = max_steps
-        self.seed = seed
-        self.workers = max(1, workers)
-        self.budget = budget
-        self.config = config or self.plugin.campaign_config()
-        self.adaptive = adaptive
-        self.shrink = shrink
-        self.shrink_rounds = shrink_rounds
-        for name in self.directions:
-            if name not in DIRECTIONS:
-                raise KeyError(
-                    f"unknown direction {name!r}; options: {list(DIRECTIONS)}"
-                )
-        note = (
-            " (SysSpec/mSpec-4 have no code-level action mapping)"
-            if self.system == "zookeeper"
-            else ""
-        )
-        for name in self.grains:
-            if name not in self.plugin.grains:
-                raise KeyError(
-                    f"unknown or unmappable grain {name!r}; options: "
-                    f"{list(self.plugin.grains)}{note}"
-                )
-        for name in self.faults:
-            self.plugin.fault_schedule(name)  # validate early
-        for name in self.scenarios:
-            if name not in self.plugin.scenario_prefixes:
-                raise KeyError(
-                    f"unknown scenario {name!r}; options: "
-                    f"{list(self.plugin.scenario_prefixes)}"
-                )
 
     def jobs(self) -> List[CampaignJob]:
         """The full matrix, in deterministic enumeration order (the
@@ -827,38 +869,32 @@ class ConformanceCampaign:
             )
         return out
 
-    def _dispatch(self, task: Tuple[str, Any]) -> Any:
-        """Worker entry point for both stages (one forked pool serves the
-        matrix and the shrink stage; results are slotted by task index)."""
-        kind, payload = task
-        if kind == "cell":
-            if payload.direction == "bottomup":
-                return run_validation_cell(payload, self.config)
-            return run_cell(payload, self.config)
-        from repro.remix.minimize import shrink_finding
+    def _cell_task(self, job: CampaignJob) -> Dict[str, Any]:
+        """The self-describing task message for one matrix cell (what
+        :func:`execute_campaign_task` decodes on the other side of any
+        backend's transport)."""
+        return {
+            "kind": "cell",
+            "system": self.system,
+            "config": dict(self.request.config),
+            "job": asdict(job),
+        }
 
-        return shrink_finding(
-            payload, self.config, self.shrink_rounds, system=self.system
-        )
-
-    def _map(
-        self,
-        pool: Optional[TaskPool],
-        tasks: Sequence[Tuple[str, Any]],
-        deadline: Optional[float],
-    ) -> List[Optional[Any]]:
-        if pool is not None:
-            return pool.map(tasks, deadline=deadline)
-        results: List[Optional[Any]] = []
-        for task in tasks:
-            if deadline is not None and time.monotonic() >= deadline:
-                results.append(None)
-                continue
-            results.append(self._dispatch(task))
-        return results
+    def _shrink_task(self, finding: Dict[str, Any]) -> Dict[str, Any]:
+        """The self-describing task message for one shrink job."""
+        return {
+            "kind": "shrink",
+            "system": self.system,
+            "config": dict(self.request.config),
+            "finding": dict(finding),
+            "shrink_rounds": self.shrink_rounds,
+        }
 
     def _run_adaptive(
-        self, pool: Optional[TaskPool], deadline: Optional[float]
+        self,
+        backend: ExecutionBackend,
+        deadline: Optional[float],
+        on_cell: Optional[Callable[[int, Any, Any], None]],
     ) -> Tuple[List[CampaignJob], List[Optional[Dict[str, Any]]]]:
         """Round-based scheduling under the uniform matrix's job budget.
 
@@ -910,8 +946,10 @@ class ConformanceCampaign:
                     )
                 )
                 sampled[index] += 1
-            round_results = self._map(
-                pool, [("cell", job) for job in round_jobs], deadline
+            round_results = backend.map(
+                [self._cell_task(job) for job in round_jobs],
+                deadline=deadline,
+                on_result=on_cell,
             )
             for job, result in zip(round_jobs, round_results):
                 index = cell_index[
@@ -927,10 +965,13 @@ class ConformanceCampaign:
         return jobs, results
 
     def _attach_min_traces(
-        self, report: CampaignReport, pool: Optional[TaskPool]
+        self,
+        report: CampaignReport,
+        backend: ExecutionBackend,
+        progress: Optional[Callable[[Dict[str, Any]], None]],
     ) -> None:
         """The post-merge shrink stage: minimize each distinct finding's
-        rebuilt witness across the pool and attach the ``min_trace``.
+        rebuilt witness across the backend and attach the ``min_trace``.
 
         Runs outside the wall-clock budget window: the budget governs
         exploration; minimization cost is proportional to the (small)
@@ -938,8 +979,20 @@ class ConformanceCampaign:
         """
         if not report.findings:
             return
-        tasks = [("shrink", dict(finding)) for finding in report.findings]
-        results = self._map(pool, tasks, deadline=None)
+        tasks = [self._shrink_task(finding) for finding in report.findings]
+
+        def on_shrunk(index: int, task: Any, payload: Any) -> None:
+            if progress is None or payload is None:
+                return
+            progress(
+                {
+                    "event": "shrunk",
+                    "fingerprint": report.findings[index]["fingerprint"],
+                    "min_trace": payload,
+                }
+            )
+
+        results = backend.map(tasks, deadline=None, on_result=on_shrunk)
         for finding, payload in zip(report.findings, results):
             finding["min_trace"] = (
                 payload if payload is not None else {"status": "skipped"}
@@ -948,7 +1001,18 @@ class ConformanceCampaign:
         # are one behaviour: fold them into alias groups.
         report.findings[:] = dedup_min_traces(report.findings)
 
-    def run(self) -> CampaignReport:
+    def run(
+        self, progress: Optional[Callable[[Dict[str, Any]], None]] = None
+    ) -> CampaignReport:
+        """Run the campaign and return the merged report.
+
+        ``progress`` is the streaming hook: it receives plain-dict
+        events in completion order -- ``cell_done`` per finished cell,
+        ``finding`` on each first-seen fingerprint, ``shrunk`` per
+        minimized finding -- while the returned report stays exactly as
+        deterministic as before (events never influence the merge).
+        The campaign service wraps these into the
+        ``repro.campaign.event/1`` wire schema."""
         started = time.monotonic()
         deadline = None if self.budget is None else started + self.budget
         # Pre-warm the spec cache in the parent: O(grains) compositions,
@@ -975,16 +1039,40 @@ class ConformanceCampaign:
                     except ScenarioError:
                         pass  # the cell will report itself inapplicable
 
-        pool: Optional[TaskPool] = None
-        if self.workers > 1 and parallel.available():
-            pool = TaskPool(self._dispatch, self.workers)
+        backend = create_backend(self.backend, TASK_HANDLER, self.workers)
+        emitted: set = set()
+
+        def on_cell(index: int, task: Dict[str, Any], result: Any) -> None:
+            if progress is None:
+                return
+            job_info = task["job"]
+            cell = (
+                {k: v for k, v in result.items() if k != "findings"}
+                if result is not None
+                else None
+            )
+            progress(
+                {
+                    "event": "cell_done",
+                    "index": job_info["index"],
+                    "cell_id": CampaignJob(**job_info).cell_id,
+                    "cell": cell,
+                }
+            )
+            for finding in (result or {}).get("findings", ()):
+                if finding["fingerprint"] not in emitted:
+                    emitted.add(finding["fingerprint"])
+                    progress({"event": "finding", "finding": finding})
+
         try:
             if self.adaptive:
-                jobs, results = self._run_adaptive(pool, deadline)
+                jobs, results = self._run_adaptive(backend, deadline, on_cell)
             else:
                 jobs = self.jobs()
-                results = self._map(
-                    pool, [("cell", job) for job in jobs], deadline
+                results = backend.map(
+                    [self._cell_task(job) for job in jobs],
+                    deadline=deadline,
+                    on_result=on_cell,
                 )
             meta = {
                 "system": self.system,
@@ -1004,12 +1092,25 @@ class ConformanceCampaign:
             }
             report = merge_cells(meta, jobs, results)
             if self.shrink:
-                self._attach_min_traces(report, pool)
+                self._attach_min_traces(report, backend, progress)
             meta["elapsed_seconds"] = round(time.monotonic() - started, 3)
             return report
         finally:
-            if pool is not None:
-                pool.close()
+            backend.close()
+
+
+def run_campaign(
+    request: CampaignRequest,
+    *,
+    progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> CampaignReport:
+    """Run one campaign request end to end: the single programmatic
+    entry point behind the CLI, the campaign server, benchmarks, and
+    tests.
+
+    ``progress`` streams :meth:`ConformanceCampaign.run` events; the
+    returned report depends only on the request."""
+    return ConformanceCampaign(request).run(progress=progress)
 
 
 def new_fingerprints(

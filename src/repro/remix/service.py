@@ -1,0 +1,266 @@
+"""The campaign server: conformance checking as a long-lived service.
+
+``python -m repro serve`` binds a TCP listener and turns each client
+connection into one streamed campaign:
+
+1. the client sends a single JSON line -- either a bare serialized
+   :class:`~repro.remix.request.CampaignRequest` or an envelope
+   ``{"request": {...}, "deadline": 30.0}`` (the deadline, in seconds,
+   folds into the campaign's wall-clock budget);
+2. the server streams back newline-delimited ``repro.campaign.event/1``
+   JSON events while the campaign runs, and closes the connection after
+   the terminal event.
+
+The event stream (every event carries ``schema``, the per-connection
+``id``, and ``elapsed`` seconds):
+
+========== =============================================================
+event      payload
+========== =============================================================
+accepted   ``request`` -- the normalized request about to run
+cell_done  ``index``, ``cell_id``, ``cell`` (stats sans findings)
+finding    ``finding`` -- first sighting of a fingerprint, full record
+shrunk     ``fingerprint``, ``min_trace`` -- one finding minimized
+heartbeat  (liveness only; cadence is the server's ``heartbeat``)
+report     ``report`` -- the full ``repro.campaign/3`` JSON;
+           ``spec_cache`` -- this request's cache-stats delta
+error      ``message`` -- the request failed (bad JSON, bad axis
+           values, or a campaign crash); terminal like ``report``
+========== =============================================================
+
+What makes this a *service* rather than a loop around the CLI: the
+process is resident, so the process-global spec cache -- compiled
+specs, action mappings, scripted scenario/fault prefixes, plus the
+on-disk layer -- stays warm across requests.  The second request for a
+grain skips straight past composition (its ``spec_cache`` delta shows
+hits, no misses), which is exactly the economics the ROADMAP's
+checking-as-a-service north star needs.  Requests run concurrently
+(one thread each; cells fan out through each campaign's own execution
+backend), and a client that disconnects mid-stream just stops
+receiving events -- the campaign finishes and the next request still
+benefits from the caches it warmed.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.remix import spec_cache
+from repro.remix.campaign import run_campaign
+from repro.remix.request import CampaignRequest, RequestError
+
+#: Version tag of the event stream; bump on breaking schema changes.
+EVENT_SCHEMA = "repro.campaign.event/1"
+
+
+def serve_request(
+    request: CampaignRequest,
+    emit: Callable[[Dict[str, Any]], None],
+    *,
+    request_id: int = 1,
+    heartbeat: Optional[float] = None,
+) -> Optional[Any]:
+    """Run one campaign request, emitting the full event stream.
+
+    The transport-free core of the server (also behind ``python -m
+    repro serve --request FILE``): ``emit`` receives every
+    ``repro.campaign.event/1`` dict in order -- ``accepted`` first,
+    then streaming ``cell_done``/``finding``/``shrunk`` (and
+    ``heartbeat`` from a timer thread when ``heartbeat`` is set),
+    terminated by exactly one ``report`` or ``error``.  Returns the
+    :class:`~repro.remix.campaign.CampaignReport`, or ``None`` when the
+    request failed (the ``error`` event has the story).
+    """
+    started = time.monotonic()
+
+    def event(payload: Dict[str, Any]) -> None:
+        emit(
+            {
+                "schema": EVENT_SCHEMA,
+                "id": request_id,
+                "elapsed": round(time.monotonic() - started, 3),
+                **payload,
+            }
+        )
+
+    stats_before = dict(spec_cache.stats())
+    event({"event": "accepted", "request": request.to_json()})
+    done = threading.Event()
+    beat_thread = None
+    if heartbeat and heartbeat > 0:
+        def beat() -> None:
+            while not done.wait(heartbeat):
+                event({"event": "heartbeat"})
+
+        beat_thread = threading.Thread(target=beat, daemon=True)
+        beat_thread.start()
+    try:
+        report = run_campaign(request, progress=event)
+    except Exception as error:
+        event({"event": "error", "message": str(error) or repr(error)})
+        return None
+    finally:
+        done.set()
+        if beat_thread is not None:
+            beat_thread.join()
+    stats_after = spec_cache.stats()
+    delta = {
+        key: stats_after[key] - stats_before.get(key, 0)
+        for key in stats_after
+    }
+    event({"event": "report", "report": report.to_json(), "spec_cache": delta})
+    return report
+
+
+class CampaignServer:
+    """Accept campaign requests over TCP, one streamed campaign per
+    connection (see the module docstring for the wire protocol)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        heartbeat: float = 5.0,
+        max_requests: Optional[int] = None,
+    ):
+        self.heartbeat = heartbeat
+        self.max_requests = max_requests
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(16)
+        #: The bound ``(host, port)`` (resolves ephemeral port 0).
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._stopping = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._clients: list = []
+        self._served = 0
+
+    def start(self) -> Tuple[str, int]:
+        """Start the accept loop in a daemon thread; returns the bound
+        address."""
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True
+        )
+        self._accept_thread.start()
+        return self.address
+
+    def serve_forever(self) -> None:
+        """Block until the server stops (``max_requests`` served, or
+        :meth:`stop` from another thread)."""
+        if self._accept_thread is None:
+            self.start()
+        self._accept_thread.join()
+        for thread in list(self._clients):
+            thread.join()
+
+    def stop(self) -> None:
+        """Stop accepting; in-flight requests run to completion."""
+        self._stopping.set()
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    # ----------------------------------------------------------- internals
+
+    def _accept_loop(self) -> None:
+        self._listener.settimeout(0.2)
+        while not self._stopping.is_set():
+            if (
+                self.max_requests is not None
+                and self._served >= self.max_requests
+            ):
+                break
+            try:
+                sock, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            self._served += 1
+            thread = threading.Thread(
+                target=self._handle_client,
+                args=(sock, self._served),
+                daemon=True,
+            )
+            self._clients.append(thread)
+            thread.start()
+        self.stop()
+        # Reap finished handlers so serve_forever joins a stable list.
+        self._clients = [t for t in self._clients if t.is_alive()]
+
+    def _handle_client(self, sock: socket.socket, request_id: int) -> None:
+        write_lock = threading.Lock()
+        client_gone = threading.Event()
+
+        def emit(event: Dict[str, Any]) -> None:
+            if client_gone.is_set():
+                return  # keep the campaign running; just drop events
+            line = (json.dumps(event) + "\n").encode("utf-8")
+            with write_lock:
+                try:
+                    sock.sendall(line)
+                except OSError:
+                    client_gone.set()
+
+        try:
+            sock.settimeout(30.0)
+            reader = sock.makefile("r", encoding="utf-8")
+            try:
+                line = reader.readline()
+                data = json.loads(line) if line.strip() else None
+            except (OSError, ValueError) as error:
+                emit(
+                    {
+                        "schema": EVENT_SCHEMA,
+                        "id": request_id,
+                        "elapsed": 0.0,
+                        "event": "error",
+                        "message": f"bad request line: {error}",
+                    }
+                )
+                return
+            finally:
+                reader.close()
+            sock.settimeout(None)
+            deadline = None
+            if isinstance(data, dict) and "request" in data:
+                deadline = data.get("deadline")
+                data = data["request"]
+            try:
+                request = CampaignRequest.from_json(data)
+                if deadline is not None:
+                    budget = (
+                        min(request.budget, float(deadline))
+                        if request.budget is not None
+                        else float(deadline)
+                    )
+                    request = request.with_options(budget=budget)
+            except (RequestError, TypeError, ValueError) as error:
+                message = error.args[0] if error.args else str(error)
+                emit(
+                    {
+                        "schema": EVENT_SCHEMA,
+                        "id": request_id,
+                        "elapsed": 0.0,
+                        "event": "error",
+                        "message": message,
+                    }
+                )
+                return
+            serve_request(
+                request,
+                emit,
+                request_id=request_id,
+                heartbeat=self.heartbeat,
+            )
+        finally:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass

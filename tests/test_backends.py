@@ -1,0 +1,185 @@
+"""Execution backends: the inline reference implementation, the fork
+pool wrapper, the socket backend's wire protocol and worker-loss
+reassignment, and the acceptance bar -- socket and fork campaigns are
+bitwise-identical at a fixed seed."""
+
+import json
+import time
+
+import pytest
+
+from repro.checker import parallel
+from repro.checker.backends import (
+    BACKENDS,
+    InlineBackend,
+    create_backend,
+    resolve_handler,
+)
+from repro.checker.backends.sockets import SocketBackend
+from repro.remix.campaign import CampaignRequest, run_campaign
+
+ECHO = "repro.checker.backends.testing:echo"
+ADD_ONE = "repro.checker.backends.testing:add_one"
+BOOM = "repro.checker.backends.testing:boom"
+DIE_ONCE = "repro.checker.backends.testing:die_once"
+
+
+class TestResolveHandler:
+    def test_spec_resolves_to_function(self):
+        handler = resolve_handler(ADD_ONE)
+        assert handler({"value": 1}) == {"value": 2}
+
+    def test_callable_passes_through(self):
+        handler = resolve_handler(len)
+        assert handler is len
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(ValueError, match="module:function"):
+            resolve_handler("no-colon-here")
+        with pytest.raises(ValueError, match="non-callable"):
+            resolve_handler("json:__name__")
+
+    def test_missing_module_raises(self):
+        with pytest.raises(ModuleNotFoundError):
+            resolve_handler("no.such.module:fn")
+
+
+class TestInlineBackend:
+    def test_results_in_task_order(self):
+        backend = InlineBackend(ADD_ONE)
+        tasks = [{"value": n} for n in range(5)]
+        assert backend.map(tasks) == [{"value": n + 1} for n in range(5)]
+
+    def test_on_result_fires_per_task(self):
+        seen = []
+        backend = InlineBackend(ADD_ONE)
+        backend.map(
+            [{"value": 1}, {"value": 2}],
+            on_result=lambda i, task, result: seen.append((i, result)),
+        )
+        assert seen == [(0, {"value": 2}), (1, {"value": 3})]
+
+    def test_deadline_skips_remaining(self):
+        backend = InlineBackend(ADD_ONE)
+        results = backend.map(
+            [{"value": 1}, {"value": 2}], deadline=time.monotonic() - 1
+        )
+        assert results == [None, None]
+
+
+class TestCreateBackend:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            create_backend("carrier-pigeon", ECHO, 2)
+
+    def test_fork_single_worker_degrades_to_inline(self):
+        backend = create_backend("fork", ECHO, 1)
+        assert backend.name == "inline"
+        backend.close()
+
+    @pytest.mark.skipif(not parallel.available(), reason="needs fork")
+    def test_fork_multi_worker_is_fork(self):
+        backend = create_backend("fork", ECHO, 2)
+        try:
+            assert backend.name == "fork"
+            tasks = [{"value": n} for n in range(6)]
+            assert backend.map(tasks) == tasks
+        finally:
+            backend.close()
+
+    def test_names_cover_cli_choices(self):
+        assert BACKENDS == ("fork", "socket")
+
+
+@pytest.mark.skipif(not parallel.available(), reason="needs subprocesses")
+class TestSocketBackend:
+    def test_map_returns_in_task_order(self):
+        backend = SocketBackend(ADD_ONE, workers=2)
+        try:
+            tasks = [{"value": n} for n in range(10)]
+            results = backend.map(tasks)
+            assert results == [{"value": n + 1} for n in range(10)]
+            # a second map on the same connections works too
+            assert backend.map([{"value": 41}]) == [{"value": 42}]
+        finally:
+            backend.close()
+
+    def test_on_result_sees_every_index(self):
+        seen = set()
+        backend = SocketBackend(ECHO, workers=2)
+        try:
+            backend.map(
+                [{"value": n} for n in range(8)],
+                on_result=lambda i, task, result: seen.add(i),
+            )
+            assert seen == set(range(8))
+        finally:
+            backend.close()
+
+    def test_task_error_surfaces_as_runtime_error(self):
+        backend = SocketBackend(BOOM, workers=1)
+        try:
+            with pytest.raises(RuntimeError, match="boom: 3"):
+                backend.map([{"value": 3, "raise": True}])
+        finally:
+            backend.close()
+
+    def test_callable_handler_rejected(self):
+        with pytest.raises(ValueError, match="spec"):
+            SocketBackend(len, workers=1)
+
+    def test_worker_loss_reassigns_task(self, tmp_path):
+        marker = tmp_path / "died"
+        backend = SocketBackend(DIE_ONCE, workers=2)
+        try:
+            tasks = [{"value": n} for n in range(6)]
+            tasks[2] = {"value": 2, "marker": str(marker)}
+            results = backend.map(tasks)
+            assert marker.exists(), "the marked task must kill a worker"
+            assert [r["value"] for r in results] == list(range(6))
+            assert results[2]["retried"] is True
+        finally:
+            backend.close()
+
+    def test_deadline_skips_undispatched(self):
+        backend = SocketBackend(ECHO, workers=1)
+        try:
+            results = backend.map(
+                [{"value": n} for n in range(4)],
+                deadline=time.monotonic() - 1,
+            )
+            assert results == [None, None, None, None]
+        finally:
+            backend.close()
+
+
+@pytest.mark.skipif(not parallel.available(), reason="needs subprocesses")
+class TestBackendIdentity:
+    """The acceptance bar: ``--backend socket --workers 2`` produces a
+    report bitwise-identical to the fork pool at the same seed."""
+
+    KW = dict(
+        grains=("mSpec-1",),
+        scenarios=("election", "sync"),
+        faults=("none", "crash-follower"),
+        traces=1,
+        max_steps=5,
+        seed=7,
+        workers=2,
+        directions=("topdown", "bottomup"),
+        shrink=True,
+    )
+
+    def test_socket_matches_fork_bitwise(self):
+        fork = run_campaign(
+            CampaignRequest(**self.KW, backend="fork")
+        ).to_json()
+        sock = run_campaign(
+            CampaignRequest(**self.KW, backend="socket")
+        ).to_json()
+        for data in (fork, sock):
+            data["campaign"].pop("elapsed_seconds", None)
+        assert json.dumps(fork, sort_keys=True) == json.dumps(
+            sock, sort_keys=True
+        )
+        assert fork["totals"]["distinct_findings"] > 0

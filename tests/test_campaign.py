@@ -11,7 +11,9 @@ from repro.remix import spec_cache
 from repro.remix.campaign import (
     CampaignJob,
     CampaignReport,
+    CampaignRequest,
     ConformanceCampaign,
+    RequestError,
     DEFAULT_FAULTS,
     DEFAULT_GRAINS,
     DEFAULT_SCENARIOS,
@@ -47,12 +49,12 @@ def small_campaign(**overrides):
         seed=7,
     )
     kwargs.update(overrides)
-    return ConformanceCampaign(**kwargs)
+    return ConformanceCampaign(CampaignRequest(**kwargs))
 
 
 class TestMatrix:
     def test_default_matrix_size(self):
-        campaign = ConformanceCampaign(seeds=2)
+        campaign = ConformanceCampaign(CampaignRequest(seeds=2))
         jobs = campaign.jobs()
         expected = (
             len(DEFAULT_GRAINS) * len(DEFAULT_SCENARIOS) * len(DEFAULT_FAULTS) * 2
@@ -63,21 +65,21 @@ class TestMatrix:
     def test_scenario_fault_cells_at_least_12(self):
         cells = {
             (job.scenario, job.fault)
-            for job in ConformanceCampaign().jobs()
+            for job in ConformanceCampaign(CampaignRequest()).jobs()
         }
         assert len(cells) >= 12
 
     def test_unmappable_grain_rejected(self):
-        with pytest.raises(KeyError, match="unknown or unmappable grain"):
-            ConformanceCampaign(grains=("SysSpec",))
+        with pytest.raises(RequestError, match="grains: unknown value 'SysSpec'"):
+            CampaignRequest(grains=("SysSpec",))
 
     def test_unknown_fault_rejected(self):
-        with pytest.raises(KeyError, match="unknown fault schedule"):
-            ConformanceCampaign(faults=("meteor-strike",))
+        with pytest.raises(RequestError, match="faults: unknown value 'meteor-strike'"):
+            CampaignRequest(faults=("meteor-strike",))
 
     def test_unknown_scenario_rejected(self):
-        with pytest.raises(KeyError, match="unknown scenario"):
-            ConformanceCampaign(scenarios=("apocalypse",))
+        with pytest.raises(RequestError, match="scenarios: unknown value 'apocalypse'"):
+            CampaignRequest(scenarios=("apocalypse",))
 
     def test_fault_schedules_enumeration(self):
         names = [schedule.name for schedule in fault_schedules()]
@@ -94,13 +96,13 @@ class TestMatrix:
         ]
 
     def test_unknown_direction_rejected(self):
-        with pytest.raises(KeyError, match="unknown direction"):
-            ConformanceCampaign(directions=("sideways",))
+        with pytest.raises(RequestError, match="directions: unknown value 'sideways'"):
+            CampaignRequest(directions=("sideways",))
 
     def test_both_directions_double_the_matrix(self):
-        single = ConformanceCampaign().jobs()
+        single = ConformanceCampaign(CampaignRequest()).jobs()
         both = ConformanceCampaign(
-            directions=("topdown", "bottomup")
+            CampaignRequest(directions=("topdown", "bottomup"))
         ).jobs()
         assert len(both) == 2 * len(single)
         assert [job.direction for job in both[: len(single)]] == [
@@ -253,8 +255,10 @@ class TestDeterminismAndDedup:
             seeds=2,
             directions=("topdown", "bottomup"),
         )
-        uniform = ConformanceCampaign(**kw).run().totals
-        adaptive = ConformanceCampaign(**kw, adaptive=True).run().totals
+        uniform = ConformanceCampaign(CampaignRequest(**kw)).run().totals
+        adaptive = ConformanceCampaign(
+            CampaignRequest(**kw, adaptive=True)
+        ).run().totals
         assert adaptive["cells"] == uniform["cells"]
         assert (
             adaptive["distinct_findings"] >= uniform["distinct_findings"]

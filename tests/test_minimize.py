@@ -14,6 +14,7 @@ from repro.checker.trace import Trace
 from repro.remix import spec_cache
 from repro.remix.campaign import (
     CampaignReport,
+    CampaignRequest,
     ConformanceCampaign,
     allocate_round,
     campaign_config,
@@ -56,7 +57,9 @@ NPE_CAMPAIGN = dict(
 
 @pytest.fixture(scope="module")
 def npe_report():
-    return ConformanceCampaign(**NPE_CAMPAIGN, shrink=True).run()
+    return ConformanceCampaign(
+        CampaignRequest(**NPE_CAMPAIGN, shrink=True)
+    ).run()
 
 
 # --------------------------------------------------------- shrinker core
@@ -214,8 +217,10 @@ class TestCampaignShrink:
             max_epoch=3,
         ).with_variant(CONFIG.variant.with_(fix_follower_shutdown=True))
         report = ConformanceCampaign(
-            grains=("mSpec-1",), scenarios=("election",), faults=("none",),
-            traces=1, max_steps=2, config=custom,
+            CampaignRequest(
+                grains=("mSpec-1",), scenarios=("election",),
+                faults=("none",), traces=1, max_steps=2, config=custom,
+            )
         ).run()
         assert config_from_meta(report.to_json()["campaign"]) == custom
         # /1-era meta without a config block falls back to the default
@@ -261,7 +266,7 @@ class TestCampaignShrink:
     @pytest.mark.skipif(not parallel.available(), reason="needs fork")
     def test_shrink_deterministic_across_workers(self, npe_report):
         parallel_report = ConformanceCampaign(
-            **NPE_CAMPAIGN, shrink=True, workers=2
+            CampaignRequest(**NPE_CAMPAIGN, shrink=True, workers=2)
         ).run()
         seq, par = npe_report.to_json(), parallel_report.to_json()
         for key in ("cells", "findings", "totals"):
@@ -339,14 +344,16 @@ class TestValidationShrink:
 
     def test_campaign_shrink_handles_both_directions(self):
         report = ConformanceCampaign(
-            grains=("mSpec-1",),
-            scenarios=("election", "broadcast"),
-            faults=("none", "crash-follower"),
-            traces=1,
-            max_steps=5,
-            seed=7,
-            directions=("topdown", "bottomup"),
-            shrink=True,
+            CampaignRequest(
+                grains=("mSpec-1",),
+                scenarios=("election", "broadcast"),
+                faults=("none", "crash-follower"),
+                traces=1,
+                max_steps=5,
+                seed=7,
+                directions=("topdown", "bottomup"),
+                shrink=True,
+            )
         ).run()
         bottomup = [
             f for f in report.findings if f["direction"] == "bottomup"
@@ -390,9 +397,11 @@ class TestAdaptiveCampaign:
     )
 
     def test_no_fewer_fingerprints_than_uniform_same_budget(self):
-        uniform = ConformanceCampaign(**self.KW).run().totals
+        uniform = ConformanceCampaign(CampaignRequest(**self.KW)).run().totals
         adaptive = (
-            ConformanceCampaign(**self.KW, adaptive=True).run().totals
+            ConformanceCampaign(CampaignRequest(**self.KW, adaptive=True))
+            .run()
+            .totals
         )
         assert adaptive["cells"] == uniform["cells"]
         assert (
@@ -401,9 +410,15 @@ class TestAdaptiveCampaign:
 
     @pytest.mark.skipif(not parallel.available(), reason="needs fork")
     def test_adaptive_deterministic_across_workers(self):
-        seq = ConformanceCampaign(**self.KW, adaptive=True).run().to_json()
+        seq = (
+            ConformanceCampaign(CampaignRequest(**self.KW, adaptive=True))
+            .run()
+            .to_json()
+        )
         par = (
-            ConformanceCampaign(**self.KW, adaptive=True, workers=2)
+            ConformanceCampaign(
+                CampaignRequest(**self.KW, adaptive=True, workers=2)
+            )
             .run()
             .to_json()
         )
@@ -412,14 +427,18 @@ class TestAdaptiveCampaign:
 
     def test_adaptive_seeds_one_equals_uniform(self):
         kw = dict(self.KW, seeds=1)
-        uniform = ConformanceCampaign(**kw).run().to_json()
-        adaptive = ConformanceCampaign(**kw, adaptive=True).run().to_json()
+        uniform = ConformanceCampaign(CampaignRequest(**kw)).run().to_json()
+        adaptive = (
+            ConformanceCampaign(CampaignRequest(**kw, adaptive=True))
+            .run()
+            .to_json()
+        )
         assert uniform["cells"] == adaptive["cells"]
         assert uniform["findings"] == adaptive["findings"]
 
     def test_adaptive_budget_exhaustion_stops_rounds(self):
         report = ConformanceCampaign(
-            **self.KW, adaptive=True, budget=1e-9
+            CampaignRequest(**self.KW, adaptive=True, budget=1e-9)
         ).run()
         assert report.totals["cells"] == 0
         assert report.findings == []

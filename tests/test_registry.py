@@ -7,7 +7,7 @@ import pytest
 
 from repro.cli import main
 from repro.remix import spec_cache
-from repro.remix.campaign import ConformanceCampaign
+from repro.remix.campaign import CampaignRequest, ConformanceCampaign
 from repro.remix.minimize import unreplayable_min_traces
 from repro.remix.registry import (
     register_system,
@@ -35,7 +35,7 @@ def small_raft_campaign(**overrides):
         directions=("topdown", "bottomup"),
     )
     kwargs.update(overrides)
-    return ConformanceCampaign(**kwargs)
+    return ConformanceCampaign(CampaignRequest(**kwargs))
 
 
 class TestRegistry:
@@ -171,11 +171,13 @@ class TestRaftCampaign:
 
     def test_zookeeper_default_system_unchanged(self):
         campaign = ConformanceCampaign(
-            grains=("mSpec-1",),
-            scenarios=("election",),
-            faults=("none",),
-            traces=1,
-            max_steps=2,
+            CampaignRequest(
+                grains=("mSpec-1",),
+                scenarios=("election",),
+                faults=("none",),
+                traces=1,
+                max_steps=2,
+            )
         )
         report = campaign.run()
         assert report.meta["system"] == "zookeeper"

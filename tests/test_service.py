@@ -1,0 +1,198 @@
+"""The campaign server: event-stream shape, concurrent streamed
+requests, resident spec-cache economics, heartbeats, deadlines, and the
+offline ``serve --request`` mode."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.remix import spec_cache
+from repro.remix.request import CampaignRequest
+from repro.remix.service import EVENT_SCHEMA, CampaignServer, serve_request
+
+TINY = dict(
+    grains=("mSpec-1",),
+    scenarios=("election",),
+    faults=("none",),
+    traces=1,
+    max_steps=4,
+    seed=7,
+)
+
+TERMINAL = {"report", "error"}
+
+
+def check_stream(events, request_id=None):
+    """Assert the stream obeys the ``repro.campaign.event/1`` contract;
+    returns the terminal event."""
+    assert events, "stream must not be empty"
+    # a request rejected before it runs streams a single error event
+    if events[0]["event"] != "accepted":
+        assert len(events) == 1 and events[0]["event"] == "error"
+    assert events[-1]["event"] in TERMINAL
+    for event in events:
+        assert event["schema"] == EVENT_SCHEMA
+        assert event["elapsed"] >= 0
+        if request_id is not None:
+            assert event["id"] == request_id
+        assert event["event"] not in TERMINAL or event is events[-1]
+    return events[-1]
+
+
+def stream_request(address, payload):
+    """Send one request line to a server; return the parsed event list."""
+    with socket.create_connection(address, timeout=30) as sock:
+        sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+        reader = sock.makefile("r", encoding="utf-8")
+        return [json.loads(line) for line in reader if line.strip()]
+
+
+class TestServeRequest:
+    def test_stream_shape_and_report(self):
+        events = []
+        report = serve_request(
+            CampaignRequest(**TINY), events.append, request_id=3
+        )
+        terminal = check_stream(events, request_id=3)
+        assert terminal["event"] == "report"
+        assert terminal["report"] == report.to_json()
+        kinds = [e["event"] for e in events]
+        assert kinds.count("cell_done") == report.totals["cells"] > 0
+
+    def test_events_json_serializable(self):
+        events = []
+        serve_request(CampaignRequest(**TINY), events.append)
+        for event in events:
+            json.loads(json.dumps(event))  # wire-safe
+
+    def test_campaign_crash_becomes_error_event(self, monkeypatch):
+        def explode(request, progress=None):
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setattr("repro.remix.service.run_campaign", explode)
+        events = []
+        report = serve_request(CampaignRequest(**TINY), events.append)
+        assert report is None
+        terminal = check_stream(events)
+        assert terminal["event"] == "error"
+        assert "kaboom" in terminal["message"]
+
+    def test_heartbeat_fires_during_long_campaign(self, monkeypatch):
+        def slow(request, progress=None):
+            import time
+
+            time.sleep(0.25)
+            from repro.remix.campaign import run_campaign
+
+            return run_campaign(request, progress=progress)
+
+        monkeypatch.setattr("repro.remix.service.run_campaign", slow)
+        events = []
+        serve_request(
+            CampaignRequest(**TINY), events.append, heartbeat=0.05
+        )
+        assert any(e["event"] == "heartbeat" for e in events)
+        check_stream(events)
+
+
+class TestCampaignServer:
+    @pytest.fixture()
+    def server(self):
+        server = CampaignServer(heartbeat=0.0)
+        server.start()
+        yield server
+        server.stop()
+
+    def test_second_request_hits_resident_cache(self, server):
+        spec_cache.clear()
+        request = CampaignRequest(**TINY).to_json()
+        first = check_stream(stream_request(server.address, request), 1)
+        second = check_stream(stream_request(server.address, request), 2)
+        assert first["event"] == second["event"] == "report"
+        assert first["spec_cache"].get("misses", 0) > 0
+        assert second["spec_cache"].get("hits", 0) > 0
+        assert second["spec_cache"].get("misses", 0) == 0
+        # resident caches change the economics, not the answer
+        for terminal in (first, second):
+            terminal["report"]["campaign"].pop("elapsed_seconds", None)
+        assert first["report"] == second["report"]
+
+    def test_two_concurrent_requests_both_stream(self, server):
+        request = CampaignRequest(**TINY).to_json()
+        results = [None, None]
+
+        def client(slot):
+            results[slot] = stream_request(server.address, request)
+
+        threads = [
+            threading.Thread(target=client, args=(slot,)) for slot in (0, 1)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        ids = set()
+        for events in results:
+            terminal = check_stream(events)
+            assert terminal["event"] == "report"
+            ids.add(events[0]["id"])
+        assert ids == {1, 2}  # one request id per connection
+
+    def test_bad_request_line_is_error_event(self, server):
+        events = stream_request(server.address, {"grains": ["bogus"]})
+        terminal = check_stream(events)
+        assert terminal["event"] == "error"
+        assert "grains: unknown value 'bogus'" in terminal["message"]
+
+    def test_deadline_folds_into_budget(self, server):
+        events = stream_request(
+            server.address,
+            {"request": CampaignRequest(**TINY).to_json(), "deadline": 1e-9},
+        )
+        terminal = check_stream(events)
+        assert terminal["event"] == "report"
+        totals = terminal["report"]["totals"]
+        assert totals["skipped"] == totals["cells"] > 0
+        assert totals["traces"] == 0
+
+    def test_max_requests_stops_server(self):
+        server = CampaignServer(heartbeat=0.0, max_requests=1)
+        server.start()
+        try:
+            check_stream(
+                stream_request(
+                    server.address, CampaignRequest(**TINY).to_json()
+                )
+            )
+            server.serve_forever()  # returns once the quota is served
+            with pytest.raises(OSError):
+                stream_request(
+                    server.address, CampaignRequest(**TINY).to_json()
+                )
+        finally:
+            server.stop()
+
+
+class TestServeCli:
+    def test_offline_request_mode_streams_to_stdout(self, tmp_path, capsys):
+        request_file = tmp_path / "request.json"
+        request_file.write_text(json.dumps(CampaignRequest(**TINY).to_json()))
+        assert main(["serve", "--request", str(request_file)]) == 0
+        events = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        terminal = check_stream(events)
+        assert terminal["event"] == "report"
+
+    def test_offline_bad_request_exits_2(self, tmp_path, capsys):
+        request_file = tmp_path / "request.json"
+        request_file.write_text(json.dumps({"grains": ["bogus"]}))
+        assert main(["serve", "--request", str(request_file)]) == 2
+        err = capsys.readouterr().err
+        assert "serve:" in err
+        assert "grains: unknown value 'bogus'" in err
