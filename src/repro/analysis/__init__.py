@@ -1,6 +1,16 @@
-"""Analyses for the paper's effort table and bug-lineage figure."""
+"""Analyses over the specs: the paper's effort table and bug-lineage
+figure, plus the static spec linter (``python -m repro lint``)."""
 
+from repro.analysis.deps import SpecAnalyzer, Summary
 from repro.analysis.efforts import SpecDiff, SpecMetrics, diff, measure, table3
+from repro.analysis.findings import (
+    RULES,
+    Finding,
+    LintReport,
+    Rule,
+    baseline_error,
+    new_fingerprints,
+)
 from repro.analysis.lineage import (
     EDGES,
     ISSUES,
@@ -12,18 +22,30 @@ from repro.analysis.lineage import (
     roots,
     unfixed_at_publication,
 )
+from repro.analysis.lint import lint_plugin, lint_system, lint_systems
 
 __all__ = [
     "EDGES",
     "ISSUES",
+    "Finding",
     "Issue",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "SpecAnalyzer",
     "SpecDiff",
     "SpecMetrics",
+    "Summary",
+    "baseline_error",
     "descendants_of_optimization",
     "diff",
     "generations",
     "lineage_graph",
+    "lint_plugin",
+    "lint_system",
+    "lint_systems",
     "measure",
+    "new_fingerprints",
     "render_ascii",
     "roots",
     "table3",

@@ -1,0 +1,126 @@
+"""Purity and determinism tables for the static spec analyzer.
+
+Spec functions must be pure, deterministic functions of
+``(config, state, params)``: the engine memoizes their outcomes,
+replays traces across processes and fingerprints the states they
+produce.  This module classifies the calls and constructs that break
+that contract; :mod:`repro.analysis.deps` consults it during its AST
+walk.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Optional
+
+from repro.analysis.sources import UNRESOLVED
+
+#: Modules whose every callable is nondeterministic or environment-
+#: reading from the spec's point of view.
+BANNED_MODULES = frozenset(
+    {
+        "random",
+        "secrets",
+        "uuid",
+        "socket",
+        "subprocess",
+        "time",
+        "threading",
+        "multiprocessing",
+    }
+)
+
+#: ``os`` is banned except the pure path helpers.
+_OS_ALLOWED_PREFIXES = ("os.path.",)
+
+#: datetime is fine (timedelta arithmetic etc.) except the clock reads.
+_DATETIME_CLOCKS = frozenset({"now", "today", "utcnow"})
+
+#: Builtins that reach outside the interpreter or defeat analysis.
+BANNED_BUILTINS = frozenset({"open", "input", "eval", "exec", "compile"})
+
+#: Builtins whose result does not depend on iteration order, so feeding
+#: them an unordered set is harmless.
+ORDER_INSENSITIVE = frozenset(
+    {"sum", "min", "max", "any", "all", "len", "set", "frozenset", "sorted"}
+)
+
+#: Mutating methods on builtin containers (module-global mutation, P03).
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "clear",
+        "add",
+        "discard",
+        "update",
+        "setdefault",
+        "popitem",
+        "sort",
+        "reverse",
+    }
+)
+
+#: Builtin constructors producing mutable (unhashable) values -- storing
+#: their result into State breaks fingerprinting (P04).
+MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+#: Mutable AST display/comprehension nodes for the same check.
+MUTABLE_DISPLAYS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+)
+
+
+def banned_call(target: Any, dotted: str) -> Optional[str]:
+    """Why calling ``target`` (resolved from the dotted source text) is
+    nondeterministic, or None when the call is acceptable."""
+    if dotted:
+        root = dotted.split(".", 1)[0]
+        leaf = dotted.rsplit(".", 1)[-1]
+        if root == "os" and not dotted.startswith(_OS_ALLOWED_PREFIXES):
+            return f"call to {dotted} reads process/OS state"
+        if root == "datetime" and leaf in _DATETIME_CLOCKS:
+            return f"call to {dotted} reads the wall clock"
+        if root in BANNED_MODULES:
+            return f"call to {dotted} is nondeterministic"
+    if target is UNRESOLVED or target is None:
+        return None
+    module = getattr(target, "__module__", None) or ""
+    name = getattr(target, "__name__", "") or dotted
+    root = module.split(".", 1)[0]
+    if root in BANNED_MODULES:
+        return f"call to {module}.{name} is nondeterministic"
+    if root == "os" and not f"{module}.{name}".startswith("os.path."):
+        return f"call to {module}.{name} reads process/OS state"
+    if module == "builtins" and name in BANNED_BUILTINS:
+        return f"call to builtin {name}() reaches outside the interpreter"
+    return None
+
+
+def is_set_display(node: ast.AST) -> bool:
+    """A syntactic set: literal, comprehension, or set()/frozenset()."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def mutable_value(node: ast.AST) -> Optional[str]:
+    """Why storing the value of ``node`` into State would break
+    hashing, or None when it looks immutable."""
+    if isinstance(node, MUTABLE_DISPLAYS):
+        kind = type(node).__name__
+        return f"{kind} value is mutable/unhashable"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in MUTABLE_CONSTRUCTORS:
+            return f"{node.func.id}() value is mutable/unhashable"
+    return None

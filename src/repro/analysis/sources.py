@@ -1,0 +1,145 @@
+"""Source resolution for the static spec analyzer.
+
+Maps live function objects back to their AST definitions and resolves
+the names a function body references (closure cells first, then module
+globals, then builtins) -- the plumbing :mod:`repro.analysis.deps` uses
+to follow spec helpers and wrapper lambdas.
+
+``inspect.getsource`` is unreliable for lambdas (it returns the whole
+enclosing statement), so functions are located by parsing the *module*
+file once and matching code-object metadata: name, first line and
+positional argument names.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import types
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Sentinel for names/attributes the resolver cannot resolve.
+UNRESOLVED = object()
+
+_AST_CACHE: Dict[str, Optional[ast.Module]] = {}
+_FUNC_CACHE: Dict[str, List[ast.AST]] = {}
+
+FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def module_ast(filename: str) -> Optional[ast.Module]:
+    """Parse (and cache) a module file; None when unreadable."""
+    if filename not in _AST_CACHE:
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                _AST_CACHE[filename] = ast.parse(handle.read(), filename)
+        except (OSError, SyntaxError, ValueError):
+            _AST_CACHE[filename] = None
+    return _AST_CACHE[filename]
+
+
+def _function_nodes(filename: str) -> List[ast.AST]:
+    if filename not in _FUNC_CACHE:
+        tree = module_ast(filename)
+        _FUNC_CACHE[filename] = (
+            [node for node in ast.walk(tree) if isinstance(node, FunctionNode)]
+            if tree is not None
+            else []
+        )
+    return _FUNC_CACHE[filename]
+
+
+def positional_params(node: ast.AST) -> List[str]:
+    """Positional parameter names of a function/lambda node."""
+    args = node.args
+    return [a.arg for a in args.posonlyargs] + [a.arg for a in args.args]
+
+
+def function_node(fn: Any) -> Optional[ast.AST]:
+    """The AST node defining ``fn``, or None.
+
+    Matches on the code object's name and first line; lambdas (several
+    can share a line) are disambiguated by their argument names.
+    """
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        return None
+    lineno = code.co_firstlineno
+    expected = list(code.co_varnames[: code.co_argcount])
+    candidates = []
+    for node in _function_nodes(code.co_filename):
+        if isinstance(node, ast.Lambda):
+            if code.co_name != "<lambda>" or node.lineno != lineno:
+                continue
+            if positional_params(node) == expected:
+                candidates.append(node)
+        else:
+            if node.name != code.co_name:
+                continue
+            # co_firstlineno points at the `def` line, but decorated
+            # functions historically reported the first decorator line;
+            # accept either convention.
+            decorator_lines = [d.lineno for d in node.decorator_list]
+            if node.lineno == lineno or lineno in decorator_lines:
+                candidates.append(node)
+    return candidates[0] if candidates else None
+
+
+def closure_map(fn: Any) -> Dict[str, Any]:
+    """Free variable name -> cell contents (unset cells are skipped)."""
+    code = getattr(fn, "__code__", None)
+    closure = getattr(fn, "__closure__", None)
+    if code is None or not closure:
+        return {}
+    out: Dict[str, Any] = {}
+    for name, cell in zip(code.co_freevars, closure):
+        try:
+            out[name] = cell.cell_contents
+        except ValueError:  # pragma: no cover - still-unset cell
+            continue
+    return out
+
+
+def resolve_name(fn: Any, name: str) -> Any:
+    """Resolve a non-local name as the function body would at call time:
+    closure cells, then the function's module globals, then builtins."""
+    cells = closure_map(fn)
+    if name in cells:
+        return cells[name]
+    module_globals = getattr(fn, "__globals__", {})
+    if name in module_globals:
+        return module_globals[name]
+    if hasattr(builtins, name):
+        return getattr(builtins, name)
+    return UNRESOLVED
+
+
+def resolve_attr(obj: Any, attr: str) -> Any:
+    """Follow one attribute step through a module or class; anything
+    else (instances, values) is opaque to the static analyzer."""
+    if obj is UNRESOLVED:
+        return UNRESOLVED
+    if isinstance(obj, (types.ModuleType, type)):
+        return getattr(obj, attr, UNRESOLVED)
+    return UNRESOLVED
+
+
+def resolve_chain(fn: Any, node: ast.AST) -> Tuple[Any, str]:
+    """Resolve a ``Name`` / dotted ``Attribute`` chain rooted at a name.
+
+    Returns ``(value, dotted_text)``; ``value`` is :data:`UNRESOLVED`
+    when any step fails (including local-variable roots, which the
+    caller must rule out beforehand)."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return UNRESOLVED, ""
+    parts.append(current.id)
+    parts.reverse()
+    value = resolve_name(fn, parts[0])
+    for attr in parts[1:]:
+        value = resolve_attr(value, attr)
+    return value, ".".join(parts)

@@ -28,6 +28,7 @@ socket.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -491,6 +492,58 @@ def cmd_systems(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis.findings import (
+        baseline_error,
+        new_fingerprints,
+    )
+    from repro.analysis.lint import lint_systems
+    from repro.remix.registry import registered_systems
+
+    names = args.system or registered_systems()
+    baseline = None
+    if args.baseline:
+        # Validate before any analysis runs: a missing or stale
+        # baseline should fail immediately.
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as error:
+            print(f"lint: baseline {args.baseline}: {error}", file=sys.stderr)
+            return 2
+        problem = baseline_error(baseline)
+        if problem is not None:
+            print(f"lint: baseline {args.baseline}: {problem}", file=sys.stderr)
+            return 2
+
+    try:
+        report = lint_systems(names)
+    except KeyError as error:
+        print(f"lint: {error.args[0]}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        for finding in report.findings:
+            print(finding.format())
+        print(report.summary(), file=sys.stderr)
+
+    if baseline is not None:
+        fresh = new_fingerprints(report, baseline)
+        if fresh:
+            print(
+                f"NEW lint fingerprints vs {args.baseline}: "
+                f"{', '.join(fresh)}",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            f"no new lint fingerprints vs {args.baseline}", file=sys.stderr
+        )
+        return 0
+    return 1 if report.findings else 0
+
+
 def cmd_efforts(args) -> int:
     from repro.analysis import table3
 
@@ -697,6 +750,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_proto.add_argument("--max-time", type=float, default=180.0)
     _add_engine_args(p_proto)
     p_proto.set_defaults(fn=cmd_protocol)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static spec analysis: dependency declarations, purity and "
+        "plugin conformance, before anything runs",
+    )
+    p_lint.add_argument(
+        "--system", action="append", default=None,
+        help="system to lint (repeatable; default: all registered)",
+    )
+    p_lint.add_argument(
+        "--all", action="store_true",
+        help="lint every registered system (the default; explicit for CI)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="text findings (default) or the repro.lint/1 JSON report",
+    )
+    p_lint.add_argument(
+        "--baseline", default=None,
+        help="lint report JSON to diff finding fingerprints against; "
+        "exits 2 on new ones (the CI gate), 0 otherwise",
+    )
+    p_lint.set_defaults(fn=cmd_lint)
 
     sub.add_parser(
         "systems", help="list registered system plugins"

@@ -114,7 +114,7 @@ def elect_leader(config: RaftConfig, state, i: int, quorum):
     members = set(quorum)
     if i not in members or not config.is_quorum(members):
         return None
-    for j in members:
+    for j in sorted(members):
         if not _alive(state, j):
             return None
         if j != i and not _connected(state, i, j):
@@ -122,7 +122,7 @@ def elect_leader(config: RaftConfig, state, i: int, quorum):
     new_term = max(state["current_term"][j] for j in members) + 1
     if new_term > config.max_term:
         return None
-    for j in members:
+    for j in sorted(members):
         if not _up_to_date(state["log"][i], state["log"][j]):
             return None
     n = config.n_servers
@@ -159,6 +159,14 @@ def coarse_election_module(config: RaftConfig) -> Module:
                     "i": lambda cfg: cfg.servers,
                     "Q": lambda cfg: cfg.quorums(),
                 },
+                reads=[
+                    "role",
+                    "current_term",
+                    "voted_for",
+                    "votes",
+                    "log",
+                    "disconnected",
+                ],
                 writes=["role", "current_term", "voted_for", "votes"],
             )
         ],
@@ -240,18 +248,28 @@ def fine_election_module(config: RaftConfig) -> Module:
                 "BecomeCandidate",
                 become_candidate,
                 params=servers,
+                reads=["role", "current_term", "voted_for", "votes"],
                 writes=["role", "current_term", "voted_for", "votes"],
             ),
             Action(
                 "GrantVote",
                 lambda cfg, s, pair: grant_vote(cfg, s, pair[0], pair[1]),
                 params=pairs,
+                reads=[
+                    "role",
+                    "current_term",
+                    "voted_for",
+                    "votes",
+                    "log",
+                    "disconnected",
+                ],
                 writes=["role", "current_term", "voted_for", "votes"],
             ),
             Action(
                 "BecomeLeader",
                 become_leader,
                 params=servers,
+                reads=["role", "votes"],
                 writes=["role"],
             ),
         ],
@@ -355,18 +373,21 @@ def replication_module(config: RaftConfig) -> Module:
                 "ClientRequest",
                 client_request,
                 params=servers,
+                reads=["role", "current_term", "log", "entry_budget"],
                 writes=["log", "entry_budget"],
             ),
             Action(
                 "ReplicateLog",
                 lambda cfg, s, pair: replicate_log(cfg, s, pair[0], pair[1]),
                 params={"pair": ordered_pairs},
+                reads=["role", "current_term", "log", "disconnected"],
                 writes=["role", "current_term", "log"],
             ),
             Action(
                 "LeaderAdvanceCommit",
                 leader_advance_commit,
                 params=servers,
+                reads=["role", "current_term", "log", "commit_index"],
                 writes=["commit_index"],
             ),
             Action(
@@ -375,6 +396,13 @@ def replication_module(config: RaftConfig) -> Module:
                     cfg, s, pair[0], pair[1]
                 ),
                 params={"pair": ordered_pairs},
+                reads=[
+                    "role",
+                    "current_term",
+                    "log",
+                    "commit_index",
+                    "disconnected",
+                ],
                 writes=["commit_index"],
             ),
         ],
@@ -454,24 +482,28 @@ def faults_module(config: RaftConfig) -> Module:
                 "NodeCrash",
                 node_crash,
                 params=servers,
+                reads=["role", "votes", "crash_budget"],
                 writes=["role", "votes", "crash_budget"],
             ),
             Action(
                 "NodeRestart",
                 node_restart,
                 params=servers,
+                reads=["role", "commit_index", "votes"],
                 writes=["role", "commit_index", "votes"],
             ),
             Action(
                 "PartitionStart",
                 unpack(partition_start),
                 params=unordered,
+                reads=["role", "disconnected", "partition_budget"],
                 writes=["disconnected", "partition_budget"],
             ),
             Action(
                 "PartitionHeal",
                 unpack(partition_heal),
                 params=unordered,
+                reads=["disconnected"],
                 writes=["disconnected"],
             ),
         ],
@@ -526,9 +558,19 @@ def commit_safety(config: RaftConfig, state) -> bool:
 
 
 INVARIANTS = (
-    Invariant("R-1", "ElectionSafety", election_safety),
-    Invariant("R-2", "LogMatching", log_matching),
-    Invariant("R-3", "CommitSafety", commit_safety),
+    Invariant(
+        "R-1",
+        "ElectionSafety",
+        election_safety,
+        reads=frozenset({"role", "current_term"}),
+    ),
+    Invariant("R-2", "LogMatching", log_matching, reads=frozenset({"log"})),
+    Invariant(
+        "R-3",
+        "CommitSafety",
+        commit_safety,
+        reads=frozenset({"commit_index", "log"}),
+    ),
 )
 
 

@@ -31,6 +31,22 @@ ActionFn = Callable[..., Optional[Dict[str, Any]]]
 DomainFn = Callable[[Any], Iterable[Any]]
 
 
+def function_location(fn: Any) -> Optional[Tuple[str, int]]:
+    """Best-effort ``(filename, first line)`` of a callable.
+
+    Resolves through the code object, so it works for plain functions
+    and lambdas alike; wrappers (e.g. the ``pairwise`` adapters) report
+    the wrapper's own definition site -- the static analyzer in
+    :mod:`repro.analysis` resolves through closures when it needs the
+    wrapped function.  Returns ``None`` for callables without a code
+    object (builtins, C extensions).
+    """
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        return None
+    return (code.co_filename, code.co_firstlineno)
+
+
 @dataclass(frozen=True)
 class ActionLabel:
     """A fully instantiated action occurrence: name plus parameter binding.
@@ -102,6 +118,15 @@ class Action:
 
     def __repr__(self) -> str:
         return f"Action({self.name})"
+
+    def source_location(self) -> Optional[Tuple[str, int]]:
+        """``(filename, line)`` of the action function, or ``None``.
+
+        Analysis-friendly metadata: the static spec analyzer
+        (``python -m repro lint``) anchors its findings here when a more
+        precise access site is not available.
+        """
+        return function_location(self.fn)
 
     def dependency_closure(self) -> Optional[frozenset]:
         """All variables the action *function* is a function of, or

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.tla.action import Action, ActionInstance, ActionLabel
+from repro.tla.action import Action, ActionInstance, ActionLabel, function_location
 from repro.tla.module import Module
 from repro.tla.state import Schema, State
 
@@ -47,6 +47,15 @@ class Invariant:
 
     def holds(self, config: Any, state: State) -> bool:
         return bool(self.predicate(config, state))
+
+    def source_location(self) -> Optional[Tuple[str, int]]:
+        """``(filename, line)`` of the predicate, or ``None``.
+
+        Analysis-friendly metadata for the static spec analyzer
+        (``python -m repro lint``), mirroring
+        :meth:`repro.tla.action.Action.source_location`.
+        """
+        return function_location(self.predicate)
 
     @property
     def full_name(self) -> str:

@@ -339,6 +339,9 @@ def broadcast_fine_module(config: ZkConfig) -> Module:
                 "queued_requests",
             ],
             writes=["msgs", "queued_requests", "errors"],
+            # The queued entry is tagged with the current sync session's
+            # epoch (the QEntry session tag).
+            update_sources={"queued_requests": ["accepted_epoch"]},
         ),
         Action(
             "FollowerProcessCOMMIT",

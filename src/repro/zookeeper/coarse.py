@@ -34,11 +34,11 @@ def election_and_discovery(config: ZkConfig, state, i: int, quorum):
     members = set(quorum)
     if i not in members or not config.is_quorum(members):
         return None
-    for j in members:
+    for j in sorted(members):
         if state["state"][j] != C.LOOKING:
             return None
-    for j in members:
-        for k in members:
+    for j in sorted(members):
+        for k in sorted(members):
             if j < k and frozenset((j, k)) in state["disconnected"]:
                 return None
     my_vote = P.vote_of(state, i)
@@ -73,8 +73,8 @@ def election_and_discovery(config: ZkConfig, state, i: int, quorum):
         if j != i
     )
     msgs = state["msgs"]
-    for j in members:
-        for k in members:
+    for j in sorted(members):
+        for k in sorted(members):
             if j != k:
                 msgs = P.clear_pair(msgs, j, k) if j < k else msgs
     return {

@@ -476,6 +476,9 @@ def leader_sync_actions():
                 "history",
                 "last_committed",
                 "current_epoch",
+                # The late-ACK UPTODATE reply is dropped when the pair is
+                # partitioned.
+                "disconnected",
             ],
             writes=[
                 "msgs",
@@ -574,6 +577,8 @@ def sync_baseline_module(config: ZkConfig) -> Module:
                 "accepted_epoch",
                 "packets_sync",
                 "history",
+                # The ACK reply is dropped when the pair is partitioned.
+                "disconnected",
             ],
             writes=[
                 "msgs",

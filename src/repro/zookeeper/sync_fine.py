@@ -319,6 +319,17 @@ def _split_actions(asynchronous: bool):
         if asynchronous
         else ["history", "packets_sync"]
     )
+    # Synchronous logging appends straight to the history; only the
+    # asynchronous split routes through the request queue.
+    log_reads = [
+        "msgs",
+        "state",
+        "zab_state",
+        "my_leader",
+        "current_epoch",
+        "accepted_epoch",
+        "packets_sync",
+    ] + (["queued_requests"] if asynchronous else [])
     return [
         Action(
             "FollowerProcessNEWLEADER_UpdateEpoch",
@@ -343,16 +354,7 @@ def _split_actions(asynchronous: bool):
             log_name,
             pairwise(log_fn),
             params={"pair": _pairs_distinct},
-            reads=[
-                "msgs",
-                "state",
-                "zab_state",
-                "my_leader",
-                "current_epoch",
-                "accepted_epoch",
-                "packets_sync",
-                "queued_requests",
-            ],
+            reads=log_reads,
             writes=log_writes,
             update_sources={"history": ["packets_sync"]},
         ),
@@ -371,6 +373,8 @@ def _split_actions(asynchronous: bool):
                 "accepted_epoch",
                 "packets_sync",
                 "queued_requests",
+                # The ACK reply is dropped when the pair is partitioned.
+                "disconnected",
             ],
             writes=["msgs", "newleader_recv"],
         ),
@@ -451,7 +455,13 @@ def sync_fine_concurrent_module(config: ZkConfig) -> Module:
                     "queued_requests",
                     "last_committed",
                     "committed_requests",
+                    # The ACK_UPTODATE reply is dropped when the pair is
+                    # partitioned.
+                    "disconnected",
                 ],
+                # Staged txns are queued under the current sync session's
+                # epoch (the QEntry session tag).
+                update_sources={"queued_requests": ["accepted_epoch"]},
                 writes=[
                     "msgs",
                     "zab_state",
@@ -493,7 +503,6 @@ def sync_fine_concurrent_module(config: ZkConfig) -> Module:
                     "current_epoch",
                     "ackepoch_recv",
                     "g_established",
-                    "last_committed",
                 ],
                 writes=["msgs", "errors"],
             ),
