@@ -56,6 +56,7 @@ def hunt(
     workers=None,
     incremental=True,
     dedupe="rounds",
+    compile_mode="auto",
 ):
     """One model-checking run, optionally restricted to an invariant
     family (how Table 4 reports per-bug rows)."""
@@ -86,6 +87,7 @@ def hunt(
         violation_limit=violation_limit,
         incremental=incremental,
         dedupe=dedupe,
+        compile_mode=compile_mode,
     )
     return engine.run()
 

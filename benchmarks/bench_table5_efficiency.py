@@ -24,6 +24,7 @@ the engine-vs-legacy throughput ratio.
 
 import argparse
 import json
+import math
 import sys
 import time
 
@@ -287,6 +288,145 @@ def run_engine_trajectory(max_states, max_time, workers):
     return report
 
 
+#: The compiled-kernel A/B lane: one row per (protocol, spec, budget).
+#: The rows deliberately span both memoization regimes.  The ZooKeeper
+#: specs have wide dependency closures (the hot ``state`` variable sits in
+#: nearly every closure), so kernel replay roughly breaks even with the
+#: interpreted memo path -- those rows feed the regression floor.  The
+#: Raft plugin specs have narrow closures, so the compiled replay path is
+#: the dominant cost -- ``raft-fine@150k`` is the >=1.5x gate row.  Raft
+#: appears at two budgets because memo hit rates (and so the kernel
+#: advantage) grow with frontier depth; the pair records that trend.
+AB_COMPILED_ROWS = (
+    ("zookeeper", "SysSpec", 30_000),
+    ("zookeeper", "mSpec-2", 30_000),
+    ("zookeeper", "mSpec-3", 30_000),
+    ("raft", "raft-coarse", 100_000),
+    ("raft", "raft-fine", 100_000),
+    ("raft", "raft-coarse", 150_000),
+    ("raft", "raft-fine", 150_000),
+)
+
+#: The row the --min-compiled-ratio gate applies to.
+AB_COMPILED_GATE_ROW = "raft-fine@150k"
+
+#: Every row must stay above this compiled/interpreted floor (compiled
+#: must never be a regression, modulo runner noise).
+AB_COMPILED_FLOOR = 0.9
+
+
+def _ab_compiled_spec(protocol, name):
+    if protocol == "zookeeper":
+        from repro.zookeeper import zk4394_mask
+        from repro.zookeeper.specs import SELECTIONS, build_spec
+
+        return build_spec(name, SELECTIONS[name], bench_config()), zk4394_mask
+    from repro.raft.config import RaftConfig
+    from repro.raft.spec import make_spec as raft_make_spec
+
+    return raft_make_spec(name, RaftConfig()), None
+
+
+def run_ab_compiled(max_time, reps=2):
+    """The compiled-kernel lane of ``BENCH_engine.json``.
+
+    Per row, runs the engine with ``--compile on``, ``--compile off`` and
+    the seed checker under the same sequential state budget, interleaved
+    for ``reps`` repetitions with the minimum CPU time kept per arm
+    (min-of-N cancels runner drift far better than wall-clock means).
+    Enumeration must be bitwise-identical between the engine arms --
+    states, transitions and violations are compared and a mismatch is a
+    hard failure, not a statistic.
+    """
+    from repro.checker.engine import ExplorationEngine
+    from repro.checker.legacy import LegacyBFSChecker
+
+    rows = {}
+    for protocol, name, max_states in AB_COMPILED_ROWS:
+        times = {"compiled": [], "interpreted": [], "seed": []}
+        explored = {}
+
+        def arm(mode):
+            spec, mask = _ab_compiled_spec(protocol, name)
+            if mode == "seed":
+                runner = LegacyBFSChecker(
+                    spec, max_states=max_states, max_time=max_time, mask=mask
+                )
+            else:
+                runner = ExplorationEngine(
+                    spec,
+                    "bfs",
+                    max_states=max_states,
+                    max_time=max_time,
+                    mask=mask,
+                    compile_mode="on" if mode == "compiled" else "off",
+                )
+            t0 = time.process_time()
+            result = runner.run()
+            times[mode].append(time.process_time() - t0)
+            explored[mode] = (
+                result.states_explored,
+                result.transitions,
+                sorted(v.invariant.full_name for v in result.violations),
+            )
+
+        for _ in range(reps):
+            for mode in ("compiled", "interpreted", "seed"):
+                arm(mode)
+        if explored["compiled"] != explored["interpreted"]:
+            raise SystemExit(
+                f"compiled/interpreted enumeration mismatch on {name}: "
+                f"{explored['compiled']} vs {explored['interpreted']}"
+            )
+        states = explored["compiled"][0]
+        best = {mode: min(ts) for mode, ts in times.items()}
+        rows[f"{name}@{max_states // 1000}k"] = {
+            "spec": name,
+            "protocol": protocol,
+            "max_states": max_states,
+            "states_explored": states,
+            "compiled_seconds": round(best["compiled"], 3),
+            "interpreted_seconds": round(best["interpreted"], 3),
+            "seed_seconds": round(best["seed"], 3),
+            "compiled_speedup": round(
+                best["interpreted"] / best["compiled"], 3
+            ),
+            "compiled_vs_seed_speedup": round(
+                (best["seed"] / explored["seed"][0]) / (best["compiled"] / states),
+                3,
+            )
+            if explored["seed"][0]
+            else None,
+        }
+
+    def geomean(values):
+        values = [v for v in values if v]
+        if not values:
+            return None
+        return round(math.exp(sum(math.log(v) for v in values) / len(values)), 3)
+
+    gate = rows.get(AB_COMPILED_GATE_ROW, {})
+    return {
+        "rows": rows,
+        "aggregate": {
+            "geomean_compiled_speedup": geomean(
+                r["compiled_speedup"] for r in rows.values()
+            ),
+            "geomean_compiled_vs_seed_speedup": geomean(
+                r["compiled_vs_seed_speedup"] for r in rows.values()
+            ),
+            "min_compiled_speedup": min(
+                r["compiled_speedup"] for r in rows.values()
+            ),
+            "gate_row": AB_COMPILED_GATE_ROW,
+            "gate_compiled_speedup": gate.get("compiled_speedup"),
+            "gate_compiled_vs_seed_speedup": gate.get(
+                "compiled_vs_seed_speedup"
+            ),
+        },
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="Table 5 efficiency smoke benchmark (engine-based)"
@@ -322,6 +462,23 @@ def main(argv=None):
         "incremental/full-recompute throughput ratio is at least this "
         "(CI perf-smoke gate; 1.0 = never slower than full recompute)",
     )
+    parser.add_argument(
+        "--ab-compiled",
+        action="store_true",
+        help="add the compiled-kernel lane to the report: compiled vs "
+        "interpreted vs seed checker per AB_COMPILED_ROWS row, "
+        "sequential, min-of-2 CPU time, with a hard "
+        "equal-enumeration check",
+    )
+    parser.add_argument(
+        "--min-compiled-ratio",
+        type=float,
+        default=None,
+        help="with --ab-compiled: exit 1 unless the gate row "
+        f"({AB_COMPILED_GATE_ROW}) reaches this compiled/interpreted "
+        f"speedup and every row stays above the {AB_COMPILED_FLOOR} "
+        "regression floor",
+    )
     args = parser.parse_args(argv)
     if args.ab_incremental:
         report = run_engine_trajectory(
@@ -336,6 +493,8 @@ def main(argv=None):
             args.compare_legacy,
             args.dedupe,
         )
+    if args.ab_compiled:
+        report["ab_compiled"] = run_ab_compiled(args.max_time)
     text = json.dumps(report, indent=2)
     print(text)
     if args.json_path:
@@ -353,6 +512,31 @@ def main(argv=None):
         print(
             f"perf-smoke gate ok: incremental/full ratio {ratio} >= "
             f"{args.min_ratio}",
+            file=sys.stderr,
+        )
+    if args.ab_compiled and args.min_compiled_ratio is not None:
+        agg = report["ab_compiled"]["aggregate"]
+        gate = agg["gate_compiled_speedup"]
+        floor = agg["min_compiled_speedup"]
+        if gate is None or gate < args.min_compiled_ratio:
+            print(
+                f"compiled gate FAILED: {AB_COMPILED_GATE_ROW} "
+                f"compiled/interpreted ratio {gate} < required "
+                f"{args.min_compiled_ratio}",
+                file=sys.stderr,
+            )
+            return 1
+        if floor < AB_COMPILED_FLOOR:
+            print(
+                f"compiled gate FAILED: worst row ratio {floor} < "
+                f"regression floor {AB_COMPILED_FLOOR}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"compiled gate ok: {AB_COMPILED_GATE_ROW} ratio {gate} >= "
+            f"{args.min_compiled_ratio}, worst row {floor} >= "
+            f"{AB_COMPILED_FLOOR}",
             file=sys.stderr,
         )
     return 0

@@ -64,11 +64,86 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.checker.fingerprint import Fingerprinter
 from repro.checker.result import CheckResult, Violation
 from repro.checker.trace import Trace
+from repro.tla.batch import FrontierBatch
 from repro.tla.spec import Specification
 from repro.tla.state import State
 
 #: Strategy names accepted by the engine (and the CLI ``--strategy`` flag).
 STRATEGIES = ("bfs", "dfs", "random", "portfolio")
+
+#: Kernel compilation modes (``--compile``).  ``auto`` compiles specs whose
+#: declarations the static analyzer proves truthful (``repro lint`` rules
+#: D01/D03/D05/D07 and P01-P04) and falls back to the interpreted path
+#: otherwise; ``on`` forces compilation (same trust model as the PR-5
+#: memo: garbage declarations in, garbage out -- pair with ``--debug-deps``
+#: to cross-check); ``off`` forces the interpreted path.
+COMPILE_MODES = ("auto", "on", "off")
+
+#: BFS rounds are swept through the compiled kernel in chunks of this many
+#: frontier entries.  Large enough to amortize batch setup, small enough
+#: that budget checks between chunks keep truncated runs from over-expanding
+#: past ``max_states`` (the sequential interpreted path stops per state).
+_KERNEL_CHUNK = 512
+
+#: Lint rules that block kernel compilation in ``auto`` mode.  The kernel
+#: replays memoized update bindings keyed on the dependency closure, which
+#: is sound exactly when the closure declarations are honest: D01 (reads
+#: outside the closure), D03 (undeclared writes), D05/D07 (unresolvable /
+#: malformed declarations) and the purity rules P01-P04 each break that
+#: contract.  D02/D04 (over-declaration) and D06 (no closure at all) are
+#: harmless: over-declared closures only widen memo keys, and closure-less
+#: actions land in the never-memoized eager sweep.
+_TRUST_BLOCKING = frozenset({"D01", "D03", "D05", "D07", "P01", "P02", "P03", "P04"})
+
+#: Per-action lint verdict cache, keyed on the action's code object and
+#: declarations (identity-free, so recomposing a spec from the same module
+#: actions -- the common case for the ZooKeeper/Raft plugins -- does not
+#: re-run the analyzer).
+_TRUST_CACHE: Dict[tuple, bool] = {}
+_TRUST_CACHE_LIMIT = 4096
+
+
+def kernel_trusted(spec: Specification) -> bool:
+    """Whether ``--compile auto`` may emit kernels for this spec.
+
+    Runs the PR-8 static analyzer over every action and requires zero
+    findings for the trust-critical rules (:data:`_TRUST_BLOCKING`).  The
+    verdict is cached on the spec object, and per-action verdicts are
+    cached globally by code object + declarations, so repeated spec
+    composition stays cheap.  Any analyzer failure counts as untrusted:
+    the engine then simply stays on the interpreted path.
+    """
+    verdict = getattr(spec, "_kernel_trusted", None)
+    if verdict is not None:
+        return verdict
+    verdict = True
+    schema_names = frozenset(spec.schema.names)
+    analyzer = None
+    try:
+        from repro.analysis.declarations import check_action
+        from repro.analysis.deps import SpecAnalyzer
+
+        for action in spec.actions:
+            sources = tuple(
+                sorted((k, tuple(sorted(v))) for k, v in action.update_sources.items())
+            )
+            key = (action.fn.__code__, action.reads, action.writes, sources, schema_names)
+            cached = _TRUST_CACHE.get(key)
+            if cached is None:
+                if analyzer is None:
+                    analyzer = SpecAnalyzer()
+                findings = check_action(spec.name, action, set(schema_names), analyzer)
+                cached = not any(f.rule in _TRUST_BLOCKING for f in findings)
+                if len(_TRUST_CACHE) >= _TRUST_CACHE_LIMIT:
+                    _TRUST_CACHE.clear()
+                _TRUST_CACHE[key] = cached
+            if not cached:
+                verdict = False
+                break
+    except Exception:
+        verdict = False
+    spec._kernel_trusted = verdict
+    return verdict
 
 #: Cross-worker dedupe modes for the parallel strategies (``--dedupe``).
 #: ``rounds`` merges visited-fingerprint sets at round barriers and is
@@ -107,21 +182,40 @@ class CompiledSpec:
         "actions",
         "affects",
         "guard_groups",
+        "guard_group_slots",
         "guard_memos",
+        "guard_stats",
         "outcome_groups",
+        "outcome_group_slots",
         "outcome_memos",
+        "outcome_stats",
+        "kernel_outcome_memos",
         "direct",
         "eager",
         "ungrouped",
         "invariant_fns",
         "invariants",
         "inv_groups",
+        "inv_group_slots",
         "inv_memos",
         "inv_ungrouped",
+        "mask_key",
+        "mask_slots",
+        "mask_memo",
+        "constraint_key",
+        "constraint_slots",
+        "constraint_memo",
         "constraint",
         "mask",
         "n_instances",
         "debug",
+        "compile_mode",
+        "kernel",
+        "kernel_source",
+        "expand_calls",
+        "_last_adapt",
+        "_shadowed_guards",
+        "demoted_groups",
     )
 
     #: Disabled-guard memo entries kept per instance before reset.
@@ -132,6 +226,21 @@ class CompiledSpec:
     #: bitmask-valued guard memo).
     OUTCOME_MEMO_LIMIT = 1 << 17
 
+    #: Expansions between adaptive hit-rate sweeps; also the minimum
+    #: per-group lookup window before a demotion verdict (small enough to
+    #: shed a cold wide group early in a run, large enough that the early
+    #: all-miss warmup phase cannot demote a group that is about to get
+    #: hot).
+    ADAPT_INTERVAL = 1024
+
+    #: Window hit-rate floors.  A *wide* group (closure spanning more than
+    #: half the schema -- the PR-5 static heuristic dropped these outright)
+    #: must earn its near-unique projection keys with a decent hit rate; a
+    #: narrow group's key is cheap, so it is only dropped when essentially
+    #: nothing hits.
+    ADAPT_WIDE_RATE = 0.10
+    ADAPT_NARROW_RATE = 0.02
+
     def __init__(
         self,
         spec: Specification,
@@ -139,7 +248,12 @@ class CompiledSpec:
         mask: Optional[Callable[[State], bool]] = None,
         incremental: bool = True,
         debug: bool = False,
+        compile_mode: str = "auto",
     ):
+        if compile_mode not in COMPILE_MODES:
+            raise ValueError(
+                f"unknown compile mode {compile_mode!r}; options: {list(COMPILE_MODES)}"
+            )
         self.spec = spec
         self.config = spec.config
         self.schema = spec.schema
@@ -184,7 +298,6 @@ class CompiledSpec:
             # Instances sharing a read set are grouped so the projection
             # is built and hashed once per state, and the memo stores a
             # disabled-instance bitmask per projection value.
-            schema_index = spec.schema._index
             # Outcome memoization, by dependency *closure* (Action.
             # dependency_closure: reads | writes | update_sources).  The
             # closure determines the function's entire outcome -- the
@@ -200,67 +313,85 @@ class CompiledSpec:
             # O(actions) into O(affected actions).
             by_closure: Dict[Tuple[int, ...], List[int]] = {}
             closure_of: Dict[int, Tuple[int, ...]] = {}
-            direct: List[int] = []
             ungrouped: List[int] = []
-            # A closure spanning most of the schema (fault actions that
-            # rewrite every volatile variable and read the message bus)
-            # keys the memo on a near-unique projection: all cost, no
-            # hits.  Those instances evaluate directly; the narrow ones
-            # memoize.
-            closure_limit = max(4, len(spec.schema) // 2)
+            # Every declared-closure instance starts memoized, however wide
+            # the closure: the adaptive hit-rate monitor (_adapt) demotes
+            # groups whose projections turn out near-unique at runtime,
+            # replacing the old static closure > schema/2 cutoff with
+            # measured evidence.
             for i, inst in enumerate(instances):
                 closure = inst.action.dependency_closure()
                 if closure is None:
                     ungrouped.append(i)  # unread guard: never memoized
                     continue
-                idxs = tuple(sorted(schema_index[name] for name in closure))
+                idxs = spec.schema.positions(closure)
                 closure_of[i] = idxs
-                if len(idxs) > closure_limit:
-                    direct.append(i)
-                else:
-                    by_closure.setdefault(idxs, []).append(i)
+                by_closure.setdefault(idxs, []).append(i)
             outcome_groups: List[Tuple[Callable[[tuple], Any], Tuple[int, ...]]] = []
+            outcome_group_slots: List[Tuple[int, ...]] = []
             for idxs, members in by_closure.items():
                 key_fn = itemgetter(*idxs) if len(idxs) > 1 else itemgetter(idxs[0])
                 outcome_groups.append((key_fn, tuple(members)))
+                outcome_group_slots.append(idxs)
             self.outcome_groups = outcome_groups
+            self.outcome_group_slots = outcome_group_slots
             self.outcome_memos: List[dict] = [{} for _ in outcome_groups]
-            self.direct = tuple(direct)
+            self.direct = ()
             self.ungrouped = tuple(ungrouped)
             # Narrow disabled-verdict memos, by guard read set.  A group
             # whose members all have closure == reads is fully shadowed
             # by the outcome group keyed on the identical projection, so
-            # it is skipped (same key, strictly less information).
+            # it is skipped (same key, strictly less information) -- but
+            # remembered, so demoting that outcome group can re-enable it.
             by_read_set: Dict[Tuple[int, ...], List[int]] = {}
             for i, inst in enumerate(instances):
-                idxs = tuple(sorted(schema_index[name] for name in inst.action.reads))
+                idxs = spec.schema.positions(inst.action.reads)
                 if idxs:
                     by_read_set.setdefault(idxs, []).append(i)
-            direct_set = set(direct)
             groups: List[Tuple[Callable[[tuple], Any], int]] = []
+            guard_group_slots: List[Tuple[int, ...]] = []
+            shadowed: Dict[Tuple[int, ...], int] = {}
             for idxs, members in by_read_set.items():
-                if all(
-                    closure_of.get(i) == idxs and i not in direct_set
-                    for i in members
-                ):
-                    continue
-                key_fn = itemgetter(*idxs) if len(idxs) > 1 else itemgetter(idxs[0])
                 bits = 0
                 for i in members:
                     bits |= 1 << i
+                if all(closure_of.get(i) == idxs for i in members):
+                    shadowed[idxs] = bits
+                    continue
+                key_fn = itemgetter(*idxs) if len(idxs) > 1 else itemgetter(idxs[0])
                 groups.append((key_fn, bits))
+                guard_group_slots.append(idxs)
             self.guard_groups = groups
+            self.guard_group_slots = guard_group_slots
             self.guard_memos: List[dict] = [{} for _ in groups]
+            self._shadowed_guards = shadowed
         else:
             everything = (1 << self.n_instances) - 1
             affects = [everything] * self.n_instances
             self.guard_groups = []
+            self.guard_group_slots = []
             self.guard_memos = []
             self.outcome_groups = []
+            self.outcome_group_slots = []
             self.outcome_memos = []
             self.direct = ()
             self.ungrouped = tuple(range(self.n_instances))
+            self._shadowed_guards = {}
         self.affects = affects
+        # Memo telemetry (--stats): per-group [misses, base_calls] cells
+        # (outcome cells carry two extra window-snapshot fields for the
+        # adaptive monitor).  Lookups are derived -- every expansion looks
+        # every live group up exactly once, so lookups(group) ==
+        # expand_calls - base_calls and only the miss branches pay an
+        # increment.
+        self.expand_calls = 0
+        self._last_adapt = 0
+        self.guard_stats: List[List[int]] = [[0, 0] for _ in self.guard_groups]
+        self.outcome_stats: List[List[int]] = [
+            [0, 0, 0, 0] for _ in self.outcome_groups
+        ]
+        self.kernel_outcome_memos: List[dict] = [{} for _ in self.outcome_groups]
+        self.demoted_groups: List[dict] = []
         # Instances evaluated on every state they are not proven
         # disabled in: wide-closure instances (skippable via inherited
         # disabled bits) plus undeclared-reads instances (never
@@ -275,6 +406,7 @@ class CompiledSpec:
         # projection.  Invariants without (resolvable) read declarations
         # are evaluated on every state.
         inv_groups: List[Tuple[Callable[[tuple], Any], Tuple[int, ...]]] = []
+        inv_group_slots: List[Tuple[int, ...]] = []
         inv_ungrouped: List[int] = []
         if incremental:
             schema_index = spec.schema._index
@@ -288,15 +420,92 @@ class CompiledSpec:
             for idxs, group_members in by_inv_reads.items():
                 key_fn = itemgetter(*idxs) if len(idxs) > 1 else itemgetter(idxs[0])
                 inv_groups.append((key_fn, tuple(group_members)))
+                inv_group_slots.append(idxs)
         else:
             inv_ungrouped = list(range(len(self.invariants)))
         self.inv_groups = inv_groups
+        self.inv_group_slots = inv_group_slots
         self.inv_memos: List[dict] = [{} for _ in inv_groups]
         self.inv_ungrouped = tuple(inv_ungrouped)
+        # Mask / constraint verdict memoization, by declared read set
+        # (``fn.reads``, mirroring Invariant.reads).  Both are pure state
+        # predicates; the ZK-4394 mask reads only ``errors`` and the epoch
+        # constraint only ``accepted_epoch``, so their verdicts replay
+        # from a one-slot projection -- without this, classification
+        # builds a State and calls both predicates for *every* candidate.
+        self.mask_key: Optional[Callable[[tuple], Any]] = None
+        self.mask_slots: Tuple[int, ...] = ()
+        self.mask_memo: dict = {}
+        self.constraint_key: Optional[Callable[[tuple], Any]] = None
+        self.constraint_slots: Tuple[int, ...] = ()
+        self.constraint_memo: dict = {}
+        if incremental:
+            schema_index = spec.schema._index
+            for fn, attr in ((mask, "mask"), (self.constraint, "constraint")):
+                declared = getattr(fn, "reads", None)
+                if declared and all(name in schema_index for name in declared):
+                    idxs = tuple(sorted(schema_index[name] for name in declared))
+                    setattr(self, f"{attr}_slots", idxs)
+                    setattr(
+                        self,
+                        f"{attr}_key",
+                        itemgetter(*idxs) if len(idxs) > 1 else itemgetter(idxs[0]),
+                    )
+        # Kernel compilation (the compile-then-batch pipeline).  Only the
+        # incremental path compiles: the kernel *is* the memoized path, so
+        # incremental=False (the A/B soundness arm) stays interpreted.
+        self.compile_mode = compile_mode
+        self.kernel: Optional[Callable] = None
+        self.kernel_source: Optional[str] = None
+        if incremental and compile_mode != "off":
+            if compile_mode == "on" or kernel_trusted(spec):
+                self._emit_kernel()
+
+    def _emit_kernel(self) -> None:
+        """(Re-)emit the batch kernel for the current group layout.
+
+        Called at compose time and again after adaptive demotion; the
+        emitted code binds the *current* memo dicts and stats cells, so
+        surviving groups keep their warm memos across re-emission.
+        """
+        from repro.tla.codegen import emit_kernel
+
+        self.kernel_source, self.kernel = emit_kernel(self)
+
+    def _masked(self, state: State) -> bool:
+        """Mask verdict for a state, memoized per declared-reads
+        projection when the mask declares one."""
+        mask_key = self.mask_key
+        if mask_key is None:
+            return bool(self.mask(state))
+        memo = self.mask_memo
+        key = mask_key(state.values)
+        hit = memo.get(key)
+        if hit is None:
+            hit = bool(self.mask(state))
+            if len(memo) >= self.GUARD_MEMO_LIMIT:
+                memo.clear()
+            memo[key] = hit
+        return hit
+
+    def _within_constraint(self, state: State) -> bool:
+        """Constraint verdict, memoized like :meth:`_masked`."""
+        ckey = self.constraint_key
+        if ckey is None:
+            return bool(self.constraint(self.config, state))
+        memo = self.constraint_memo
+        key = ckey(state.values)
+        hit = memo.get(key)
+        if hit is None:
+            hit = bool(self.constraint(self.config, state))
+            if len(memo) >= self.GUARD_MEMO_LIMIT:
+                memo.clear()
+            memo[key] = hit
+        return hit
 
     def classify(self, state: State) -> Tuple[Tuple[int, ...], bool, bool]:
         """(violated invariant indices, masked, within constraint)."""
-        if self.mask is not None and self.mask(state):
+        if self.mask is not None and self._masked(state):
             return (), True, True
         config = self.config
         values = state.values
@@ -325,7 +534,83 @@ class CompiledSpec:
             )
         else:
             viols = ()
-        ok = self.constraint is None or bool(self.constraint(config, state))
+        ok = self.constraint is None or self._within_constraint(state)
+        return viols, False, ok
+
+    def classify_values(self, values: Tuple[Any, ...]) -> Tuple[Tuple[int, ...], bool, bool]:
+        """:meth:`classify` over a raw values tuple, materializing the
+        ``State`` lazily -- only when a mask, a memo miss, an ungrouped
+        invariant or a constraint actually needs attribute access.  The
+        batch kernels classify through this, so a fully memo-hit candidate
+        never allocates a ``State`` at all."""
+        state: Optional[State] = None
+        if self.mask is not None:
+            mask_key = self.mask_key
+            if mask_key is not None:
+                memo = self.mask_memo
+                key = mask_key(values)
+                hit = memo.get(key)
+                if hit is None:
+                    state = State(self.schema, values)
+                    hit = bool(self.mask(state))
+                    if len(memo) >= self.GUARD_MEMO_LIMIT:
+                        memo.clear()
+                    memo[key] = hit
+                if hit:
+                    return (), True, True
+            else:
+                state = State(self.schema, values)
+                if self.mask(state):
+                    return (), True, True
+        config = self.config
+        invariant_fns = self.invariant_fns
+        memo_limit = self.GUARD_MEMO_LIMIT
+        viol_bits = 0
+        for group_index, (key_fn, group_members) in enumerate(self.inv_groups):
+            memo = self.inv_memos[group_index]
+            key = key_fn(values)
+            hit = memo.get(key)
+            if hit is None:
+                if state is None:
+                    state = State(self.schema, values)
+                hit = 0
+                for i in group_members:
+                    if not invariant_fns[i](config, state):
+                        hit |= 1 << i
+                if len(memo) >= memo_limit:
+                    memo.clear()
+                memo[key] = hit
+            viol_bits |= hit
+        if self.inv_ungrouped and state is None:
+            state = State(self.schema, values)
+        for i in self.inv_ungrouped:
+            if not invariant_fns[i](config, state):
+                viol_bits |= 1 << i
+        if viol_bits:
+            viols = tuple(
+                i for i in range(len(invariant_fns)) if (viol_bits >> i) & 1
+            )
+        else:
+            viols = ()
+        if self.constraint is None:
+            ok = True
+        else:
+            ckey = self.constraint_key
+            if ckey is not None:
+                memo = self.constraint_memo
+                key = ckey(values)
+                ok = memo.get(key)
+                if ok is None:
+                    if state is None:
+                        state = State(self.schema, values)
+                    ok = bool(self.constraint(config, state))
+                    if len(memo) >= self.GUARD_MEMO_LIMIT:
+                        memo.clear()
+                    memo[key] = ok
+            else:
+                if state is None:
+                    state = State(self.schema, values)
+                ok = bool(self.constraint(config, state))
         return viols, False, ok
 
     def step(
@@ -347,6 +632,20 @@ class CompiledSpec:
         :class:`~repro.checker.random_walk.RandomWalker` and the
         engine's ``random``/``portfolio`` strategies.
         """
+        if self.kernel is not None:
+            batch = FrontierBatch.single(
+                state_fp, state.values, known_disabled, state_digests
+            )
+            ((_, _, candidates),) = self.expand_batch(
+                batch, _UNUSED_SEEN, classify_candidates=False, dedupe=False
+            )
+            if not candidates:
+                return None
+            # Same candidate list length and order as the interpreted path,
+            # so the rng.choice consumes identical entropy -- and only the
+            # *chosen* successor is materialized as a State.
+            idx, svt, fp, known, _, _, _, digests = rng.choice(candidates)
+            return idx, State(self.schema, svt), fp, known, digests
         _, candidates = self.expand(
             state, known_disabled, _UNUSED_SEEN, state_fp, state_digests,
             classify_candidates=False, dedupe=False,
@@ -408,6 +707,9 @@ class CompiledSpec:
         counts every state-changing successor (including already-seen
         ones, matching the seed checker's transition count).
         """
+        self.expand_calls += 1
+        if self.expand_calls - self._last_adapt >= self.ADAPT_INTERVAL:
+            self._adapt()
         config = self.config
         appliers = self.appliers
         debug = self.debug
@@ -431,6 +733,7 @@ class CompiledSpec:
             if hit is not None:
                 disabled |= hit
             else:
+                self.guard_stats[group_index][0] += 1
                 pending.append((memo, key, bits))
         # Tier 2: full-outcome memos keyed on the dependency closure
         # (reads | writes | update_sources).  A hit replays the stored
@@ -463,6 +766,7 @@ class CompiledSpec:
                         todo ^= low
                         self._check_outcome(low.bit_length() - 1, None, state)
                 continue
+            self.outcome_stats[group_index][0] += 1
             group_disabled = 0
             enabled = []
             for idx in members:
@@ -552,6 +856,247 @@ class CompiledSpec:
             )
         return transitions, candidates
 
+    # ---------------------------------------------------- batch kernels
+
+    def expand_batch(
+        self,
+        batch: FrontierBatch,
+        seen: set,
+        classify_candidates: bool = True,
+        dedupe: bool = True,
+    ) -> List[Tuple[int, int, list]]:
+        """Expand a whole frontier batch through the compiled kernel.
+
+        Returns ``[(entry_fp, transitions, candidates), ...]`` in entry
+        order, with candidates shaped like :meth:`expand`'s except that
+        the successor is a raw values tuple (``State`` materialization is
+        the caller's choice).  Falls back to per-entry interpreted
+        expansion when no kernel is compiled, so callers can stay
+        path-agnostic.
+        """
+        kernel = self.kernel
+        if kernel is not None:
+            self.expand_calls += len(batch)
+            if self.expand_calls - self._last_adapt >= self.ADAPT_INTERVAL:
+                self._adapt()
+                kernel = self.kernel  # demotion re-emits
+            if self.debug:
+                self._debug_check_batch(batch)
+            return kernel(
+                batch.fps, batch.values, batch.knowns,
+                seen, dedupe, classify_candidates,
+            )
+        schema = self.schema
+        results: List[Tuple[int, int, list]] = []
+        for fp, values, known, digests in batch.entries():
+            transitions, cands = self.expand(
+                State(schema, values), known, seen, fp, digests,
+                classify_candidates, dedupe,
+            )
+            results.append(
+                (
+                    fp,
+                    transitions,
+                    [(c[0], c[1].values) + c[2:] for c in cands],
+                )
+            )
+        return results
+
+    def _debug_check_batch(self, batch: FrontierBatch) -> None:
+        """Debug mode: cross-check kernel outcomes against a *fresh*
+        interpreted evaluation of every instance (no memos, no inherited
+        disabled bits), so a lying declaration that poisons a kernel memo
+        entry -- or wrongly inherits a known-disabled bit -- is caught at
+        the first state it mis-expands."""
+        assert self.kernel is not None
+        out = self.kernel(
+            batch.fps, batch.values, batch.knowns,
+            _UNUSED_SEEN, False, False,
+        )
+        schema = self.schema
+        schema_index = schema._index
+        slot_digest = self.fingerprinter.slot_digest
+        config = self.config
+        for i in range(len(batch)):
+            values = batch.values[i]
+            state = State(schema, values)
+            entry_fp = batch.fps[i]
+            fresh: List[Tuple[int, Tuple[Any, ...], int]] = []
+            for idx, applier in enumerate(self.appliers):
+                updates = applier(config, state)
+                if updates is None:
+                    continue
+                self.actions[idx].validate_updates(updates)
+                changes = [
+                    (schema_index[name], value)
+                    for name, value in updates.items()
+                ]
+                changes = [
+                    (slot, value)
+                    for slot, value in changes
+                    if values[slot] is not value and values[slot] != value
+                ]
+                if not changes:
+                    continue
+                fp = entry_fp
+                successor = list(values)
+                for slot, value in changes:
+                    fp ^= slot_digest(slot, values[slot]) ^ slot_digest(slot, value)
+                    successor[slot] = value
+                fresh.append((idx, tuple(successor), fp))
+            fresh.sort(key=itemgetter(0))
+            got = [(c[0], c[1], c[2]) for c in out[i][2]]
+            if got != fresh:
+                raise AssertionError(
+                    f"compiled kernel diverged from fresh evaluation on "
+                    f"state {state!r}: kernel produced "
+                    f"{[(self.labels[idx], fp) for idx, _, fp in got]!r}, "
+                    f"fresh evaluation produced "
+                    f"{[(self.labels[idx], fp) for idx, _, fp in fresh]!r} "
+                    f"(an action's reads/writes/update_sources declaration "
+                    f"is untruthful)"
+                )
+
+    # ------------------------------------------------ adaptive memoing
+
+    def _adapt(self) -> None:
+        """Demote outcome groups whose memo went cold over the last
+        window.  Purely a performance decision: demoted members move to
+        the eager sweep, whose per-state evaluation produces identical
+        results -- so adaptation can never change what is explored."""
+        self._last_adapt = self.expand_calls
+        if not self.outcome_groups:
+            return
+        calls = self.expand_calls
+        wide = len(self.schema) // 2
+        demote: List[int] = []
+        for gi, cell in enumerate(self.outcome_stats):
+            misses, base, last_lookups, last_misses = cell
+            lookups = calls - base
+            window = lookups - last_lookups
+            if window < self.ADAPT_INTERVAL:
+                continue
+            window_hits = window - (misses - last_misses)
+            rate = window_hits / window
+            slots = self.outcome_group_slots[gi]
+            floor = self.ADAPT_WIDE_RATE if len(slots) > wide else self.ADAPT_NARROW_RATE
+            if rate < floor:
+                demote.append(gi)
+            else:
+                cell[2] = lookups
+                cell[3] = misses
+        if demote:
+            self._demote(demote)
+
+    def _demote(self, group_indices: List[int]) -> None:
+        """Move cold outcome groups to the eager sweep, re-enabling any
+        guard group their closure projection was shadowing."""
+        drop = set(group_indices)
+        calls = self.expand_calls
+        names = self.schema.names
+        keep_groups, keep_slots = [], []
+        keep_memos, keep_kmemos, keep_stats = [], [], []
+        demoted_members: List[int] = []
+        for gi in range(len(self.outcome_groups)):
+            if gi not in drop:
+                keep_groups.append(self.outcome_groups[gi])
+                keep_slots.append(self.outcome_group_slots[gi])
+                keep_memos.append(self.outcome_memos[gi])
+                keep_kmemos.append(self.kernel_outcome_memos[gi])
+                keep_stats.append(self.outcome_stats[gi])
+                continue
+            slots = self.outcome_group_slots[gi]
+            members = self.outcome_groups[gi][1]
+            misses, base = self.outcome_stats[gi][0], self.outcome_stats[gi][1]
+            lookups = calls - base
+            self.demoted_groups.append(
+                {
+                    "vars": [names[s] for s in slots],
+                    "members": len(members),
+                    "lookups": lookups,
+                    "hits": lookups - misses,
+                }
+            )
+            demoted_members.extend(members)
+            shadow_bits = self._shadowed_guards.pop(slots, None)
+            if shadow_bits is not None:
+                key_fn = itemgetter(*slots) if len(slots) > 1 else itemgetter(slots[0])
+                self.guard_groups.append((key_fn, shadow_bits))
+                self.guard_group_slots.append(slots)
+                self.guard_memos.append({})
+                self.guard_stats.append([0, calls])
+        self.outcome_groups = keep_groups
+        self.outcome_group_slots = keep_slots
+        self.outcome_memos = keep_memos
+        self.kernel_outcome_memos = keep_kmemos
+        self.outcome_stats = keep_stats
+        self.direct = self.direct + tuple(sorted(demoted_members))
+        self.eager = self.direct + self.ungrouped
+        if self.kernel is not None:
+            self._emit_kernel()
+
+    def memo_stats(self) -> dict:
+        """Per-action-group memo telemetry for ``--stats``."""
+        calls = self.expand_calls
+        names = self.schema.names
+        compiled = self.kernel is not None
+
+        def row(slots, members, cell, entries):
+            lookups = max(0, calls - cell[1])
+            hits = lookups - cell[0]
+            return {
+                "vars": [names[s] for s in slots],
+                "members": members,
+                "lookups": lookups,
+                "hits": hits,
+                "hit_rate": round(hits / lookups, 4) if lookups else None,
+                "entries": entries,
+            }
+
+        outcome_rows = [
+            row(
+                self.outcome_group_slots[gi],
+                len(group[1]),
+                self.outcome_stats[gi],
+                len(
+                    self.kernel_outcome_memos[gi]
+                    if compiled
+                    else self.outcome_memos[gi]
+                ),
+            )
+            for gi, group in enumerate(self.outcome_groups)
+        ]
+        guard_rows = [
+            row(
+                self.guard_group_slots[gi],
+                bin(group[1]).count("1"),
+                self.guard_stats[gi],
+                len(self.guard_memos[gi]),
+            )
+            for gi, group in enumerate(self.guard_groups)
+        ]
+        stats = {
+            "mode": "compiled" if compiled else "interpreted",
+            "expand_calls": calls,
+            "eager_instances": len(self.eager),
+            "outcome_groups": outcome_rows,
+            "guard_groups": guard_rows,
+            "demoted_groups": list(self.demoted_groups),
+            "mask_memo_entries": (
+                len(self.mask_memo) if self.mask_key is not None else None
+            ),
+            "constraint_memo_entries": (
+                len(self.constraint_memo)
+                if self.constraint_key is not None
+                else None
+            ),
+        }
+        if compiled:
+            from repro.tla.codegen import CODEGEN_VERSION
+
+            stats["codegen_version"] = CODEGEN_VERSION
+        return stats
+
 
 def compiled_for(
     spec: Specification,
@@ -559,18 +1104,28 @@ def compiled_for(
     mask: Optional[Callable[[State], bool]] = None,
     incremental: bool = True,
     debug: bool = False,
+    compile_mode: str = "auto",
 ) -> CompiledSpec:
     """The compiled form of a specification, cached on the spec.
 
     The default configuration (64-bit fingerprints, no mask, incremental
-    analysis) is compiled once per :class:`Specification` instance and
-    shared by every consumer -- engine runs, random walkers, the
-    conformance campaign's suffix replays -- so the interference matrix
-    is built once and the guard/outcome memos stay warm across calls.
+    analysis, ``compile auto``) is compiled once per
+    :class:`Specification` instance and shared by every consumer --
+    engine runs, random walkers, the conformance campaign's suffix
+    replays -- so the interference matrix and any generated kernels are
+    built once and the guard/outcome memos stay warm across calls.
     Campaign workers fork after the parent pre-warms the cache and
-    inherit the compiled core by memory image.
+    inherit the compiled core (kernels included) by memory image.
+    Explicit ``compile_mode`` overrides bypass the cache: they are A/B
+    measurement arms that must not leak their layout into shared state.
     """
-    if fingerprinter is None and mask is None and incremental and not debug:
+    if (
+        fingerprinter is None
+        and mask is None
+        and incremental
+        and not debug
+        and compile_mode == "auto"
+    ):
         core = getattr(spec, "_compiled_core", None)
         if core is None:
             core = CompiledSpec(spec)
@@ -582,6 +1137,7 @@ def compiled_for(
         mask=mask,
         incremental=incremental,
         debug=debug,
+        compile_mode=compile_mode,
     )
 
 
@@ -625,6 +1181,14 @@ class ExplorationEngine:
         Cross-check every memoized/inherited action outcome against a
         fresh evaluation and validate update dicts against the declared
         write sets (slow; catches untruthful dependency declarations).
+        With a compiled kernel, every batch is additionally cross-checked
+        against a fresh interpreted evaluation of all instances.
+    compile_mode:
+        Kernel compilation (``--compile``): ``"auto"`` (default) compiles
+        specs the static analyzer proves truthful and falls back to the
+        interpreted path otherwise; ``"on"`` forces compilation;
+        ``"off"`` forces interpretation.  Enumeration order is bitwise
+        identical either way.
     """
 
     def __init__(
@@ -643,6 +1207,7 @@ class ExplorationEngine:
         incremental: bool = True,
         dedupe: str = "rounds",
         debug: bool = False,
+        compile_mode: str = "auto",
     ):
         if strategy not in STRATEGIES:
             raise ValueError(
@@ -651,6 +1216,10 @@ class ExplorationEngine:
         if dedupe not in DEDUPE_MODES:
             raise ValueError(
                 f"unknown dedupe mode {dedupe!r}; options: {list(DEDUPE_MODES)}"
+            )
+        if compile_mode not in COMPILE_MODES:
+            raise ValueError(
+                f"unknown compile mode {compile_mode!r}; options: {list(COMPILE_MODES)}"
             )
         self.spec = spec
         self.strategy = strategy
@@ -666,6 +1235,10 @@ class ExplorationEngine:
         self.incremental = incremental
         self.dedupe = dedupe
         self.debug = debug
+        self.compile_mode = compile_mode
+        #: The compiled core of the last run (memo/kernel telemetry for
+        #: ``--stats``); ``None`` until a strategy has run in-process.
+        self.core: Optional[CompiledSpec] = None
 
     def run(self) -> CheckResult:
         was_collecting = gc.isenabled()
@@ -695,13 +1268,16 @@ class ExplorationEngine:
                 gc.enable()
 
     def _compile(self) -> CompiledSpec:
-        return compiled_for(
+        core = compiled_for(
             self.spec,
             fingerprinter=self.fingerprinter,
             mask=self.mask,
             incremental=self.incremental,
             debug=self.debug,
+            compile_mode=self.compile_mode,
         )
+        self.core = core
+        return core
 
     # ------------------------------------------------------------- BFS
 
@@ -828,6 +1404,27 @@ class ExplorationEngine:
                     else:
                         rounds = pool.round(delta, payload_frontier)
                     results_iter = iter(rounds)
+                elif core.kernel is not None:
+                    # Compiled path: sweep the round in fixed-size batches.
+                    # Candidate payloads come back as raw value tuples;
+                    # the merge loop below is payload-agnostic and traces
+                    # replay from labels, so States are never built for
+                    # states that only transit the frontier.  Chunking keeps
+                    # the lazy budget semantics of the sequential path: when
+                    # the merge loop stops mid-round (max_states, max_time,
+                    # violation), unexpanded chunks are never swept, so
+                    # compiled and interpreted runs do the same amount of
+                    # work at truncated budgets.
+                    def _batched(round_frontier=frontier):
+                        for lo in range(0, len(round_frontier), _KERNEL_CHUNK):
+                            yield from core.expand_batch(
+                                FrontierBatch.from_entries(
+                                    round_frontier[lo : lo + _KERNEL_CHUNK]
+                                ),
+                                seen,
+                            )
+
+                    results_iter = _batched()
                 else:
                     def _sequential():
                         for fp, state, known, digests in frontier:
@@ -907,14 +1504,19 @@ class ExplorationEngine:
         visited: set = set()
         throwaway: set = set()
 
+        kernel = core.kernel is not None
+        schema = spec.schema
+
         # Stack entries:
-        # (state, fp, labels-so-far, initial state, known_disabled, digests)
+        # (values, fp, labels-so-far, initial state, known_disabled, digests)
+        # -- raw value tuples, so pushed-but-pruned candidates never
+        # materialize a State (classification on pop is lazy too).
         stack: List[
-            Tuple[State, int, Tuple[int, ...], State, int, Tuple[int, ...]]
+            Tuple[Tuple[Any, ...], int, Tuple[int, ...], State, int, Tuple[int, ...]]
         ] = []
         for init in spec.initial_states():
             fp, digests = core.fingerprinter.of_values_with_digests(init.values)
-            stack.append((init, fp, (), init, 0, digests))
+            stack.append((init.values, fp, (), init, 0, digests))
 
         while stack:
             if self.max_states is not None and len(visited) >= self.max_states:
@@ -926,14 +1528,14 @@ class ExplorationEngine:
             ):
                 result.budget_exhausted = "max_time"
                 break
-            state, fp, chain, init, known, digests = stack.pop()
+            values, fp, chain, init, known, digests = stack.pop()
             if fp in visited:
                 continue
             visited.add(fp)
             depth = len(chain)
             if depth > result.max_depth:
                 result.max_depth = depth
-            viols, masked, ok = core.classify(state)
+            viols, masked, ok = core.classify_values(values)
             if masked:
                 continue
             if viols:
@@ -949,13 +1551,29 @@ class ExplorationEngine:
             if depth >= max_depth or not ok:
                 continue
             throwaway.clear()
-            transitions, candidates = core.expand(
-                state, known, throwaway, fp, digests, classify_candidates=False
-            )
-            result.transitions += transitions
-            for idx, nxt, nfp, nknown, _, _, _, ndigests in candidates:
-                if nfp not in visited:
-                    stack.append((nxt, nfp, chain + (idx,), init, nknown, ndigests))
+            if kernel:
+                ((_, transitions, candidates),) = core.expand_batch(
+                    FrontierBatch.single(fp, values, known, digests),
+                    throwaway,
+                    classify_candidates=False,
+                )
+                result.transitions += transitions
+                for idx, svt, nfp, nknown, _, _, _, ndigests in candidates:
+                    if nfp not in visited:
+                        stack.append(
+                            (svt, nfp, chain + (idx,), init, nknown, ndigests)
+                        )
+            else:
+                transitions, candidates = core.expand(
+                    State(schema, values), known, throwaway, fp, digests,
+                    classify_candidates=False,
+                )
+                result.transitions += transitions
+                for idx, nxt, nfp, nknown, _, _, _, ndigests in candidates:
+                    if nfp not in visited:
+                        stack.append(
+                            (nxt.values, nfp, chain + (idx,), init, nknown, ndigests)
+                        )
 
         result.states_explored = len(visited)
         result.elapsed_seconds = time.monotonic() - start
@@ -1077,6 +1695,7 @@ class ExplorationEngine:
             incremental=self.incremental,
             dedupe=self.dedupe,
             debug=self.debug,
+            compile_mode=self.compile_mode,
         )
         kwargs.update(overrides)
         return ExplorationEngine(self.spec, **kwargs)

@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence,
 
 from repro.checker.result import CheckResult, Violation
 from repro.checker.trace import Trace
+from repro.tla.batch import FrontierBatch
 from repro.tla.state import State
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -241,6 +242,17 @@ def _bfs_worker_main(conn) -> None:
             else:
                 seen.update(delta)
                 table = seen
+            if core.kernel is not None:
+                # Compiled path: the shard is already (fp, values, known,
+                # digests) rows, and kernel candidates carry raw value
+                # tuples -- exactly the wire format -- so the batch result
+                # ships without any per-candidate conversion.  Workers
+                # adapt their memo layout independently inside
+                # expand_batch (fork gives each its own core copy).
+                conn.send(
+                    core.expand_batch(FrontierBatch.from_entries(entries), table)
+                )
+                continue
             out = []
             for entry_fp, values, known, digests in entries:
                 state = State(schema, values)
@@ -416,8 +428,7 @@ def run_dfs_sharded(engine: "ExplorationEngine") -> CheckResult:
                     depth = len(chain)
                     if depth > out["max_depth"]:
                         out["max_depth"] = depth
-                    state = State(schema, values)
-                    viols, masked, ok = core.classify(state)
+                    viols, masked, ok = core.classify_values(values)
                     if masked:
                         continue
                     if viols:
@@ -435,8 +446,28 @@ def run_dfs_sharded(engine: "ExplorationEngine") -> CheckResult:
                     if depth >= max_depth or not ok:
                         continue
                     throwaway.clear()
+                    if core.kernel is not None:
+                        ((_, transitions, kcands),) = core.expand_batch(
+                            FrontierBatch.single(fp, values, known, digests),
+                            throwaway,
+                            classify_candidates=False,
+                        )
+                        out["transitions"] += transitions
+                        for idx, svt, nfp, nknown, _, _, _, ndigests in kcands:
+                            if nfp not in shard_table:
+                                stack.append(
+                                    (
+                                        svt,
+                                        nfp,
+                                        chain + (idx,),
+                                        init_values,
+                                        nknown,
+                                        ndigests,
+                                    )
+                                )
+                        continue
                     transitions, candidates = core.expand(
-                        state, known, throwaway, fp, digests,
+                        State(schema, values), known, throwaway, fp, digests,
                         classify_candidates=False,
                     )
                     out["transitions"] += transitions

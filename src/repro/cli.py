@@ -81,6 +81,22 @@ def _add_engine_args(parser: argparse.ArgumentParser):
         "evaluations (slow; validates reads/writes/update_sources "
         "declarations)",
     )
+    parser.add_argument(
+        "--compile",
+        dest="compile_mode",
+        choices=["auto", "on", "off"],
+        default="auto",
+        help="compiled successor kernels: 'auto' compiles when the "
+        "static analyzer (repro lint) proves the spec's dependency "
+        "declarations, 'on' forces compilation (trust declarations), "
+        "'off' stays on the interpreted path (default: auto)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-action-group memo hit/miss statistics after "
+        "the run (guard, outcome and kernel counters)",
+    )
 
 
 def _engine(args, spec, **overrides) -> ExplorationEngine:
@@ -90,11 +106,21 @@ def _engine(args, spec, **overrides) -> ExplorationEngine:
         seed=getattr(args, "seed", 0),
         dedupe=getattr(args, "dedupe", "rounds"),
         debug=getattr(args, "debug_deps", False),
+        compile_mode=getattr(args, "compile_mode", "auto"),
         max_states=args.max_states,
         max_time=args.max_time,
     )
     kwargs.update(overrides)
     return ExplorationEngine(spec, **kwargs)
+
+
+def _print_stats(engine: ExplorationEngine) -> None:
+    core = getattr(engine, "core", None)
+    if core is None:
+        print("(no memo statistics: engine ran without a compiled core)")
+        return
+    stats = core.memo_stats()
+    print(json.dumps(stats, indent=2, sort_keys=True))
 
 
 def _config(args) -> ZkConfig:
@@ -110,8 +136,11 @@ def _config(args) -> ZkConfig:
 def cmd_check(args) -> int:
     spec = make_spec(args.spec, _config(args))
     mask = None if args.unmask_zk4394 else zk4394_mask
-    result = _engine(args, spec, mask=mask).run()
+    engine = _engine(args, spec, mask=mask)
+    result = engine.run()
     print(result.summary())
+    if getattr(args, "stats", False):
+        _print_stats(engine)
     if result.found_violation and args.trace:
         print()
         print(format_trace(result.first_violation.trace))

@@ -220,7 +220,15 @@ def _disk_dir() -> Optional[str]:
 def _compute_digest(system: str) -> str:
     import importlib
 
-    digest = hashlib.sha1(f"format/{_DISK_FORMAT}".encode())
+    from repro.tla.codegen import CODEGEN_VERSION
+
+    # The kernel emitter's version participates in the invalidation rule:
+    # cached artifacts derived under one emitter (memo layouts, traces
+    # reproduced through compiled runs) are orphaned when the emitted
+    # code's shape or semantics change.
+    digest = hashlib.sha1(
+        f"format/{_DISK_FORMAT}/codegen/{CODEGEN_VERSION}".encode()
+    )
     for package in _plugin(system).spec_source_packages:
         pkg = importlib.import_module(package)
         root = os.path.dirname(pkg.__file__)

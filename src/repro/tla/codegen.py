@@ -1,0 +1,474 @@
+"""Compiled successor kernels: per-action-group code generated at compose time.
+
+The interpreted expand path (``repro.checker.engine.CompiledSpec.expand``)
+re-walks the generic spec machinery for every state: per-group memo key
+construction through ``operator.itemgetter``, per-instance guard/update
+closure calls, per-change digest lookups, per-replay change filtering.
+This module lowers the *whole expansion* into one specialized Python
+function emitted at compose time: for every action group, the guard
+projection, update binding, dependency-closure memo key and incremental
+fingerprint delta (``fp ^ H(var, old) ^ H(var, new)``) are fused into
+straight-line code that maps over a frontier batch.
+
+What makes the compiled memo entry fast is a static observation, not a
+runtime trick: changed slots are a subset of an action's declared
+``writes``, ``writes`` are a subset of its dependency closure, and the
+closure projection *is* the memo key.  So, per memo entry, the changed
+slots, their old values, their new values and the complete fingerprint
+delta are all constants.  A kernel memo entry therefore stores, per
+enabled change-ful instance, ``(idx, ((slot, new_value), ...), fp_delta)``
+and a hit replays a successor with a single XOR plus a couple of list
+writes — no guard call, no update call, no digest lookups, no change
+filtering.  For the same reason the kernel does not thread per-slot digest
+tuples through frontier entries at all: digests are only touched on a
+memo miss, where the delta is folded once and for all.
+
+The emitted function is *entry-major*: one loop over the batch, with every
+group's memo lookup, miss evaluation and replay unrolled inline, followed
+immediately by that entry's candidate finalization.  Compared to a
+group-major sweep this loads the inherited disabled mask and the raw
+successor list into locals exactly once per state, and it preserves the
+sequential path's memo-write timing (guard verdicts are written back at
+the end of each entry, so the next entry can hit them).  Batches also
+exploit frontier locality: BFS frontiers are parent-major, so consecutive
+entries are siblings whose projections agree for every group their
+generating actions did not write.  Each group keeps its last
+``(key, entry)`` pair in locals and skips the memo lookup when the key
+repeats — a tuple equality check over identical value objects is several
+times cheaper than hashing the key again.
+
+Trust contract: emitting a kernel assumes the declarations are truthful.
+``repro lint`` (PR 8) is the compile precondition — in ``--compile auto``
+a spec with blocking D/P findings stays on the interpreted path, and
+``--debug-deps`` cross-checks every kernel outcome against a fresh
+interpreted evaluation.
+
+``CODEGEN_VERSION`` tags every artifact derived from the emitter (most
+importantly the ``remix.spec_cache`` on-disk digest): bump it whenever the
+emitted code's shape or semantics change, so stale cached artifacts are
+orphaned instead of replayed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.tla.state import State
+
+# Version tag of the kernel emitter.  Mixed into the spec_cache on-disk
+# digest (upgrading the emitter must orphan stale artifacts) and reported
+# by ``CompiledSpec.memo_stats``.
+CODEGEN_VERSION = 5
+
+
+class _Sentinel:
+    """A key that never equals a real projection key (last-key caches)."""
+
+    __slots__ = ()
+
+    def __eq__(self, other: Any) -> bool:
+        return other is self
+
+    def __hash__(self) -> int:  # pragma: no cover - never hashed
+        return 0
+
+
+_SENTINEL = _Sentinel()
+
+
+def _key_expr(slots: Tuple[int, ...], var: str = "v") -> str:
+    """Memo-key expression for a projection: direct tuple subscripts.
+
+    Single-slot projections use the bare value (cheaper than a 1-tuple).
+    This is *the same* key format ``operator.itemgetter`` produces for the
+    interpreted path, which is what lets the fused classification below
+    share the engine's mask/invariant/constraint memo dicts instead of
+    keeping kernel-private shadows.
+    """
+    if len(slots) == 1:
+        return f"{var}[{slots[0]}]"
+    return "(" + ", ".join(f"{var}[{s}]" for s in slots) + ")"
+
+
+def make_outcome_compiler(core: Any) -> Callable:
+    """Build the shared miss-path helper that compiles one applier outcome
+    into a kernel memo entry.
+
+    Returns ``(idx, ((slot, new_value), ...), fp_delta)`` for a change-ful
+    outcome, or ``None`` when every update is a no-op (matching the
+    interpreted path's self-loop suppression).  The fingerprint delta folds
+    both the old- and new-value digests in here, at miss time — replays
+    never touch the digest cache again.
+    """
+    schema_index = core.schema._index
+    fingerprinter = core.fingerprinter
+    slot_digest = fingerprinter.slot_digest
+    # Pre-touch every per-slot digest cache so ``caches`` is a stable list
+    # and the hot path can index it directly instead of going through the
+    # guarded ``slot_digest`` method for what is almost always a cache hit.
+    for i in range(len(core.schema.names)):
+        fingerprinter._cache_for(i)
+    caches = fingerprinter._caches
+
+    def compile_outcome(idx: int, updates: Dict[str, Any], parent_values: Tuple):
+        changes = []
+        delta = 0
+        for name, value in updates.items():
+            slot = schema_index[name]
+            old = parent_values[slot]
+            if old is value or old == value:
+                continue
+            cache = caches[slot]
+            od = cache.get(old)
+            if od is None:
+                od = slot_digest(slot, old)
+            nd = cache.get(value)
+            if nd is None:
+                nd = slot_digest(slot, value)
+            delta ^= od ^ nd
+            changes.append((slot, value))
+        if not changes:
+            return None
+        return (idx, tuple(changes), delta)
+
+    return compile_outcome
+
+
+def emit_kernel(core: Any) -> Tuple[str, Callable]:
+    """Emit the batch expansion kernel for a ``CompiledSpec``.
+
+    Returns ``(source, expand_batch)`` where ``expand_batch(fps, vals,
+    knowns, seen, dedupe, classify)`` expands a whole frontier batch and
+    returns ``[(entry_fp, transitions, candidates), ...]`` with candidates
+    shaped exactly like the interpreted path's, except that the successor
+    is a raw values tuple instead of a ``State`` (states are materialized
+    lazily by the caller, only for traces and violations) and the digest
+    component is an empty tuple (kernel fingerprints replay from memoized
+    constants; see module docstring).
+
+    Enumeration is bitwise-identical to the interpreted path: entries are
+    processed in order, per-entry candidates are rebuilt in sorted
+    instance order, and the dedupe set is only touched during per-entry
+    finalization — the same order a sequential interpreted expansion
+    produces.
+    """
+    schema = core.schema
+    names = schema.names
+    env: Dict[str, Any] = {
+        "_State": State,
+        "_schema": schema,
+        "_config": core.config,
+        "_classify_values": core.classify_values,
+        "_naffects": [~bits for bits in core.affects],
+        "_mk": make_outcome_compiler(core),
+        "_S": _SENTINEL,
+    }
+    for i, applier in enumerate(core.appliers):
+        env[f"_a_{i}"] = applier
+    for g, memo in enumerate(core.guard_memos):
+        env[f"_gmemo_{g}"] = memo
+        env[f"_gstats_{g}"] = core.guard_stats[g]
+    for g, memo in enumerate(core.kernel_outcome_memos):
+        env[f"_omemo_{g}"] = memo
+        env[f"_ostats_{g}"] = core.outcome_stats[g]
+
+    # Classification fuses into the candidate loop only when every verdict
+    # is memoizable by a declared-reads projection: a mask/constraint with
+    # ``fn.reads`` (or none at all) and no ungrouped invariants.  The fused
+    # sweep shares ``classify_values``'s memo dicts (identical key format),
+    # so verdicts stay coherent across compiled and interpreted call sites.
+    fused = (
+        (core.mask is None or core.mask_key is not None)
+        and (core.constraint is None or core.constraint_key is not None)
+        and not core.inv_ungrouped
+    )
+    if fused:
+        env["_vmemo"] = {}
+        for g, memo in enumerate(core.inv_memos):
+            env[f"_imemo_{g}"] = memo
+        for _kf, group_members in core.inv_groups:
+            for i in group_members:
+                env[f"_inv_{i}"] = core.invariant_fns[i]
+        if core.mask is not None:
+            env["_mask_fn"] = core.mask
+            env["_mmemo"] = core.mask_memo
+        if core.constraint is not None:
+            env["_cons_fn"] = core.constraint
+            env["_cmemo"] = core.constraint_memo
+
+    src: List[str] = []
+    w = src.append
+    w(f"# repro kernel v{CODEGEN_VERSION} for spec {core.spec.name!r}")
+    w("def _expand_batch(fps, vals, knowns, seen, dedupe, classify):")
+    w("    config = _config")
+    w("    mk = _mk")
+    w("    classify_values = _classify_values")
+    w("    naffects = _naffects")
+    # Every applier an outcome group or the eager tier can call, hoisted
+    # into locals once per batch (global loads are dict lookups per call).
+    used = sorted(
+        {idx for _kf, members in core.outcome_groups for idx in members}
+        | set(core.eager)
+    )
+    for idx in used:
+        w(f"    a{idx} = _a_{idx}")
+    n_guards = len(core.guard_groups)
+    for g in range(n_guards):
+        w(f"    gmemo{g} = _gmemo_{g}")
+        w(f"    gget{g} = gmemo{g}.get")
+        w(f"    glk{g} = _S")
+        w(f"    glh{g} = None")
+        w(f"    gp{g} = False")
+        w(f"    gm{g} = 0")
+    n_outcomes = len(core.outcome_groups)
+    for g in range(n_outcomes):
+        w(f"    omemo{g} = _omemo_{g}")
+        w(f"    oget{g} = omemo{g}.get")
+        w(f"    olk{g} = _S")
+        w(f"    ole{g} = None")
+        w(f"    om{g} = 0")
+    if fused:
+        w("    vmemo = _vmemo")
+        w("    vget = vmemo.get")
+        for g in range(len(core.inv_groups)):
+            w(f"    imemo{g} = _imemo_{g}")
+            w(f"    iget{g} = imemo{g}.get")
+            w(f"    ilk{g} = _S")
+            w(f"    ilh{g} = 0")
+        for _kf, group_members in core.inv_groups:
+            for i in group_members:
+                w(f"    inv{i} = _inv_{i}")
+        if core.mask is not None:
+            w("    maskf = _mask_fn")
+            w("    mmemo = _mmemo")
+            w("    mget = mmemo.get")
+            w("    mlk = _S")
+            w("    mlh = False")
+        if core.constraint is not None:
+            w("    consf = _cons_fn")
+            w("    cmemo = _cmemo")
+            w("    cget = cmemo.get")
+            w("    clk = _S")
+            w("    clh = True")
+    w("    results = []")
+    w("    res_append = results.append")
+    w("    seen_add = seen.add")
+    w("    for entry_fp, v, d in zip(fps, vals, knowns):")
+    w("        st = None")
+    w("        raw = []")
+
+    for g, (_key_fn, bits) in enumerate(core.guard_groups):
+        slots = core.guard_group_slots[g]
+        w(f"        # guard group {g}: reads ({', '.join(names[s] for s in slots)})")
+        w(f"        k = {_key_expr(slots)}")
+        w(f"        if k == glk{g}:")
+        w(f"            h = glh{g}")
+        w("        else:")
+        w(f"            h = gget{g}(k)")
+        w(f"            glk{g} = k")
+        w(f"            glh{g} = h")
+        w("        if h is None:")
+        w(f"            gm{g} += 1")
+        # The verdict for the whole read-set group is deferred: the
+        # outcome/eager blocks below compute the disabled bits, the
+        # writeback at the end of this entry stores them masked to this
+        # group's members -- the same timing the sequential path has.
+        w(f"            gp{g} = True")
+        w("        else:")
+        w("            d |= h")
+
+    for g, (_key_fn, members) in enumerate(core.outcome_groups):
+        slots = core.outcome_group_slots[g]
+        w(f"        # outcome group {g}: closure ({', '.join(names[s] for s in slots)})")
+        w(f"        k = {_key_expr(slots)}")
+        w(f"        if k == olk{g}:")
+        w(f"            e = ole{g}")
+        w("        else:")
+        w(f"            e = oget{g}(k)")
+        w("            if e is not None:")
+        w(f"                olk{g} = k")
+        w(f"                ole{g} = e")
+        w("        if e is not None:")
+        w("            gd = e[0]")
+        w("            if gd:")
+        w("                d |= gd")
+        w("            en = e[1]")
+        w("            if en:")
+        w("                raw.extend(en)")
+        w("        else:")
+        w(f"            om{g} += 1")
+        w("            if st is None:")
+        w("                st = _State(_schema, v)")
+        w("            gd = 0")
+        w("            en = []")
+        for idx in members:
+            bit = 1 << idx
+            w(f"            if d & {bit}:")
+            w(f"                gd |= {bit}")
+            w("            else:")
+            w(f"                u = a{idx}(config, st)")
+            w("                if u is None:")
+            w(f"                    d |= {bit}")
+            w(f"                    gd |= {bit}")
+            w("                else:")
+            w(f"                    item = mk({idx}, u, v)")
+            w("                    if item is not None:")
+            w("                        en.append(item)")
+            w("                        raw.append(item)")
+        w(f"            if len(omemo{g}) >= {core.OUTCOME_MEMO_LIMIT}:")
+        w(f"                omemo{g}.clear()")
+        w("            e = (gd, tuple(en))")
+        w(f"            omemo{g}[k] = e")
+        w(f"            olk{g} = k")
+        w(f"            ole{g} = e")
+
+    if core.eager:
+        w("        # never-memoized instances: unknown closures + demoted groups")
+        for idx in core.eager:
+            bit = 1 << idx
+            w(f"        if not d & {bit}:")
+            w("            if st is None:")
+            w("                st = _State(_schema, v)")
+            w(f"            u = a{idx}(config, st)")
+            w("            if u is None:")
+            w(f"                d |= {bit}")
+            w("            else:")
+            w(f"                item = mk({idx}, u, v)")
+            w("                if item is not None:")
+            w("                    raw.append(item)")
+
+    for g, (_key_fn, bits) in enumerate(core.guard_groups):
+        w(f"        if gp{g}:")
+        w(f"            gp{g} = False")
+        w(f"            h = d & {bits}")
+        w(f"            if len(gmemo{g}) >= {core.GUARD_MEMO_LIMIT}:")
+        w(f"                gmemo{g}.clear()")
+        # glk{g} still holds this entry's key: the miss block above was the
+        # last writer.  Refreshing glh{g} lets the next entry reuse the
+        # verdict without a lookup.
+        w(f"            gmemo{g}[glk{g}] = h")
+        w(f"            glh{g} = h")
+
+    w("        # finalize this entry: sorted instance order, dedupe, classify")
+    w("        if len(raw) > 1:")
+    # Plain sort: instance indices are unique, so the tuple comparison
+    # never reaches the (incomparable) change payloads.
+    w("            raw.sort()")
+    w("        cands = []")
+    w("        cands_append = cands.append")
+    w("        for idx, changes, delta in raw:")
+    w("            fp = entry_fp ^ delta")
+    w("            if dedupe:")
+    w("                if fp in seen:")
+    w("                    continue")
+    w("                seen_add(fp)")
+    w("            sv = list(v)")
+    w("            for slot, value in changes:")
+    w("                sv[slot] = value")
+    w("            svt = tuple(sv)")
+    w("            if classify:")
+    if fused:
+        # Inline classification: mask, invariant groups and constraint
+        # verdicts all resolve through declared-reads memo projections,
+        # in the exact evaluation order of ``classify_values`` so shared
+        # memo state and results are bitwise-identical.
+        w("                cst = None")
+        if core.mask is not None:
+            w(f"                mkk = {_key_expr(core.mask_slots, 'svt')}")
+            w("                if mkk == mlk:")
+            w("                    mh = mlh")
+            w("                else:")
+            w("                    mh = mget(mkk)")
+            w("                    if mh is None:")
+            w("                        cst = _State(_schema, svt)")
+            w("                        mh = True if maskf(cst) else False")
+            w(f"                        if len(mmemo) >= {core.GUARD_MEMO_LIMIT}:")
+            w("                            mmemo.clear()")
+            w("                        mmemo[mkk] = mh")
+            w("                    mlk = mkk")
+            w("                    mlh = mh")
+            w("                if mh:")
+            w("                    cands_append(")
+            w("                        (idx, svt, fp, d & naffects[idx],")
+            w("                         (), True, True, ())")
+            w("                    )")
+            w("                    continue")
+        w("                vb = 0")
+        for g, (_kf, group_members) in enumerate(core.inv_groups):
+            slots = core.inv_group_slots[g]
+            w(f"                ikk = {_key_expr(slots, 'svt')}")
+            w(f"                if ikk == ilk{g}:")
+            w(f"                    ih = ilh{g}")
+            w("                else:")
+            w(f"                    ih = iget{g}(ikk)")
+            w("                    if ih is None:")
+            w("                        if cst is None:")
+            w("                            cst = _State(_schema, svt)")
+            w("                        ih = 0")
+            for i in group_members:
+                w(f"                        if not inv{i}(config, cst):")
+                w(f"                            ih |= {1 << i}")
+            w(f"                        if len(imemo{g}) >= {core.GUARD_MEMO_LIMIT}:")
+            w(f"                            imemo{g}.clear()")
+            w(f"                        imemo{g}[ikk] = ih")
+            w(f"                    ilk{g} = ikk")
+            w(f"                    ilh{g} = ih")
+        if len(core.inv_groups) == 1:
+            w("                vb = ih")
+        else:
+            for g in range(len(core.inv_groups)):
+                w(f"                vb |= ilh{g}")
+        n_inv = len(core.invariant_fns)
+        w("                if vb:")
+        w("                    viols = vget(vb)")
+        w("                    if viols is None:")
+        w("                        viols = tuple(")
+        w(f"                            i for i in range({n_inv}) if (vb >> i) & 1")
+        w("                        )")
+        w("                        vmemo[vb] = viols")
+        w("                else:")
+        w("                    viols = ()")
+        if core.constraint is not None:
+            w(f"                ckk = {_key_expr(core.constraint_slots, 'svt')}")
+            w("                if ckk == clk:")
+            w("                    ok = clh")
+            w("                else:")
+            w("                    ok = cget(ckk)")
+            w("                    if ok is None:")
+            w("                        if cst is None:")
+            w("                            cst = _State(_schema, svt)")
+            w("                        ok = True if consf(config, cst) else False")
+            w(f"                        if len(cmemo) >= {core.GUARD_MEMO_LIMIT}:")
+            w("                            cmemo.clear()")
+            w("                        cmemo[ckk] = ok")
+            w("                    clk = ckk")
+            w("                    clh = ok")
+            ok_expr = "ok"
+        else:
+            ok_expr = "True"
+        w("                cands_append(")
+        w("                    (idx, svt, fp, d & naffects[idx],")
+        w(f"                     viols, False, {ok_expr}, ())")
+        w("                )")
+    else:
+        w("                viols, masked, ok = classify_values(svt)")
+        w("                cands_append(")
+        w("                    (idx, svt, fp, d & naffects[idx], viols, masked, ok, ())")
+        w("                )")
+    w("            else:")
+    w("                cands_append(")
+    w("                    (idx, svt, fp, d & naffects[idx], (), False, True, ())")
+    w("                )")
+    w("        res_append((entry_fp, len(raw), cands))")
+
+    for g in range(n_guards):
+        w(f"    _gstats_{g}[0] += gm{g}")
+    for g in range(n_outcomes):
+        w(f"    _ostats_{g}[0] += om{g}")
+    w("    return results")
+    w("")
+
+    source = "\n".join(src)
+    code = compile(source, f"<repro-kernel:{core.spec.name}>", "exec")
+    exec(code, env)
+    return source, env["_expand_batch"]

@@ -67,6 +67,12 @@ class Invariant:
 class Specification:
     """A complete checkable specification."""
 
+    # Set lazily by repro.checker.engine: the shared default compiled
+    # core (kernels included) and the cached static-analyzer trust
+    # verdict for ``--compile auto``.
+    _compiled_core: Any
+    _kernel_trusted: Optional[bool]
+
     def __init__(
         self,
         name: str,

@@ -10,7 +10,20 @@ tuple; structural sharing of the (immutable) values keeps that cheap.
 from __future__ import annotations
 
 import weakref
-from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterator, Mapping, NamedTuple, Optional, Tuple
+
+
+class Slot(NamedTuple):
+    """Stable metadata of one schema slot (a variable's tuple position).
+
+    Slots are the unit the compiled successor kernels are generated
+    against: a kernel addresses variables by ``index`` (a direct tuple
+    subscript) and only uses ``name`` for diagnostics, so the emitted
+    code stays valid for exactly as long as the schema object itself.
+    """
+
+    index: int
+    name: str
 
 
 class Schema:
@@ -28,7 +41,7 @@ class Schema:
     for the life of the process.
     """
 
-    __slots__ = ("names", "_index", "__weakref__")
+    __slots__ = ("names", "_index", "slots", "__weakref__")
 
     _interned: "weakref.WeakValueDictionary[Tuple[str, ...], Schema]" = (
         weakref.WeakValueDictionary()
@@ -49,12 +62,25 @@ class Schema:
             raise ValueError(f"duplicate variable names in schema: {names}")
         self.names: Tuple[str, ...] = tuple(names)
         self._index: Dict[str, int] = {name: i for i, name in enumerate(self.names)}
+        self.slots: Tuple[Slot, ...] = tuple(
+            Slot(i, name) for i, name in enumerate(self.names)
+        )
 
     def __reduce__(self):
         return (Schema, (self.names,))
 
     def index(self, name: str) -> int:
         return self._index[name]
+
+    def positions(self, names) -> Tuple[int, ...]:
+        """Sorted slot indices of a set of variable names.
+
+        This is the canonical projection order shared by the outcome/guard
+        memo keys and the compiled kernels, so both address the same
+        ``(values[i], values[j], ...)`` tuples.
+        """
+        index = self._index
+        return tuple(sorted(index[name] for name in names))
 
     def __contains__(self, name: str) -> bool:
         return name in self._index

@@ -119,3 +119,8 @@ def state_constraint(config: ZkConfig, state: State) -> bool:
     """TLC CONSTRAINT: bound epochs (txns/crashes/partitions are bounded
     by their budget variables directly)."""
     return max(state["accepted_epoch"]) <= config.max_epoch
+
+
+# Declared dependency variables (mirrors Invariant.reads): lets the
+# engine memoize the constraint verdict per ``accepted_epoch`` projection.
+state_constraint.reads = frozenset({"accepted_epoch"})

@@ -116,6 +116,12 @@ def zk4394_mask(state: State) -> bool:
     return any(err.code == C.ERR_COMMIT_UNMATCHED_IN_SYNC for err in errors)
 
 
+# Declared dependency variables (mirrors Invariant.reads): the mask is a
+# pure function of ``errors``, so the engine memoizes its verdict per
+# projection instead of building a State per candidate.
+zk4394_mask.reads = frozenset({"errors"})
+
+
 def check_spec(
     spec,
     config: Optional[ZkConfig] = None,

@@ -569,6 +569,71 @@ class TestIncrementalProperties:
         assert compiled_for(spec, incremental=False) is not compiled_for(spec)
 
 
+class TestCompiledKernelLane:
+    """Differential fuzz: the compiled successor kernels must enumerate
+    bitwise-identically to the interpreted path -- same states, same
+    transitions, same violations -- on random honest specs and on the
+    real ZooKeeper specs."""
+
+    @staticmethod
+    def _sig(result):
+        return (
+            result.states_explored,
+            result.transitions,
+            result.max_depth,
+            sorted(
+                (v.invariant.full_name, len(v.trace)) for v in result.violations
+            ),
+        )
+
+    def test_fuzzed_random_specs_identical(self):
+        for seed in range(10):
+            sigs = {}
+            for mode in ("on", "off"):
+                engine = ExplorationEngine(
+                    random_spec(seed), max_states=2_000, compile_mode=mode
+                )
+                sigs[mode] = self._sig(engine.run())
+            assert sigs["on"] == sigs["off"], f"seed {seed}"
+
+    @pytest.mark.parametrize("strategy", ["bfs", "dfs"])
+    def test_zookeeper_compiled_identical(self, strategy):
+        sigs = {}
+        for mode in ("on", "off"):
+            result = check_spec(
+                "mSpec-3",
+                SMALL,
+                strategy=strategy,
+                max_states=2_000,
+                max_time=60,
+                compile_mode=mode,
+            )
+            sigs[mode] = self._sig(result)
+        assert sigs["on"] == sigs["off"]
+
+    def test_zookeeper_kernel_passes_debug_cross_check(self):
+        # --debug-deps under a live kernel re-evaluates every batch
+        # against a fresh interpreted expansion.
+        check_spec(
+            "mSpec-3",
+            SMALL,
+            max_states=1_500,
+            max_time=60,
+            compile_mode="on",
+            debug=True,
+        )
+
+    def test_untrusted_spec_falls_back_in_auto(self):
+        # SysSpec carries lint findings on trust-critical rules, so auto
+        # stays interpreted while forced compilation still emits.
+        from repro.zookeeper.specs import SELECTIONS, build_spec
+
+        spec = build_spec("SysSpec", SELECTIONS["SysSpec"], SMALL)
+        assert compiled_for(spec, compile_mode="auto").kernel is None
+        spec2 = build_spec("SysSpec", SELECTIONS["SysSpec"], SMALL)
+        assert compiled_for(spec2, compile_mode="on").kernel is not None
+
+
 class TestValuePickling:
     def test_rec_round_trips(self):
         rec = Rec(mtype="ACK", zxid=(1, 2))

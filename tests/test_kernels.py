@@ -1,0 +1,323 @@
+"""Compiled successor kernels: emission, differential identity against the
+interpreted path, the lint-gated ``--compile auto`` fallback, adaptive
+demotion under a live kernel, and the codegen-versioned cache digest."""
+
+import random
+
+import pytest
+
+from repro.checker import ExplorationEngine
+from repro.checker.engine import CompiledSpec, compiled_for, kernel_trusted
+from repro.tla.action import Action
+from repro.tla.batch import FrontierBatch
+from repro.tla.codegen import CODEGEN_VERSION, emit_kernel
+from repro.tla.module import Module
+from repro.tla.spec import Invariant, Specification
+from repro.tla.state import Schema, State
+
+SCHEMA = Schema(("x", "y"))
+
+
+def counter_spec(max_x=4, y_bound=2, constraint=None, name="counter"):
+    def inc_x(config, state):
+        if state.x >= max_x:
+            return None
+        return {"x": state.x + 1}
+
+    def inc_y(config, state):
+        if state.y >= state.x:
+            return None
+        return {"y": state.y + 1}
+
+    module = Module(
+        "counter",
+        [
+            Action("IncX", inc_x, reads=["x"], writes=["x"]),
+            Action("IncY", inc_y, reads=["x", "y"], writes=["y"]),
+        ],
+    )
+    return Specification(
+        name,
+        SCHEMA,
+        lambda cfg: [State.make(SCHEMA, x=0, y=0)],
+        [module],
+        [Invariant("I-1", "y bounded", lambda cfg, s: s.y <= y_bound)],
+        None,
+        constraint=constraint,
+    )
+
+
+def lying_spec():
+    """IncY's guard reads ``x`` but declares only ``y`` -- an untruthful
+    dependency declaration that poisons memo/kernel entries."""
+
+    def inc_x(config, state):
+        if state.x >= 3:
+            return None
+        return {"x": state.x + 1}
+
+    def inc_y(config, state):
+        if state.y >= state.x:  # reads x, undeclared
+            return None
+        return {"y": state.y + 1}
+
+    module = Module(
+        "liar",
+        [
+            Action("IncX", inc_x, reads=["x"], writes=["x"]),
+            Action("IncY", inc_y, reads=["y"], writes=["y"]),
+        ],
+    )
+    return Specification(
+        "liar",
+        SCHEMA,
+        lambda cfg: [State.make(SCHEMA, x=0, y=0)],
+        [module],
+        [Invariant("I-1", "y bounded", lambda cfg, s: s.y <= 99)],
+        None,
+    )
+
+
+def run_sig(result):
+    return (
+        result.states_explored,
+        result.transitions,
+        result.max_depth,
+        sorted(
+            (v.invariant.full_name, len(v.trace)) for v in result.violations
+        ),
+    )
+
+
+class TestEmission:
+    def test_kernel_emitted_for_trusted_spec(self):
+        core = compiled_for(counter_spec(), compile_mode="on")
+        assert core.kernel is not None
+        assert core.kernel_source is not None
+        assert f"repro kernel v{CODEGEN_VERSION}" in core.kernel_source
+
+    def test_compile_off_stays_interpreted(self):
+        core = compiled_for(counter_spec(), compile_mode="off")
+        assert core.kernel is None
+
+    def test_non_incremental_never_compiles(self):
+        core = compiled_for(counter_spec(), incremental=False, compile_mode="on")
+        assert core.kernel is None
+
+    def test_emit_kernel_is_pure_python_source(self):
+        core = compiled_for(counter_spec(), compile_mode="on")
+        source, fn = emit_kernel(core)
+        assert callable(fn)
+        compile(source, "<test>", "exec")  # round-trips as real source
+
+    def test_memo_stats_reports_codegen_version(self):
+        spec = counter_spec()
+        engine = ExplorationEngine(spec, "bfs", max_states=100, compile_mode="on")
+        engine.run()
+        stats = engine.core.memo_stats()
+        assert stats["mode"] == "compiled"
+        assert stats["codegen_version"] == CODEGEN_VERSION
+
+
+class TestFrontierBatch:
+    def test_from_entries_accepts_states_and_values(self):
+        st = State.make(SCHEMA, x=1, y=0)
+        batch = FrontierBatch.from_entries(
+            [(7, st, 0, (1, 2)), (8, (2, 0), 1, (3, 4))]
+        )
+        assert len(batch) == 2
+        assert batch.values[0] == st.values
+        assert batch.values[1] == (2, 0)
+        assert list(batch.entries())[1] == (8, (2, 0), 1, (3, 4))
+
+    def test_single_and_state_materialization(self):
+        batch = FrontierBatch.single(5, (1, 1), 0, ())
+        assert len(batch) == 1
+        assert batch.state(0, SCHEMA).x == 1
+
+
+class TestDifferentialIdentity:
+    @pytest.mark.parametrize("strategy", ["bfs", "dfs"])
+    def test_counter_identical(self, strategy):
+        sigs = {}
+        for mode in ("on", "off"):
+            engine = ExplorationEngine(
+                counter_spec(max_x=6, y_bound=3),
+                strategy,
+                max_states=10_000,
+                compile_mode=mode,
+            )
+            sigs[mode] = run_sig(engine.run())
+        assert sigs["on"] == sigs["off"]
+
+    def test_random_walk_identical_entropy(self):
+        # Same seed, same candidate distributions => same walk, compiled
+        # or not.  The space (~465 states at max_x=30) is larger than the
+        # budget so both arms stop on the same deterministic state-count
+        # cutoff, never on wall-clock.
+        sigs = {}
+        for mode in ("on", "off"):
+            engine = ExplorationEngine(
+                counter_spec(max_x=30, y_bound=10 ** 9),
+                "random",
+                max_states=300,
+                seed=11,
+                compile_mode=mode,
+            )
+            sigs[mode] = run_sig(engine.run())
+        assert sigs["on"] == sigs["off"]
+
+    def test_fuzzed_counter_family_identical(self):
+        rng = random.Random(2024)
+        for trial in range(6):
+            max_x = rng.randint(2, 9)
+            bound = rng.randint(1, 5)
+            sigs = {}
+            for mode in ("on", "off"):
+                engine = ExplorationEngine(
+                    counter_spec(max_x=max_x, y_bound=bound),
+                    "bfs",
+                    max_states=5_000,
+                    compile_mode=mode,
+                )
+                sigs[mode] = run_sig(engine.run())
+            assert sigs["on"] == sigs["off"], (trial, max_x, bound)
+
+    def test_expand_batch_matches_interpreted_expand(self):
+        spec = counter_spec()
+        on = compiled_for(spec, compile_mode="on")
+        off = compiled_for(counter_spec(), compile_mode="off")
+        assert on.kernel is not None and off.kernel is None
+        init = spec.initial_states()[0]
+        fp, digests = on.fingerprinter.of_values_with_digests(init.values)
+        batch = FrontierBatch.single(fp, init.values, 0, digests)
+        (kres,) = on.expand_batch(batch, set(), dedupe=False)
+        _, icands = off.expand(init, 0, set(), fp, digests, dedupe=False)
+        assert kres[1] == len(icands)
+        assert [(c[0], c[1], c[2]) for c in kres[2]] == [
+            (c[0], c[1].values, c[2]) for c in icands
+        ]
+
+
+class TestLintGatedCompile:
+    def test_lying_spec_is_untrusted(self):
+        assert kernel_trusted(lying_spec()) is False
+        assert kernel_trusted(counter_spec()) is True
+
+    def test_auto_falls_back_to_interpreted(self):
+        core = compiled_for(lying_spec(), compile_mode="auto")
+        assert core.kernel is None
+
+    def test_auto_fallback_results_match_interpreted(self):
+        sigs = {}
+        for mode in ("auto", "off"):
+            engine = ExplorationEngine(
+                lying_spec(), "bfs", max_states=10_000, compile_mode=mode
+            )
+            sigs[mode] = run_sig(engine.run())
+        assert sigs["auto"] == sigs["off"]
+
+    def test_forced_compile_with_debug_catches_the_lie(self):
+        engine = ExplorationEngine(
+            lying_spec(),
+            "bfs",
+            max_states=10_000,
+            compile_mode="on",
+            debug=True,
+        )
+        with pytest.raises(AssertionError):
+            engine.run()
+
+    def test_bad_compile_mode_rejected(self):
+        with pytest.raises(ValueError):
+            compiled_for(counter_spec(), compile_mode="sometimes")
+
+
+class TestAdaptiveDemotionUnderKernel:
+    def test_demotion_reemits_kernel_and_preserves_enumeration(self):
+        baseline = ExplorationEngine(
+            counter_spec(max_x=8, y_bound=4),
+            "bfs",
+            max_states=10_000,
+            compile_mode="on",
+        )
+        base_sig = run_sig(baseline.run())
+
+        spec = counter_spec(max_x=8, y_bound=4)
+        core = compiled_for(spec, compile_mode="on")
+        assert core.outcome_groups
+        old_kernel = core.kernel
+        core._demote([0])
+        assert core.kernel is not old_kernel  # re-emitted for the new layout
+        assert core.demoted_groups
+        engine = ExplorationEngine(
+            spec, "bfs", max_states=10_000, compile_mode="on"
+        )
+        assert run_sig(engine.run()) == base_sig
+
+
+class TestMaskConstraintMemo:
+    def test_declared_constraint_memoized_and_identical_to_undeclared(self):
+        def declared(config, state):
+            return state.x <= 3
+
+        declared.reads = frozenset({"x"})
+
+        def plain(config, state):
+            return state.x <= 3
+
+        sigs = {}
+        for label, cap in (("declared", declared), ("plain", plain)):
+            spec = counter_spec(max_x=9, constraint=cap)
+            engine = ExplorationEngine(
+                spec, "bfs", max_states=10_000, compile_mode="on"
+            )
+            sigs[label] = run_sig(engine.run())
+            if label == "declared":
+                assert engine.core.constraint_key is not None
+                assert len(engine.core.constraint_memo) > 0
+            else:
+                assert engine.core.constraint_key is None
+        assert sigs["declared"] == sigs["plain"]
+
+    def test_declared_mask_is_memoized_and_identical(self):
+        def mask(state):
+            return state.y == 2
+
+        mask.reads = frozenset({"y"})
+
+        def plain_mask(state):
+            return state.y == 2
+
+        sigs = {}
+        for label, m in (("declared", mask), ("plain", plain_mask)):
+            engine = ExplorationEngine(
+                counter_spec(max_x=6, y_bound=1),
+                "bfs",
+                max_states=10_000,
+                mask=m,
+                compile_mode="on",
+            )
+            sigs[label] = run_sig(engine.run())
+            if label == "declared":
+                assert engine.core.mask_key is not None
+                assert len(engine.core.mask_memo) > 0
+            else:
+                assert engine.core.mask_key is None
+        assert sigs["declared"] == sigs["plain"]
+
+
+class TestCodegenVersionedDigest:
+    def test_spec_cache_digest_tracks_codegen_version(self, monkeypatch):
+        from repro.remix import spec_cache
+        from repro.tla import codegen
+
+        def fresh_digest():
+            monkeypatch.setattr(spec_cache, "_SOURCE_DIGEST", None)
+            spec_cache._SOURCE_DIGESTS.clear()
+            return spec_cache.source_digest("zookeeper")
+
+        before = fresh_digest()
+        monkeypatch.setattr(codegen, "CODEGEN_VERSION", codegen.CODEGEN_VERSION + 1)
+        after = fresh_digest()
+        assert before != after
