@@ -19,13 +19,17 @@ from repro.analysis.sources import function_node
 from repro.system.plugin import (
     ROLE_FOLLOWER,
     ROLE_LEADER,
+    ROLE_LINK,
+    ROLE_ORDERED_PAIR,
     ROLE_PAIR,
     Scenario,
     SystemPlugin,
 )
 from repro.tla.spec import Specification
 
-_ROLES = frozenset({ROLE_LEADER, ROLE_FOLLOWER, ROLE_PAIR})
+_ROLES = frozenset(
+    {ROLE_LEADER, ROLE_FOLLOWER, ROLE_PAIR, ROLE_LINK, ROLE_ORDERED_PAIR}
+)
 
 #: Packages the engine itself owns: edits to them are handled by the
 #: engine-version component of the cache key, not the source digest.

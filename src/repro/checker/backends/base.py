@@ -29,8 +29,11 @@ from typing import Any, Callable, List, Optional, Sequence
 
 #: The backend names ``create_backend`` accepts (``--backend`` on the
 #: CLI).  ``inline`` is deliberately absent: it is the implicit
-#: fallback, not a user-facing choice.
-BACKENDS = ("fork", "socket")
+#: fallback, not a user-facing choice.  ``chaos`` is the socket backend
+#: wrapped in seeded fault injection (worker kills, dropped
+#: connections, delayed/duplicated frames) -- the harness testing
+#: itself; reports stay bitwise-identical to a clean run.
+BACKENDS = ("fork", "socket", "chaos")
 
 #: Signature of the streaming hook: ``(index, task, result)``.
 ResultHook = Callable[[int, Any, Any], None]
@@ -114,18 +117,32 @@ def create_backend(
     requested or the platform lacks the ``fork`` start method (the
     historical campaign behaviour).  ``socket`` always builds the real
     thing -- even one worker exercises the wire, which is the point of
-    asking for it."""
+    asking for it.  ``chaos`` is the socket backend under seeded fault
+    injection (:class:`~repro.checker.backends.testing.ChaosSocketBackend`).
+
+    ``options`` are forwarded to the backend constructor; a
+    ``supervisor`` option (a :class:`~repro.checker.backends
+    .supervision.TaskSupervisor`) attaches failure supervision to the
+    fork and socket backends.  Options a backend cannot use (e.g.
+    ``auth_token`` for fork, any of them for inline) are dropped, so
+    one caller can configure every backend uniformly."""
     if name == "fork":
         from repro.checker import parallel
         from repro.checker.backends.fork import ForkBackend
 
         if workers > 1 and parallel.available():
-            return ForkBackend(handler, workers)
+            return ForkBackend(
+                handler, workers, supervisor=options.get("supervisor")
+            )
         return InlineBackend(handler)
     if name == "socket":
         from repro.checker.backends.sockets import SocketBackend
 
         return SocketBackend(handler, workers, **options)
+    if name == "chaos":
+        from repro.checker.backends.testing import ChaosSocketBackend
+
+        return ChaosSocketBackend(handler, workers, **options)
     raise ValueError(
         f"unknown execution backend {name!r}; options: {list(BACKENDS)}"
     )

@@ -12,16 +12,31 @@ from __future__ import annotations
 from typing import Any, List, Optional, Sequence
 
 from repro.checker.backends.base import ExecutionBackend, ResultHook, resolve_handler
+from repro.checker.backends.supervision import TaskSupervisor
 from repro.checker.parallel import TaskPool
 
 
 class ForkBackend(ExecutionBackend):
-    """A :class:`TaskPool` of forked workers executing the handler."""
+    """A :class:`TaskPool` of forked workers executing the handler.
+
+    ``supervisor`` (optional) bounds failures: per-task watchdog
+    timeout, retry backoff, and poison-task quarantine -- see
+    :mod:`repro.checker.backends.supervision`.  On KeyboardInterrupt the
+    pool terminates and reaps every forked worker before the exception
+    propagates (no orphans on Ctrl-C)."""
 
     name = "fork"
 
-    def __init__(self, handler: Any, workers: int):
-        self._pool = TaskPool(resolve_handler(handler), workers)
+    def __init__(
+        self,
+        handler: Any,
+        workers: int,
+        supervisor: Optional[TaskSupervisor] = None,
+    ):
+        self._pool = TaskPool(
+            resolve_handler(handler), workers, supervisor=supervisor
+        )
+        self.supervisor = supervisor
         self.workers = max(1, workers)
 
     def map(

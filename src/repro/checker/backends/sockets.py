@@ -4,6 +4,7 @@ The parent binds a listener (``127.0.0.1:0`` by default), spawns
 ``workers`` subprocesses running ``python -m repro worker HOST:PORT``,
 and ships them self-describing task frames as newline-delimited JSON:
 
+    {"type": "hello", "protocol": "repro.backend.wire/1", "pid": 4711, "token": "..."}
     {"type": "task", "id": 3, "handler": "repro.remix.campaign:execute_campaign_task", "task": {...}}
     {"type": "result", "id": 3, "ok": true, "result": {...}}
 
@@ -14,23 +15,44 @@ shared filesystem.  External workers (another host, a container) can
 join the same listener with ``python -m repro worker``; the parent
 accepts late joiners mid-map and feeds them like any other.
 
+A connection becomes eligible for tasks only after its hello frame is
+verified: the protocol tag must match and, when the backend was built
+with an ``auth_token``, the hello must carry the same shared secret
+(spawned workers inherit it through ``REPRO_WORKER_TOKEN``; external
+ones pass ``--auth-token``).  Unauthorized peers get one ``error``
+frame and are dropped.  The hello's ``pid`` is what lets the watchdog
+kill a *specific* wedged spawned worker rather than the whole band.
+
 Determinism: dispatch is greedy (a worker gets a new task as soon as it
 replies) but results are slotted by task index, exactly like the fork
 :class:`~repro.checker.parallel.TaskPool` -- so a campaign over sockets
-merges bit-identically to the same campaign over fork.
+merges bit-identically to the same campaign over fork.  At most
+``pipeline`` tasks are in flight per worker (default 1): backpressure,
+so a slow worker queues work for the fast ones instead of hoarding it.
 
 Failure semantics mirror the fork pool:
 
 - a task that *raises* in a worker re-raises here as ``RuntimeError``;
 - a worker that *dies* mid-task (crash, OOM kill, unplugged host) has
-  its in-flight task requeued at the front of the queue for a
-  surviving worker -- cells are reassigned, not lost;
+  its in-flight tasks requeued for a surviving worker -- cells are
+  reassigned, not lost;
+- duplicate result frames (a retried task whose first worker answered
+  late, or a chaos-duplicated frame) are ignored: a result slot is
+  written, and ``on_result`` fired, exactly once per task;
 - with no survivors (and none able to join), remaining tasks come back
   as ``None``.
+
+With a :class:`~repro.checker.backends.supervision.TaskSupervisor`
+attached, failures are additionally *bounded*: a per-task watchdog
+timeout kills the wedged worker and retries the task with exponential
+backoff, retries are capped, a poison task is quarantined instead of
+draining the band, and dead spawned workers are respawned (bounded by
+the policy) to keep capacity.
 """
 
 from __future__ import annotations
 
+import bisect
 import json
 import os
 import selectors
@@ -41,9 +63,14 @@ import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.checker.backends.base import ExecutionBackend, ResultHook, resolve_handler
+from repro.checker.backends.supervision import RETRY, TaskSupervisor
 
 #: Version tag every worker announces in its hello frame.
 PROTOCOL = "repro.backend.wire/1"
+
+#: Environment variable spawned workers read their shared secret from
+#: (kept out of the command line, which is visible in ``ps``).
+TOKEN_ENV = "REPRO_WORKER_TOKEN"
 
 _JSON_SEPARATORS = (",", ":")
 
@@ -58,6 +85,10 @@ class JsonLineConnection:
     def __init__(self, sock: socket.socket):
         self.sock = sock
         self._buffer = b""
+        #: Worker pid from the hello frame (``None`` until verified).
+        self.pid: Optional[int] = None
+        #: True once the hello frame passed protocol/token checks.
+        self.ready = False
 
     def fileno(self) -> int:
         return self.sock.fileno()
@@ -99,22 +130,33 @@ class JsonLineConnection:
             pass
 
 
-def worker_main(host: str, port: int) -> None:
-    """The worker loop behind ``python -m repro worker HOST:PORT``.
+def _serve_connection(
+    conn: JsonLineConnection, handlers: Dict[str, Any], token: Optional[str]
+) -> str:
+    """One worker session on an established connection.
 
-    Connects to the backend's listener, announces itself, then executes
-    task frames until a shutdown frame or EOF.  Handlers are resolved
-    from their ``module:function`` spec on first use and memoized, so a
-    long-lived worker pays the import (and any module-level cache
-    warming) once."""
-    conn = JsonLineConnection(socket.create_connection((host, port)))
-    handlers: Dict[str, Any] = {}
+    Returns why it ended: ``"shutdown"`` (clean frame), ``"rejected"``
+    (the parent refused our hello), or ``"eof"`` (the connection
+    dropped mid-session -- the reconnect-worthy case)."""
     try:
-        conn.send({"type": "hello", "protocol": PROTOCOL, "pid": os.getpid()})
+        hello: Dict[str, Any] = {
+            "type": "hello",
+            "protocol": PROTOCOL,
+            "pid": os.getpid(),
+        }
+        if token is not None:
+            hello["token"] = token
+        conn.send(hello)
         while True:
             message = conn.recv()
-            if message is None or message.get("type") == "shutdown":
-                break
+            if message is None:
+                return "eof"
+            if message.get("type") == "shutdown":
+                return "shutdown"
+            if message.get("type") == "error":
+                # The parent refused us (bad token, bad protocol);
+                # reconnecting with the same credentials cannot help.
+                return "rejected"
             if message.get("type") != "task":
                 continue  # unknown frame types are ignored, not fatal
             spec = message["handler"]
@@ -133,17 +175,63 @@ def worker_main(host: str, port: int) -> None:
                     "error": repr(error),
                 }
             conn.send(reply)
-    except (BrokenPipeError, ConnectionResetError, KeyboardInterrupt):
-        pass  # the parent went away; nothing useful left to do
+    except (BrokenPipeError, ConnectionResetError, OSError):
+        return "eof"
+    except KeyboardInterrupt:
+        return "shutdown"
     finally:
         conn.close()
 
 
-def _worker_env() -> Dict[str, str]:
+def worker_main(
+    host: str,
+    port: int,
+    token: Optional[str] = None,
+    reconnect: bool = True,
+    max_attempts: int = 5,
+    backoff: float = 0.25,
+) -> None:
+    """The worker loop behind ``python -m repro worker HOST:PORT``.
+
+    Connects to the backend's listener, announces itself (protocol,
+    pid, and the shared-secret ``token`` when one is set), then
+    executes task frames until a shutdown frame.  Handlers are resolved
+    from their ``module:function`` spec on first use and memoized
+    across reconnects, so a long-lived worker pays the import (and any
+    module-level cache warming) once.
+
+    ``reconnect=True`` (the default) makes the worker resilient to a
+    dropped connection: failed connects and mid-session drops retry
+    with exponential backoff, up to ``max_attempts`` consecutive
+    failures -- so a worker outlives a parent's brief restart, but a
+    worker whose parent is truly gone exits instead of spinning.  A
+    clean shutdown frame, or a rejected hello, always ends the loop."""
+    handlers: Dict[str, Any] = {}
+    attempts = 0
+    while True:
+        try:
+            sock = socket.create_connection((host, port))
+        except OSError:
+            attempts += 1
+            if not reconnect or attempts >= max_attempts:
+                return
+            time.sleep(min(backoff * (2 ** (attempts - 1)), 5.0))
+            continue
+        attempts = 0
+        reason = _serve_connection(JsonLineConnection(sock), handlers, token)
+        if reason in ("shutdown", "rejected") or not reconnect:
+            return
+        attempts += 1
+        if attempts >= max_attempts:
+            return
+        time.sleep(min(backoff * (2 ** (attempts - 1)), 5.0))
+
+
+def _worker_env(token: Optional[str] = None) -> Dict[str, str]:
     """Environment for spawned workers: make sure the ``repro`` package
     the *parent* runs is importable in the child, even when the parent
     got it from a pytest/pyproject ``pythonpath`` the child would not
-    inherit."""
+    inherit -- and hand over the shared secret out of band."""
     import repro
 
     package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
@@ -152,6 +240,10 @@ def _worker_env() -> Dict[str, str]:
     env["PYTHONPATH"] = (
         package_root + os.pathsep + existing if existing else package_root
     )
+    if token is not None:
+        env[TOKEN_ENV] = token
+    else:
+        env.pop(TOKEN_ENV, None)
     return env
 
 
@@ -161,7 +253,14 @@ class SocketBackend(ExecutionBackend):
     ``spawn=True`` (the default) launches ``workers`` local
     subprocesses via ``python -m repro worker``; ``spawn=False`` binds
     the listener and waits for external workers to join (print the
-    address from :attr:`address` and start them by hand)."""
+    address from :attr:`address` and start them by hand).
+
+    ``auth_token`` arms the shared-secret handshake; ``supervisor``
+    attaches bounded failure handling (timeouts, retry backoff,
+    quarantine, respawn); ``pipeline`` bounds in-flight tasks per
+    worker; ``shutdown_grace``/``term_grace`` are the seconds
+    :meth:`close` waits before escalating exit -> SIGTERM -> SIGKILL on
+    spawned workers."""
 
     name = "socket"
 
@@ -173,6 +272,11 @@ class SocketBackend(ExecutionBackend):
         port: int = 0,
         spawn: bool = True,
         connect_timeout: float = 30.0,
+        auth_token: Optional[str] = None,
+        supervisor: Optional[TaskSupervisor] = None,
+        pipeline: int = 1,
+        shutdown_grace: float = 2.0,
+        term_grace: float = 1.0,
     ):
         if callable(handler):
             raise ValueError(
@@ -183,6 +287,11 @@ class SocketBackend(ExecutionBackend):
         resolve_handler(self.handler_spec)  # fail fast on typos, locally
         self.workers = max(1, workers)
         self.connect_timeout = connect_timeout
+        self.auth_token = auth_token
+        self.supervisor = supervisor
+        self.pipeline = max(1, pipeline)
+        self.shutdown_grace = shutdown_grace
+        self.term_grace = term_grace
         self._spawn = spawn
         self._ever_connected = False
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -193,24 +302,55 @@ class SocketBackend(ExecutionBackend):
         self.address: Tuple[str, int] = self._listener.getsockname()[:2]
         self._selector = selectors.DefaultSelector()
         self._selector.register(self._listener, selectors.EVENT_READ, "listener")
+        #: Hello-verified connections, eligible for tasks.
         self._connections: List[JsonLineConnection] = []
+        #: Accepted connections awaiting a valid hello.
+        self._pending: List[JsonLineConnection] = []
         self._processes: List[subprocess.Popen] = []
         if spawn:
-            env = _worker_env()
             for _ in range(self.workers):
-                self._processes.append(
-                    subprocess.Popen(
-                        [
-                            sys.executable,
-                            "-m",
-                            "repro",
-                            "worker",
-                            f"{self.address[0]}:{self.address[1]}",
-                        ],
-                        env=env,
-                        stdout=subprocess.DEVNULL,  # parent stdout may be a JSON report
-                    )
-                )
+                self._spawn_worker()
+
+    # ------------------------------------------------------ processes
+
+    def _spawn_worker(self) -> None:
+        self._processes.append(
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "worker",
+                    f"{self.address[0]}:{self.address[1]}",
+                ],
+                env=_worker_env(self.auth_token),
+                stdout=subprocess.DEVNULL,  # parent stdout may be a JSON report
+            )
+        )
+
+    def _process_for(self, conn: JsonLineConnection) -> Optional[subprocess.Popen]:
+        """The spawned process behind a connection (via the hello pid);
+        ``None`` for external workers."""
+        if conn.pid is None:
+            return None
+        for proc in self._processes:
+            if proc.pid == conn.pid:
+                return proc
+        return None
+
+    def _live_processes(self) -> int:
+        return sum(1 for proc in self._processes if proc.poll() is None)
+
+    def _ensure_capacity(self) -> None:
+        """Respawn dead spawned workers to restore the band, bounded by
+        the supervision policy (supervised spawn-mode backends only)."""
+        if not self._spawn or self.supervisor is None:
+            return
+        while self._live_processes() < self.workers and (
+            self.supervisor.respawn_allowed(self.workers)
+        ):
+            self.supervisor.worker_respawned()
+            self._spawn_worker()
 
     # ------------------------------------------------------ connections
 
@@ -220,10 +360,48 @@ class SocketBackend(ExecutionBackend):
         except OSError:  # pragma: no cover
             return
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        conn = JsonLineConnection(sock)
+        conn = self._wrap_connection(JsonLineConnection(sock))
         self._selector.register(sock, selectors.EVENT_READ, conn)
+        self._pending.append(conn)
+
+    def _wrap_connection(self, conn: JsonLineConnection) -> JsonLineConnection:
+        """Hook for the chaos backend: wrap a fresh connection before it
+        enters the event loop.  The default is the identity."""
+        return conn
+
+    def _verify_hello(self, conn: JsonLineConnection, message: Dict[str, Any]) -> bool:
+        """Promote a pending connection on a valid hello frame; reject
+        (one error frame, then drop) on protocol or token mismatch."""
+        ok = message.get("type") == "hello" and message.get("protocol") == PROTOCOL
+        if ok and self.auth_token is not None:
+            ok = message.get("token") == self.auth_token
+        if not ok:
+            try:
+                conn.send({"type": "error", "error": "unauthorized"})
+            except OSError:  # pragma: no cover - peer already gone
+                pass
+            self._drop(conn)
+            return False
+        pid = message.get("pid")
+        conn.pid = int(pid) if isinstance(pid, int) else None
+        conn.ready = True
+        self._pending.remove(conn)
         self._connections.append(conn)
         self._ever_connected = True
+        return True
+
+    def _pump_pending(self, conn: JsonLineConnection) -> None:
+        """Read from a not-yet-verified connection: the only acceptable
+        first frame is a valid hello."""
+        frames = conn.read_ready()
+        if frames is None:
+            self._drop(conn)
+            return
+        for message in frames:
+            if not conn.ready:
+                if not self._verify_hello(conn, message):
+                    return
+            # frames after a valid hello (none in practice) are ignored
 
     def _drop(self, conn: JsonLineConnection) -> None:
         try:
@@ -232,6 +410,8 @@ class SocketBackend(ExecutionBackend):
             pass
         if conn in self._connections:
             self._connections.remove(conn)
+        if conn in self._pending:
+            self._pending.remove(conn)
         conn.close()
 
     def _workers_possible(self) -> bool:
@@ -243,7 +423,7 @@ class SocketBackend(ExecutionBackend):
         return True
 
     def _wait_for_connection(self) -> None:
-        """Block until at least one worker is connected, a connect
+        """Block until at least one worker is hello-verified, a connect
         timeout elapses, or no worker can ever join again.
 
         Raises ``RuntimeError`` only when *no worker ever connected* --
@@ -251,7 +431,8 @@ class SocketBackend(ExecutionBackend):
         ``None`` results, mirroring the fork pool."""
         deadline = time.monotonic() + self.connect_timeout
         while not self._connections:
-            if not self._workers_possible():
+            self._ensure_capacity()
+            if not self._pending and not self._workers_possible():
                 if self._ever_connected:
                     return
                 raise RuntimeError(
@@ -271,6 +452,17 @@ class SocketBackend(ExecutionBackend):
             for key, _ in self._selector.select(min(remaining, 0.2)):
                 if key.data == "listener":
                     self._accept()
+                elif not key.data.ready:
+                    self._pump_pending(key.data)
+
+    # --------------------------------------------------- dispatch hooks
+
+    def _send_task(self, conn: JsonLineConnection, frame: Dict[str, Any]) -> None:
+        """Ship one task frame (the chaos backend perturbs this)."""
+        conn.send(frame)
+
+    def _on_dispatched(self, conn: JsonLineConnection, index: int) -> None:
+        """Hook fired after a successful dispatch (chaos kills here)."""
 
     # ------------------------------------------------------------- map
 
@@ -280,38 +472,123 @@ class SocketBackend(ExecutionBackend):
         deadline: Optional[float] = None,
         on_result: Optional[ResultHook] = None,
     ) -> List[Optional[Any]]:
+        try:
+            return self._map(tasks, deadline, on_result)
+        except (KeyboardInterrupt, SystemExit):
+            # A cancelled campaign must not orphan spawned workers.
+            self.close()
+            raise
+
+    def _map(
+        self,
+        tasks: Sequence[Any],
+        deadline: Optional[float],
+        on_result: Optional[ResultHook],
+    ) -> List[Optional[Any]]:
+        supervisor = self.supervisor
+        if supervisor is not None:
+            supervisor.begin_map()
+        timeout = (
+            supervisor.policy.task_timeout if supervisor is not None else None
+        )
         results: List[Optional[Any]] = [None] * len(tasks)
         unresolved = set(range(len(tasks)))
         queue: List[int] = list(range(len(tasks)))
-        active: Dict[JsonLineConnection, int] = {}
+        retries: List[Tuple[float, int]] = []  # (ready_at, index), sorted
+        active: Dict[JsonLineConnection, List[int]] = {}
+        started: Dict[JsonLineConnection, float] = {}  # oldest in-flight
+
+        def next_index() -> Optional[int]:
+            now = time.monotonic()
+            while True:
+                if retries and retries[0][0] <= now:
+                    return retries.pop(0)[1]
+                if queue:
+                    index = queue.pop(0)
+                    if deadline is not None and now >= deadline:
+                        unresolved.discard(index)  # skipped
+                        continue
+                    return index
+                return None
 
         def dispatch(conn: JsonLineConnection) -> None:
-            """Feed one queued task to an idle connection (skipping
-            deadline-expired ones, which stay ``None``)."""
-            while queue:
-                index = queue.pop(0)
-                if deadline is not None and time.monotonic() >= deadline:
-                    unresolved.discard(index)  # skipped
-                    continue
+            """Feed tasks to a verified connection up to the pipeline
+            bound (skipping deadline-expired ones, which stay ``None``)."""
+            while len(active.get(conn, ())) < self.pipeline:
+                index = next_index()
+                if index is None:
+                    return
                 try:
-                    conn.send(
+                    self._send_task(
+                        conn,
                         {
                             "type": "task",
                             "id": index,
                             "handler": self.handler_spec,
                             "task": tasks[index],
-                        }
+                        },
                     )
                 except OSError:
                     # Died between reply and redispatch: requeue and let
                     # the event loop retire the connection.
                     queue.insert(0, index)
-                    self._drop(conn)
+                    fail_conn(conn, None)
                     return
-                active[conn] = index
+                active.setdefault(conn, []).append(index)
+                started.setdefault(conn, time.monotonic())
+                self._on_dispatched(conn, index)
+
+        def fail_conn(conn: JsonLineConnection, reason: Optional[str]) -> None:
+            """Retire a connection; requeue/quarantine its in-flight
+            tasks.  The oldest in-flight task is the one charged with
+            the failure (it was executing); younger ones requeue free."""
+            indices = active.pop(conn, [])
+            started.pop(conn, None)
+            self._drop(conn)
+            if not indices:
                 return
+            culprit, innocent = indices[0], indices[1:]
+            for index in reversed(innocent):
+                queue.insert(0, index)
+            if supervisor is None or reason is None:
+                queue.insert(0, culprit)
+                return
+            if reason == "timeout":
+                verdict = supervisor.task_timed_out(culprit, tasks[culprit])
+            else:
+                verdict = supervisor.worker_died(culprit, tasks[culprit])
+            if verdict == RETRY:
+                delay = supervisor.backoff_delay(culprit)
+                supervisor.task_retried(culprit, tasks[culprit], delay)
+                bisect.insort(retries, (time.monotonic() + delay, culprit))
+            else:
+                unresolved.discard(culprit)  # quarantined: stays None
+
+        def settle(conn: JsonLineConnection, message: Dict[str, Any]) -> None:
+            index = message["id"]
+            in_flight = active.get(conn)
+            if in_flight is not None and index in in_flight:
+                in_flight.remove(index)
+                if in_flight:
+                    started[conn] = time.monotonic()  # next task starts now
+                else:
+                    del active[conn]
+                    started.pop(conn, None)
+            if index not in unresolved:
+                return  # duplicate result (late retry, chaos dup): once only
+            if not message.get("ok"):
+                raise RuntimeError(
+                    f"task {index} failed: {message.get('error')}"
+                )
+            results[index] = message.get("result")
+            unresolved.discard(index)
+            # A slot freed on this worker and possibly a backoff expired:
+            # refill before the next select tick.
+            if on_result is not None:
+                on_result(index, tasks[index], results[index])
 
         while unresolved:
+            self._ensure_capacity()
             if not self._connections:
                 self._wait_for_connection()
                 if not self._connections:
@@ -319,57 +596,76 @@ class SocketBackend(ExecutionBackend):
                     # exactly like the fork pool with no survivors.
                     break
             for conn in list(self._connections):
-                if conn not in active and queue:
-                    dispatch(conn)
-            if not active:
-                if not queue:
-                    break  # everything left was deadline-skipped
-                continue  # dispatch lost its connections; reconnect loop
-            for key, _ in self._selector.select(0.2):
+                dispatch(conn)
+            if not active and not queue and not retries:
+                break  # everything left was skipped or quarantined
+            tick = 0.2
+            now = time.monotonic()
+            if retries:
+                tick = min(tick, max(0.01, retries[0][0] - now))
+            if timeout is not None and started:
+                tick = min(
+                    tick,
+                    max(0.01, min(t0 + timeout - now for t0 in started.values())),
+                )
+            for key, _ in self._selector.select(tick):
                 if key.data == "listener":
-                    self._accept()  # late joiner: picks up work next turn
+                    self._accept()  # late joiner: verified next turn
                     continue
                 conn = key.data
+                if not conn.ready:
+                    self._pump_pending(conn)
+                    continue
                 frames = conn.read_ready()
                 if frames is None:
-                    # Worker died: reassign its in-flight task (the
-                    # graceful-loss path; the cell is requeued, not lost).
-                    self._drop(conn)
-                    if conn in active:
-                        queue.insert(0, active.pop(conn))
+                    # Worker died: reassign its in-flight tasks (the
+                    # graceful-loss path; cells are requeued, not lost).
+                    fail_conn(conn, "death")
                     continue
                 for message in frames:
-                    if message.get("type") != "result":
-                        continue  # hello and friends
-                    index = message["id"]
-                    if active.get(conn) == index:
-                        del active[conn]
-                    if not message.get("ok"):
-                        raise RuntimeError(
-                            f"task {index} failed: {message.get('error')}"
-                        )
-                    results[index] = message.get("result")
-                    unresolved.discard(index)
-                    if on_result is not None:
-                        on_result(index, tasks[index], results[index])
+                    if message.get("type") == "result":
+                        settle(conn, message)
+            if timeout is not None:
+                now = time.monotonic()
+                for conn in [
+                    c for c, t0 in list(started.items()) if now - t0 >= timeout
+                ]:
+                    # Watchdog: the oldest in-flight task ran past its
+                    # hard deadline.  Kill the wedged spawned worker (we
+                    # know its pid from the hello) and retire the
+                    # connection; external workers just lose the link.
+                    proc = self._process_for(conn)
+                    if proc is not None and proc.poll() is None:
+                        proc.kill()
+                    fail_conn(conn, "timeout")
         return results
 
     def close(self) -> None:
-        for conn in list(self._connections):
+        for conn in list(self._connections) + list(self._pending):
             try:
                 conn.send({"type": "shutdown"})
             except OSError:
                 pass
             self._drop(conn)
         for proc in self._processes:
+            # Escalate deterministically: grace for a clean exit after
+            # the shutdown frame, SIGTERM grace next, SIGKILL last.
+            try:
+                proc.wait(timeout=self.shutdown_grace)
+                continue
+            except subprocess.TimeoutExpired:
+                pass
+            proc.terminate()
+            try:
+                proc.wait(timeout=self.term_grace)
+                continue
+            except subprocess.TimeoutExpired:
+                pass
+            proc.kill()
             try:
                 proc.wait(timeout=2.0)
             except subprocess.TimeoutExpired:  # pragma: no cover
-                proc.terminate()
-                try:
-                    proc.wait(timeout=1.0)
-                except subprocess.TimeoutExpired:
-                    proc.kill()
+                pass
         self._processes = []
         try:
             self._selector.unregister(self._listener)

@@ -1,7 +1,8 @@
-"""Handlers for exercising backends in the test-suite.
+"""Handlers for exercising backends in the test-suite, and the chaos
+backend that fault-injects the harness itself.
 
-They live in-package (rather than under ``tests/``) because socket
-workers run in fresh interpreters that import handlers by
+The handlers live in-package (rather than under ``tests/``) because
+socket workers run in fresh interpreters that import handlers by
 ``module:function`` spec -- the test directory is not importable there,
 the installed package is.
 """
@@ -9,8 +10,13 @@ the installed package is.
 from __future__ import annotations
 
 import os
+import random
+import signal
 import time
-from typing import Any, Dict
+from typing import Any, Dict, Optional
+
+from repro.checker.backends.sockets import JsonLineConnection, SocketBackend
+from repro.checker.backends.supervision import SupervisionPolicy, TaskSupervisor
 
 
 def echo(task: Any) -> Any:
@@ -51,3 +57,146 @@ def die_once(task: Dict[str, Any]) -> Dict[str, Any]:
             fh.write(str(os.getpid()))
         os._exit(17)
     return {"value": task.get("value"), "retried": bool(marker)}
+
+
+def die_always(task: Dict[str, Any]) -> Dict[str, Any]:
+    """Hard-exit the executing worker, every time.
+
+    The poison task: without supervision it kills the whole band one
+    worker at a time; with supervision it must be quarantined after
+    ``quarantine_after`` deaths."""
+    if task.get("poison", True):
+        os._exit(23)
+    return {"value": task.get("value")}
+
+
+def hold(task: Dict[str, Any]) -> Dict[str, Any]:
+    """Announce (via ``task["marker"]``) then sleep a long time.
+
+    Exercises the watchdog (supervised timeout kill) and the
+    ``close()`` escalation on a busy worker: the worker never reads the
+    shutdown frame while stuck in here, so the backend must SIGTERM it.
+    The optional marker file makes "the worker is inside the handler"
+    observable, removing the race from escalation tests."""
+    marker = task.get("marker")
+    if marker:
+        with open(marker, "w") as fh:
+            fh.write(str(os.getpid()))
+    time.sleep(task.get("sleep", 60.0))
+    return {"value": task.get("value")}
+
+
+def hold_ignoring_sigterm(task: Dict[str, Any]) -> Dict[str, Any]:
+    """Like :func:`hold`, but the worker first shields itself from
+    SIGTERM -- forcing ``close()`` all the way to the SIGKILL rung."""
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    marker = task.get("marker")
+    if marker:
+        with open(marker, "w") as fh:
+            fh.write(str(os.getpid()))
+    time.sleep(task.get("sleep", 60.0))
+    return {"value": task.get("value")}
+
+
+class ChaosSocketBackend(SocketBackend):
+    """The socket backend under seeded fault injection.
+
+    Every perturbation targets the *harness*, never the task: workers
+    are SIGKILLed after a dispatch, connections are torn down before
+    one, task frames are delayed, duplicated, or (opt-in) swallowed.
+    Task handlers stay pure functions, so a correct backend must
+    produce results -- and a campaign a report -- identical to a clean
+    run; only the ``degraded`` section may differ, and it must tell the
+    truth about what was injected.
+
+    Faults draw from ``random.Random(chaos_seed)``, so a failing run is
+    rerunnable.  (The *sequence* of draws also depends on dispatch
+    order, i.e. scheduling; the seed pins the distribution, the report
+    identity is what must be invariant.)
+
+    ``hang_rate`` swallows the task frame after recording the dispatch:
+    the task looks in-flight forever.  Rescuing it requires the
+    watchdog, so a positive ``hang_rate`` demands a supervisor with a
+    ``task_timeout``; it defaults to 0 and is rejected otherwise.
+
+    Without an explicit ``supervisor`` a deliberately generous one is
+    attached (effectively unbounded retries/respawns): the chaos lane
+    asserts fault *transparency*, and quarantine would turn injected
+    faults into missing cells."""
+
+    name = "chaos"
+
+    def __init__(
+        self,
+        handler: Any,
+        workers: int = 1,
+        chaos_seed: int = 0,
+        kill_rate: float = 0.05,
+        drop_rate: float = 0.05,
+        delay_rate: float = 0.1,
+        delay: float = 0.02,
+        dup_rate: float = 0.05,
+        hang_rate: float = 0.0,
+        supervisor: Optional[TaskSupervisor] = None,
+        **options: Any,
+    ):
+        if supervisor is None:
+            supervisor = TaskSupervisor(
+                SupervisionPolicy(
+                    max_retries=10_000,
+                    quarantine_after=10_000,
+                    max_respawns=10_000,
+                )
+            )
+        if hang_rate > 0 and supervisor.policy.task_timeout is None:
+            raise ValueError(
+                "chaos hang_rate needs a supervisor with a task_timeout: "
+                "a swallowed frame is only ever rescued by the watchdog"
+            )
+        self._rng = random.Random(chaos_seed)
+        self.kill_rate = kill_rate
+        self.drop_rate = drop_rate
+        self.delay_rate = delay_rate
+        self.delay = delay
+        self.dup_rate = dup_rate
+        self.hang_rate = hang_rate
+        #: What was actually injected, for truthful-degradation asserts.
+        self.injected: Dict[str, int] = {
+            "kills": 0,
+            "drops": 0,
+            "delays": 0,
+            "dups": 0,
+            "hangs": 0,
+        }
+        super().__init__(handler, workers, supervisor=supervisor, **options)
+
+    def _send_task(self, conn: JsonLineConnection, frame: Dict[str, Any]) -> None:
+        rng = self._rng
+        if rng.random() < self.drop_rate:
+            # Tear the connection down *before* the frame leaves: the
+            # task is provably undelivered, the worker sees EOF and
+            # reconnects, the dispatcher requeues without penalty.
+            self.injected["drops"] += 1
+            conn.sock.close()
+            raise OSError("chaos: dropped connection")
+        if rng.random() < self.delay_rate:
+            self.injected["delays"] += 1
+            time.sleep(self.delay)
+        if rng.random() < self.hang_rate:
+            # Swallow the frame: the task is in-flight bookkeeping-wise
+            # but no worker ever got it -- a perfect hang.
+            self.injected["hangs"] += 1
+            return
+        conn.send(frame)
+        if rng.random() < self.dup_rate:
+            # The worker executes twice and answers twice; the second
+            # result frame must be ignored by the duplicate guard.
+            self.injected["dups"] += 1
+            conn.send(frame)
+
+    def _on_dispatched(self, conn: JsonLineConnection, index: int) -> None:
+        if self._rng.random() < self.kill_rate:
+            proc = self._process_for(conn)
+            if proc is not None and proc.poll() is None:
+                self.injected["kills"] += 1
+                proc.kill()

@@ -192,6 +192,9 @@ def request_from_args(args):
         budget=args.budget,
         adaptive=args.adaptive,
         shrink=args.shrink,
+        task_timeout=args.task_timeout,
+        task_retries=args.task_retries,
+        auth_token=args.auth_token,
     )
 
 
@@ -229,6 +232,9 @@ def cmd_campaign(args) -> int:
         message = error.args[0] if error.args else str(error)
         print(f"campaign: {message}", file=sys.stderr)
         return 2
+    if args.resume and not args.journal:
+        print("campaign: --resume requires --journal DIR", file=sys.stderr)
+        return 2
     if args.dry_run:
         print(json.dumps(request.to_json(), indent=2))
         return 0
@@ -250,7 +256,9 @@ def cmd_campaign(args) -> int:
                 file=sys.stderr,
             )
             return 2
-    report = run_campaign(request)
+    report = run_campaign(
+        request, journal_dir=args.journal, resume=args.resume
+    )
     payload = report.to_json()
     # Warm-start accounting goes to stderr so `--json -` stdout stays
     # pure JSON; disk hits > 0 means this invocation reused prefixes a
@@ -366,6 +374,7 @@ def cmd_serve(args) -> int:
         port=args.port,
         heartbeat=args.heartbeat,
         max_requests=args.max_requests,
+        request_timeout=args.request_timeout,
     )
     host, port = server.start()
     # The first stdout line announces the bound address (ephemeral
@@ -425,13 +434,19 @@ def cmd_client(args) -> int:
 
 
 def cmd_worker(args) -> int:
-    from repro.checker.backends.sockets import worker_main
+    import os
+
+    from repro.checker.backends.sockets import TOKEN_ENV, worker_main
 
     host, _, port = args.address.rpartition(":")
     if not host or not port.isdigit():
         print(f"worker: expected HOST:PORT, got {args.address!r}", file=sys.stderr)
         return 2
-    worker_main(host, int(port))
+    # The token prefers the environment (how spawned workers get it,
+    # keeping secrets out of `ps`); --auth-token overrides for hand-run
+    # external workers.
+    token = args.auth_token or os.environ.get(TOKEN_ENV) or None
+    worker_main(host, int(port), token=token, reconnect=args.reconnect)
     return 0
 
 
@@ -664,10 +679,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="campaign workers (1 = inline for the fork backend)",
     )
     p_camp.add_argument(
-        "--backend", choices=["fork", "socket"], default="fork",
+        "--backend", choices=["fork", "socket", "chaos"], default="fork",
         help="execution backend: 'fork' (forked TaskPool workers, the "
-        "default) or 'socket' (TCP worker subprocesses; reports are "
-        "bitwise-identical across backends)",
+        "default), 'socket' (TCP worker subprocesses; reports are "
+        "bitwise-identical across backends), or 'chaos' (the socket "
+        "backend under seeded fault injection -- testing the harness)",
+    )
+    p_camp.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="hard per-cell wall clock: a cell running longer has its "
+        "worker killed and is retried (default: no watchdog)",
+    )
+    p_camp.add_argument(
+        "--task-retries", type=int, default=2, metavar="N",
+        help="transient failures (worker death, timeout) one cell may "
+        "survive before it is quarantined as poison (default: 2)",
+    )
+    p_camp.add_argument(
+        "--auth-token", default=None,
+        help="shared secret for the socket backend's worker handshake "
+        "(spawned workers inherit it; external workers pass it to "
+        "`python -m repro worker`)",
+    )
+    p_camp.add_argument(
+        "--journal", default=None, metavar="DIR",
+        help="crash-safe mode: append completed cell/shrink results to "
+        "DIR/journal.jsonl as they finish",
+    )
+    p_camp.add_argument(
+        "--resume", action="store_true",
+        help="with --journal: skip cells already journaled for this "
+        "request and replay their results (the resumed report is "
+        "bitwise-identical to an uninterrupted run)",
     )
     p_camp.add_argument("--seed", type=int, default=0)
     p_camp.add_argument(
@@ -731,6 +774,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="shut down after serving this many requests (CI harness)",
     )
     p_serve.add_argument(
+        "--request-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="seconds a fresh connection gets to send its request line "
+        "before it is answered with an error event and closed "
+        "(default: 30)",
+    )
+    p_serve.add_argument(
         "--request", default=None, metavar="FILE",
         help="one-shot offline mode: run this request JSON ('-' = stdin) "
         "in-process, stream its events to stdout, and exit",
@@ -765,6 +814,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_worker.add_argument(
         "address", metavar="HOST:PORT",
         help="the socket backend's listener address",
+    )
+    p_worker.add_argument(
+        "--auth-token", default=None,
+        help="shared secret for the backend's hello handshake (default: "
+        "$REPRO_WORKER_TOKEN, which is how spawned workers receive it)",
+    )
+    p_worker.add_argument(
+        "--reconnect", action=argparse.BooleanOptionalAction, default=True,
+        help="reconnect with exponential backoff when the connection "
+        "drops mid-session (clean shutdown always exits; on by default)",
     )
     p_worker.set_defaults(fn=cmd_worker)
 

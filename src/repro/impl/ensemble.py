@@ -24,6 +24,7 @@ class Ensemble:
         n_servers: int = 3,
         variant: Optional[SpecVariant] = None,
         divergence: str = "",
+        max_msg_faults: int = 0,
     ):
         self.n = n_servers
         self.variant = variant or SpecVariant()
@@ -33,6 +34,10 @@ class Ensemble:
             for i in range(n_servers)
         ]
         self.next_value = 1
+        # Shared delay/duplication allowance, mirroring the model's
+        # msg_fault_budget -- the injector refusing further faults keeps
+        # lockstep validation inside the model's state space.
+        self.msg_fault_budget = max_msg_faults
 
     # --- composite election (coarse ElectionAndDiscovery mapping) -----------
 
@@ -164,6 +169,22 @@ class Ensemble:
         if not stale:
             return False
         self.network.recv(j, i)
+        return True
+
+    def delay_message(self, i: int, j: int) -> bool:
+        """Delay the head of channel j->i behind the traffic after it
+        (the pair convention of :meth:`discard_stale`: the receiver
+        first, then the sender)."""
+        if self.msg_fault_budget <= 0 or not self.network.delay(j, i):
+            return False
+        self.msg_fault_budget -= 1
+        return True
+
+    def duplicate_message(self, i: int, j: int) -> bool:
+        """Re-deliver the head of channel j->i at the channel's tail."""
+        if self.msg_fault_budget <= 0 or not self.network.duplicate(j, i):
+            return False
+        self.msg_fault_budget -= 1
         return True
 
     # --- client traffic ------------------------------------------------------------

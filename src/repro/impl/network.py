@@ -42,6 +42,25 @@ class Network:
     def recv(self, src: int, dst: int) -> Rec:
         return self.channels[(src, dst)].popleft()
 
+    def delay(self, src: int, dst: int) -> bool:
+        """Rotate the head of channel src -> dst to its tail (a delayed
+        message overtaken by later traffic).  False when the channel has
+        fewer than two messages."""
+        channel = self.channels[(src, dst)]
+        if len(channel) < 2:
+            return False
+        channel.rotate(-1)
+        return True
+
+    def duplicate(self, src: int, dst: int) -> bool:
+        """Append a copy of the head of channel src -> dst at its tail
+        (a retransmission across a reconnect).  False when empty."""
+        channel = self.channels[(src, dst)]
+        if not channel:
+            return False
+        channel.append(channel[0])
+        return True
+
     def clear_server(self, server: int):
         for (src, dst), channel in self.channels.items():
             if src == server or dst == server:

@@ -82,9 +82,12 @@ import warnings
 import zlib
 from collections.abc import Mapping as ABCMapping
 from dataclasses import asdict, dataclass
+from dataclasses import field as dataclass_field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.checker.backends import ExecutionBackend, create_backend
+from repro.checker.backends.supervision import SupervisionPolicy, TaskSupervisor
+from repro.remix.journal import CampaignJournal, JournaledBackend
 from repro.checker.random_walk import RandomWalker
 from repro.checker.trace import Trace
 from repro.remix.coordinator import Coordinator
@@ -108,13 +111,20 @@ from repro.zookeeper.scenarios import SCENARIO_PREFIXES
 #: re-derive the witnessing trace) and the optional ``min_trace`` payload.
 #: /3 adds the ``direction`` axis (bottom-up validation cells), the
 #: per-finding ``direction`` field and min_trace ``aliases`` groups.
-SCHEMA = "repro.campaign/3"
+#: /4 adds the ``degraded`` section (supervision counters, quarantined
+#: and skipped cells) and the ``degraded`` cell status.
+SCHEMA = "repro.campaign/4"
 
 #: Report versions :meth:`CampaignReport.from_json` (and ``--baseline``)
 #: accept: /1 reports lack witness/min_trace, /2 reports lack direction,
-#: but both carry the same fingerprint-keyed findings, so they remain
-#: valid baselines.
-COMPAT_SCHEMAS = ("repro.campaign/1", "repro.campaign/2", SCHEMA)
+#: /3 reports lack the degraded section, but all carry the same
+#: fingerprint-keyed findings, so they remain valid baselines.
+COMPAT_SCHEMAS = (
+    "repro.campaign/1",
+    "repro.campaign/2",
+    "repro.campaign/3",
+    SCHEMA,
+)
 
 #: Grains with a code-level action mapping (SysSpec/mSpec-4 replay the
 #: fine-grained FLE, which the coordinator cannot drive; see mapping_for).
@@ -130,9 +140,11 @@ TASK_HANDLER = "repro.remix.campaign:execute_campaign_task"
 
 def campaign_config() -> ZkConfig:
     """The standard campaign configuration: crash budget for the crash
-    schedules plus one partition so the partition schedules are enabled."""
+    schedules plus one partition so the partition schedules are enabled,
+    and one message fault for the delay/duplication schedules."""
     return ZkConfig(
-        n_servers=3, max_txns=1, max_crashes=2, max_partitions=1, max_epoch=3
+        n_servers=3, max_txns=1, max_crashes=2, max_partitions=1,
+        max_epoch=3, max_msg_faults=1,
     )
 
 
@@ -545,14 +557,40 @@ def execute_campaign_task(message: Dict[str, Any]) -> Any:
 # ------------------------------------------------------------ the report
 
 
+def clean_degraded() -> Dict[str, Any]:
+    """The ``degraded`` section of a run nothing went wrong in.
+
+    Deterministically identical across backends and worker counts, so
+    the report-identity guarantees survive the schema addition.  Shape
+    matches :meth:`TaskSupervisor.snapshot` plus the cell-level lists."""
+    return {
+        "supervision": {
+            "retries": 0,
+            "timeouts": 0,
+            "worker_deaths": 0,
+            "respawns": 0,
+            "quarantined": [],
+        },
+        "quarantined_cells": [],
+        "skipped_cells": [],
+    }
+
+
 @dataclass
 class CampaignReport:
     """Merged outcome of a campaign: per-cell stats plus deduplicated,
-    fingerprint-keyed findings in first-seen order."""
+    fingerprint-keyed findings in first-seen order.
+
+    ``degraded`` is the truth-telling section: everything that kept the
+    campaign from being a perfectly clean run of the full matrix --
+    supervision counters (retries, timeouts, worker deaths, respawns),
+    quarantined poison cells, and budget-skipped cells.  A clean run's
+    section is :func:`clean_degraded`, bit for bit."""
 
     meta: Dict[str, Any]
     cells: List[Dict[str, Any]]
     findings: List[Dict[str, Any]]
+    degraded: Dict[str, Any] = dataclass_field(default_factory=clean_degraded)
 
     @property
     def totals(self) -> Dict[str, int]:
@@ -564,6 +602,7 @@ class CampaignReport:
             "ok": by_status.get("ok", 0),
             "inapplicable": by_status.get("inapplicable", 0),
             "skipped": by_status.get("skipped", 0),
+            "degraded": by_status.get("degraded", 0),
             "traces": sum(cell["traces"] for cell in self.cells),
             "steps_replayed": sum(
                 cell["steps_replayed"] for cell in self.cells
@@ -607,10 +646,13 @@ class CampaignReport:
 
     def summary(self) -> str:
         totals = self.totals
+        degraded = (
+            f", {totals['degraded']} degraded" if totals["degraded"] else ""
+        )
         return (
             f"campaign: {totals['cells']} cells "
             f"({totals['ok']} ok, {totals['inapplicable']} inapplicable, "
-            f"{totals['skipped']} skipped), "
+            f"{totals['skipped']} skipped{degraded}), "
             f"{totals['traces']} traces, "
             f"{totals['steps_replayed']} steps replayed, "
             f"{totals['discrepancies']} discrepancies and "
@@ -628,6 +670,7 @@ class CampaignReport:
             "totals": self.totals,
             "cells": self.cells,
             "findings": self.findings,
+            "degraded": self.degraded,
         }
 
     @classmethod
@@ -641,6 +684,8 @@ class CampaignReport:
             meta=dict(data["campaign"]),
             cells=list(data["cells"]),
             findings=list(data["findings"]),
+            # Pre-/4 reports had no way to degrade (or to say so).
+            degraded=dict(data.get("degraded") or clean_degraded()),
         )
 
 
@@ -1001,18 +1046,57 @@ class ConformanceCampaign:
         # are one behaviour: fold them into alias groups.
         report.findings[:] = dedup_min_traces(report.findings)
 
+    def _supervisor(
+        self, progress: Optional[Callable[[Dict[str, Any]], None]]
+    ) -> TaskSupervisor:
+        """The campaign's task supervisor: policy from the request,
+        labels from cell identity, degradations streamed as events."""
+
+        def label(task: Any) -> str:
+            if isinstance(task, dict):
+                if task.get("kind") == "cell":
+                    return CampaignJob(**task["job"]).cell_id
+                if task.get("kind") == "shrink":
+                    return "shrink:" + task["finding"]["fingerprint"]
+            return "task"
+
+        def on_event(event: Dict[str, Any]) -> None:
+            if progress is None:
+                return
+            name = "degraded" if event.get("kind") == "quarantine" else "retry"
+            progress({"event": name, **event})
+
+        return TaskSupervisor(
+            SupervisionPolicy(
+                task_timeout=self.request.task_timeout,
+                max_retries=self.request.task_retries,
+            ),
+            on_event=on_event,
+            describe=label,
+        )
+
     def run(
-        self, progress: Optional[Callable[[Dict[str, Any]], None]] = None
+        self,
+        progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+        journal: Optional[CampaignJournal] = None,
     ) -> CampaignReport:
         """Run the campaign and return the merged report.
 
         ``progress`` is the streaming hook: it receives plain-dict
         events in completion order -- ``cell_done`` per finished cell,
         ``finding`` on each first-seen fingerprint, ``shrunk`` per
-        minimized finding -- while the returned report stays exactly as
+        minimized finding, ``retry``/``degraded`` per supervised
+        failure -- while the returned report stays exactly as
         deterministic as before (events never influence the merge).
         The campaign service wraps these into the
-        ``repro.campaign.event/1`` wire schema."""
+        ``repro.campaign.event/1`` wire schema.
+
+        ``journal`` makes the run crash-safe: completed cell and shrink
+        results append to it durably as they stream out of the backend,
+        and results it already holds (a resumed run) are replayed
+        instead of re-executed -- same index-ordered merge, so the
+        resumed report is bitwise-identical to an uninterrupted one.
+        Replayed cells emit ``cell_done`` with ``"replayed": true``."""
         started = time.monotonic()
         deadline = None if self.budget is None else started + self.budget
         # Pre-warm the spec cache in the parent: O(grains) compositions,
@@ -1039,26 +1123,37 @@ class ConformanceCampaign:
                     except ScenarioError:
                         pass  # the cell will report itself inapplicable
 
-        backend = create_backend(self.backend, TASK_HANDLER, self.workers)
+        supervisor = self._supervisor(progress)
+        backend = create_backend(
+            self.backend,
+            TASK_HANDLER,
+            self.workers,
+            supervisor=supervisor,
+            auth_token=self.request.auth_token,
+        )
+        if journal is not None:
+            backend = JournaledBackend(backend, journal)
         emitted: set = set()
 
         def on_cell(index: int, task: Dict[str, Any], result: Any) -> None:
             if progress is None:
                 return
             job_info = task["job"]
+            cell_id = CampaignJob(**job_info).cell_id
             cell = (
                 {k: v for k, v in result.items() if k != "findings"}
                 if result is not None
                 else None
             )
-            progress(
-                {
-                    "event": "cell_done",
-                    "index": job_info["index"],
-                    "cell_id": CampaignJob(**job_info).cell_id,
-                    "cell": cell,
-                }
-            )
+            event = {
+                "event": "cell_done",
+                "index": job_info["index"],
+                "cell_id": cell_id,
+                "cell": cell,
+            }
+            if journal is not None and journal.replayable(("cell", cell_id)):
+                event["replayed"] = True
+            progress(event)
             for finding in (result or {}).get("findings", ()):
                 if finding["fingerprint"] not in emitted:
                     emitted.add(finding["fingerprint"])
@@ -1093,6 +1188,25 @@ class ConformanceCampaign:
             report = merge_cells(meta, jobs, results)
             if self.shrink:
                 self._attach_min_traces(report, backend, progress)
+            # The truth-telling section: quarantined cells flip from
+            # "skipped" (the merge's reading of a None result) to
+            # "degraded", and every degradation the supervisor saw is
+            # reported.  Clean runs produce clean_degraded() exactly,
+            # preserving cross-backend report identity.
+            quarantined_cells: List[str] = []
+            for job, cell in zip(jobs, report.cells):
+                if job.cell_id in supervisor.quarantined:
+                    cell["status"] = "degraded"
+                    quarantined_cells.append(job.cell_id)
+            report.degraded = {
+                "supervision": supervisor.snapshot(),
+                "quarantined_cells": quarantined_cells,
+                "skipped_cells": [
+                    job.cell_id
+                    for job, cell in zip(jobs, report.cells)
+                    if cell["status"] == "skipped"
+                ],
+            }
             meta["elapsed_seconds"] = round(time.monotonic() - started, 3)
             return report
         finally:
@@ -1103,14 +1217,32 @@ def run_campaign(
     request: CampaignRequest,
     *,
     progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+    journal_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> CampaignReport:
     """Run one campaign request end to end: the single programmatic
     entry point behind the CLI, the campaign server, benchmarks, and
     tests.
 
     ``progress`` streams :meth:`ConformanceCampaign.run` events; the
-    returned report depends only on the request."""
-    return ConformanceCampaign(request).run(progress=progress)
+    returned report depends only on the request.
+
+    ``journal_dir`` arms crash-safety: completed results append durably
+    to ``journal_dir/journal.jsonl`` as they arrive.  ``resume=True``
+    replays results already journaled there for this request (matched
+    by :func:`~repro.remix.journal.request_digest`, which ignores
+    execution-only fields like workers and backend) instead of
+    re-running them; the resumed report is bitwise-identical to an
+    uninterrupted run.  Without ``resume`` the journal is truncated
+    first, so a fresh run never replays stale state."""
+    if resume and journal_dir is None:
+        raise ValueError("resume=True requires a journal directory")
+    journal = (
+        CampaignJournal(journal_dir, request, resume=resume)
+        if journal_dir is not None
+        else None
+    )
+    return ConformanceCampaign(request).run(progress=progress, journal=journal)
 
 
 def new_fingerprints(

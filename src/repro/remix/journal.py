@@ -1,0 +1,227 @@
+"""Crash-safe campaign journaling: checkpoint/resume for long campaigns.
+
+A campaign is a deterministic merge over per-cell results, each of which
+is a pure function of its task message.  That makes completed work
+perfectly salvageable after a crash: if the result of a cell is on disk,
+re-running the cell reproduces it bit for bit -- so we can simply *not*
+re-run it.  :class:`CampaignJournal` is the on-disk record
+(``journal.jsonl`` inside the ``--journal`` directory): one JSON line
+per completed cell or shrink task, appended and fsynced the moment the
+result streams out of the backend, before anything else sees it.  A
+campaign killed mid-run (Ctrl-C, OOM, power loss) leaves at worst one
+truncated trailing line, which :meth:`CampaignJournal.load` tolerates.
+
+Resume correctness rests on two identities:
+
+- **Cell identity.**  Every matrix cell has a unique, stable
+  ``cell_id`` (direction/grain/scenario/fault/seed) and every shrink
+  task a unique finding fingerprint; both are independent of worker
+  count, backend, and scheduling, so a journal entry unambiguously
+  names the work it retires.  Adaptive campaigns qualify too: each
+  round's allocation is a deterministic function of prior results, and
+  replayed results are the prior results.
+- **Request identity.**  Entries are tagged with a digest of the
+  *outcome-relevant* request fields (:func:`request_digest`); loading
+  filters on it, so a journal directory reused with a different request
+  replays nothing rather than something wrong.  Execution-only knobs
+  (workers, backend, supervision, auth) are excluded from the digest
+  because reports are invariant to them -- a campaign interrupted on the
+  fork backend may finish over sockets.
+
+:class:`JournaledBackend` is the integration point: it decorates any
+:class:`~repro.checker.backends.base.ExecutionBackend`, replays
+journaled results without dispatching them (firing ``on_result`` in
+task order, exactly as an infinitely fast worker would), journals fresh
+results as they complete, and passes everything else through.  Because
+the campaign's merge orders by task index and dedups findings in
+first-seen order, a resumed report is bitwise-identical to an
+uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.checker.backends.base import ExecutionBackend, ResultHook
+
+#: Journal line format version.
+JOURNAL_VERSION = 1
+
+#: Request fields that do not influence the report and therefore do not
+#: participate in the resume digest: how a campaign executes, not what
+#: it computes.
+EXECUTION_ONLY_FIELDS = (
+    "workers",
+    "backend",
+    "task_timeout",
+    "task_retries",
+    "auth_token",
+)
+
+
+def request_digest(request: Any) -> str:
+    """Digest of the outcome-relevant half of a campaign request."""
+    payload = {
+        key: value
+        for key, value in request.to_json().items()
+        if key not in EXECUTION_ONLY_FIELDS
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def task_key(task: Any) -> Optional[Tuple[str, str]]:
+    """The stable journal key of a campaign task message, or ``None``
+    for messages the journal does not understand (never journaled)."""
+    if not isinstance(task, dict):
+        return None
+    kind = task.get("kind")
+    if kind == "cell":
+        from repro.remix.campaign import CampaignJob
+
+        return ("cell", CampaignJob(**task["job"]).cell_id)
+    if kind == "shrink":
+        return ("shrink", task["finding"]["fingerprint"])
+    return None
+
+
+class CampaignJournal:
+    """The append-only result log of one (possibly interrupted) campaign.
+
+    ``resume=True`` loads existing entries for this request's digest
+    (last write wins, truncated trailing line ignored) and appends;
+    ``resume=False`` truncates -- a fresh run never replays stale state.
+    """
+
+    FILENAME = "journal.jsonl"
+
+    def __init__(self, directory: str, request: Any, resume: bool = False):
+        self.directory = directory
+        self.digest = request_digest(request)
+        self.path = os.path.join(directory, self.FILENAME)
+        os.makedirs(directory, exist_ok=True)
+        self._loaded: Dict[Tuple[str, str], Any] = {}
+        if resume:
+            self._loaded = self._load()
+        self._fh = open(self.path, "a" if resume else "w")
+
+    def _load(self) -> Dict[Tuple[str, str], Any]:
+        entries: Dict[Tuple[str, str], Any] = {}
+        try:
+            fh = open(self.path)
+        except OSError:
+            return entries
+        with fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue  # the torn write of the crash itself
+                if (
+                    not isinstance(entry, dict)
+                    or entry.get("v") != JOURNAL_VERSION
+                    or entry.get("digest") != self.digest
+                    or entry.get("result") is None
+                ):
+                    continue
+                entries[(entry["kind"], entry["key"])] = entry["result"]
+        return entries
+
+    # ------------------------------------------------------------ queries
+
+    def replayable(self, key: Optional[Tuple[str, str]]) -> bool:
+        """Was this task completed by the interrupted run we resumed?"""
+        return key is not None and key in self._loaded
+
+    def get(self, key: Tuple[str, str]) -> Any:
+        return self._loaded[key]
+
+    def __len__(self) -> int:
+        return len(self._loaded)
+
+    # ------------------------------------------------------------ writes
+
+    def record(self, key: Tuple[str, str], result: Any) -> None:
+        """Persist one completed result, durably, before returning."""
+        entry = {
+            "v": JOURNAL_VERSION,
+            "digest": self.digest,
+            "kind": key[0],
+            "key": key[1],
+            "result": result,
+        }
+        self._fh.write(json.dumps(entry, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class JournaledBackend(ExecutionBackend):
+    """Wrap a backend so completed tasks are journaled and journaled
+    tasks are replayed instead of dispatched.
+
+    Replays fire ``on_result`` first, in task order -- the order an
+    uninterrupted run *could* have produced, and the only deterministic
+    choice -- then the remaining tasks run through the wrapped backend
+    with their original indices.  Results are JSON values throughout
+    (the backend contract), so a journal round-trip is an identity and
+    the merged report cannot tell a replayed cell from a fresh one.
+    """
+
+    def __init__(self, inner: ExecutionBackend, journal: CampaignJournal):
+        self.inner = inner
+        self.journal = journal
+        self.name = inner.name
+
+    def map(
+        self,
+        tasks: Sequence[Any],
+        deadline: Optional[float] = None,
+        on_result: Optional[ResultHook] = None,
+    ) -> List[Optional[Any]]:
+        journal = self.journal
+        results: List[Optional[Any]] = [None] * len(tasks)
+        pending: List[int] = []
+        for index, task in enumerate(tasks):
+            key = task_key(task)
+            if journal.replayable(key):
+                results[index] = journal.get(key)
+            else:
+                pending.append(index)
+        if on_result is not None:
+            for index, result in enumerate(results):
+                if result is not None:
+                    on_result(index, tasks[index], result)
+        if not pending:
+            return results
+
+        def journal_and_forward(sub_index: int, task: Any, result: Any) -> None:
+            key = task_key(task)
+            if key is not None and result is not None:
+                journal.record(key, result)
+            if on_result is not None:
+                on_result(pending[sub_index], task, result)
+
+        fresh = self.inner.map(
+            [tasks[index] for index in pending],
+            deadline=deadline,
+            on_result=journal_and_forward,
+        )
+        for sub_index, index in enumerate(pending):
+            results[index] = fresh[sub_index]
+        return results
+
+    def close(self) -> None:
+        self.inner.close()
+        self.journal.close()

@@ -138,6 +138,12 @@ _SHARED: Dict[str, MappedAction] = {
     "DiscardStaleMessage": MappedAction(
         "DiscardStaleMessage", _drop_stale, pointcuts=1
     ),
+    "MessageDelay": MappedAction(
+        "MessageDelay", _fault("delay_message"), pointcuts=1
+    ),
+    "MessageDuplicate": MappedAction(
+        "MessageDuplicate", _fault("duplicate_message"), pointcuts=1
+    ),
 }
 
 _BASELINE_BROADCAST: Dict[str, MappedAction] = {

@@ -92,6 +92,14 @@ class CampaignRequest:
     adaptive: bool = False
     shrink: bool = False
     shrink_rounds: int = 10
+    #: Hard per-task wall clock in seconds (``None`` = no watchdog): a
+    #: cell that runs longer has its worker killed and is retried.
+    task_timeout: Optional[float] = None
+    #: Transient failures (worker death, timeout) one task may survive
+    #: before it is quarantined as poison.
+    task_retries: int = 2
+    #: Shared secret for the socket backend's worker handshake.
+    auth_token: Optional[str] = None
     #: Serialized configuration (the plugin's ``config_meta`` dict).
     #: Accepts a config *object* at construction; ``None`` resolves to
     #: the plugin's campaign default.
@@ -162,6 +170,19 @@ class CampaignRequest:
                 _fail("budget", f"budget must be positive, got {budget}")
         set_field(self, "budget", budget)
 
+        task_timeout = self.task_timeout
+        if task_timeout is not None:
+            task_timeout = float(task_timeout)
+            if task_timeout <= 0:
+                _fail(
+                    "task_timeout",
+                    f"task_timeout must be positive, got {task_timeout}",
+                )
+        set_field(self, "task_timeout", task_timeout)
+        set_field(self, "task_retries", max(0, int(self.task_retries)))
+        if self.auth_token is not None:
+            set_field(self, "auth_token", str(self.auth_token))
+
         set_field(self, "seeds", max(1, int(self.seeds)))
         set_field(self, "workers", max(1, int(self.workers)))
         for name in ("traces", "max_steps", "seed", "shrink_rounds"):
@@ -218,6 +239,9 @@ class CampaignRequest:
             "adaptive": self.adaptive,
             "shrink": self.shrink,
             "shrink_rounds": self.shrink_rounds,
+            "task_timeout": self.task_timeout,
+            "task_retries": self.task_retries,
+            "auth_token": self.auth_token,
             "config": dict(self.config),
         }
 

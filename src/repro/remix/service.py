@@ -18,14 +18,20 @@ The event stream (every event carries ``schema``, the per-connection
 event      payload
 ========== =============================================================
 accepted   ``request`` -- the normalized request about to run
-cell_done  ``index``, ``cell_id``, ``cell`` (stats sans findings)
+cell_done  ``index``, ``cell_id``, ``cell`` (stats sans findings;
+           ``replayed: true`` when served from a resume journal)
 finding    ``finding`` -- first sighting of a fingerprint, full record
 shrunk     ``fingerprint``, ``min_trace`` -- one finding minimized
+retry      ``kind``, ``task`` -- a supervised transient failure
+           (worker death, task timeout, scheduled retry)
+degraded   ``task``, ``reason`` -- a poison task was quarantined
 heartbeat  (liveness only; cadence is the server's ``heartbeat``)
-report     ``report`` -- the full ``repro.campaign/3`` JSON;
+report     ``report`` -- the full ``repro.campaign/4`` JSON;
            ``spec_cache`` -- this request's cache-stats delta
 error      ``message`` -- the request failed (bad JSON, bad axis
-           values, or a campaign crash); terminal like ``report``
+           values, a stalled client that never sent its request line
+           within ``request_timeout``, or a campaign crash); terminal
+           like ``report``
 ========== =============================================================
 
 What makes this a *service* rather than a loop around the CLI: the
@@ -126,9 +132,14 @@ class CampaignServer:
         port: int = 0,
         heartbeat: float = 5.0,
         max_requests: Optional[int] = None,
+        request_timeout: float = 30.0,
     ):
         self.heartbeat = heartbeat
         self.max_requests = max_requests
+        #: Seconds a fresh connection gets to send its request line; a
+        #: stalled client is answered with an ``error`` event and
+        #: closed instead of pinning a handler thread forever.
+        self.request_timeout = request_timeout
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -209,11 +220,26 @@ class CampaignServer:
                     client_gone.set()
 
         try:
-            sock.settimeout(30.0)
+            sock.settimeout(self.request_timeout)
             reader = sock.makefile("r", encoding="utf-8")
             try:
                 line = reader.readline()
                 data = json.loads(line) if line.strip() else None
+            except socket.timeout:
+                emit(
+                    {
+                        "schema": EVENT_SCHEMA,
+                        "id": request_id,
+                        "elapsed": 0.0,
+                        "event": "error",
+                        "message": (
+                            f"no request line within "
+                            f"{self.request_timeout:g}s; closing stalled "
+                            f"connection"
+                        ),
+                    }
+                )
+                return
             except (OSError, ValueError) as error:
                 emit(
                     {

@@ -89,6 +89,18 @@ class Scenario:
 ROLE_LEADER = "leader"
 ROLE_FOLLOWER = "follower"
 ROLE_PAIR = "leader-follower-pair"
+#: The *directed* leader -> follower channel, resolved as the
+#: ``(receiver, sender)`` pair message actions take (the convention of
+#: DiscardStaleMessage-style params: first the server whose inbound
+#: channel is touched, then the peer it receives from).  Unlike
+#: :data:`ROLE_PAIR`, order matters: message faults target one
+#: direction of a link.
+ROLE_LINK = "leader-to-follower-link"
+#: The ``(leader, follower)`` pair in that order, for leader-actor
+#: actions (LeaderSyncFollower-style params: the acting leader first,
+#: the follower it acts on second).  :data:`ROLE_PAIR` cannot express
+#: this -- it sorts, and the campaign's leader is the highest sid.
+ROLE_ORDERED_PAIR = "leader-follower-ordered"
 
 
 @dataclass(frozen=True)
@@ -123,6 +135,13 @@ class FaultSchedule:
                     args[key] = follower
                 elif role == ROLE_PAIR:
                     args[key] = tuple(sorted((leader, follower)))
+                elif role == ROLE_LINK:
+                    # (receiver, sender): the follower's inbound channel
+                    # from the leader -- where sync/broadcast traffic
+                    # (NEWLEADER, PROPOSAL, COMMIT) is in flight.
+                    args[key] = (follower, leader)
+                elif role == ROLE_ORDERED_PAIR:
+                    args[key] = (leader, follower)
                 else:  # pragma: no cover - schedule construction error
                     raise ValueError(f"unknown role {role!r}")
             resolved.append((action, args))

@@ -108,6 +108,10 @@ class ZkConfig:
     max_crashes: int = 2
     max_partitions: int = 2
     max_epoch: int = 4
+    #: Message-channel faults (delay, duplication) the fault lane may
+    #: inject.  0 disables the message-fault actions entirely, keeping
+    #: every pre-existing exploration bit-identical.
+    max_msg_faults: int = 0
     variant: SpecVariant = field(default_factory=SpecVariant)
 
     @property

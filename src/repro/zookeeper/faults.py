@@ -15,6 +15,8 @@ from repro.system.plugin import (
     FaultSchedule,
     ROLE_FOLLOWER as _ROLE_FOLLOWER,
     ROLE_LEADER as _ROLE_LEADER,
+    ROLE_LINK as _ROLE_LINK,
+    ROLE_ORDERED_PAIR as _ROLE_ORDERED_PAIR,
     ROLE_PAIR as _ROLE_PAIR,
 )
 from repro.tla.action import Action
@@ -230,6 +232,40 @@ def discard_stale_message(config: ZkConfig, state, i: int, j: int):
     return {"msgs": P.pop(state["msgs"], j, i)}
 
 
+def message_delay(config: ZkConfig, state, i: int, j: int):
+    """Delay the head of channel j -> i behind the traffic after it.
+
+    Models a message held up long enough to be overtaken -- in real
+    deployments this happens across a connection re-establishment,
+    where a packet written to the old socket arrives after packets
+    written to the new one.  Budgeted by ``msg_fault_budget``; needs at
+    least two in-flight messages for the reordering to exist."""
+    if state["msg_fault_budget"] <= 0:
+        return None
+    if len(state["msgs"][j][i]) < 2:
+        return None
+    return {
+        "msgs": P.rotate_head(state["msgs"], j, i),
+        "msg_fault_budget": state["msg_fault_budget"] - 1,
+    }
+
+
+def message_duplicate(config: ZkConfig, state, i: int, j: int):
+    """Re-deliver the head of channel j -> i at the channel's tail.
+
+    Models a retransmission across a reconnect: the sender cannot know
+    whether the in-flight packet survived the old connection, so the
+    receiver may see it twice.  Budgeted by ``msg_fault_budget``."""
+    if state["msg_fault_budget"] <= 0:
+        return None
+    if not state["msgs"][j][i]:
+        return None
+    return {
+        "msgs": P.duplicate_head(state["msgs"], j, i),
+        "msg_fault_budget": state["msg_fault_budget"] - 1,
+    }
+
+
 def faults_module(config: ZkConfig) -> Module:
     servers = {"i": _servers}
     pairs = {"pair": _server_pairs}
@@ -294,6 +330,24 @@ def faults_module(config: ZkConfig) -> Module:
             reads=["msgs", "state", "my_leader", "ackepoch_recv"],
             writes=["msgs"],
         ),
+        Action(
+            "MessageDelay",
+            unpack(message_delay),
+            params={"pair": lambda cfg: [
+                (i, j) for i in cfg.servers for j in cfg.servers if i != j
+            ]},
+            reads=["msgs", "msg_fault_budget"],
+            writes=["msgs", "msg_fault_budget"],
+        ),
+        Action(
+            "MessageDuplicate",
+            unpack(message_duplicate),
+            params={"pair": lambda cfg: [
+                (i, j) for i in cfg.servers for j in cfg.servers if i != j
+            ]},
+            reads=["msgs", "msg_fault_budget"],
+            writes=["msgs", "msg_fault_budget"],
+        ),
     ]
     return Module("Faults", actions)
 
@@ -328,6 +382,27 @@ FAULT_SCHEDULES: Tuple[FaultSchedule, ...] = (
         (
             ("PartitionStart", (("pair", _ROLE_PAIR),)),
             ("FollowerShutdown", (("i", _ROLE_FOLLOWER),)),
+        ),
+    ),
+    # The message-channel lane: put traffic in flight on the leader ->
+    # follower link, then perturb it.  Delay needs >= 2 in-flight
+    # messages, which only sync traffic (DIFF/TRUNC packets + NEWLEADER
+    # from LeaderSyncFollower) guarantees; duplication needs just one,
+    # which a client request's PROPOSAL provides.  New schedules append
+    # here (at the end) so existing cells keep their CRC-derived walk
+    # seeds.
+    FaultSchedule(
+        "message-delay",
+        (
+            ("LeaderSyncFollower", (("pair", _ROLE_ORDERED_PAIR),)),
+            ("MessageDelay", (("pair", _ROLE_LINK),)),
+        ),
+    ),
+    FaultSchedule(
+        "message-duplicate",
+        (
+            ("LeaderProcessRequest", (("i", _ROLE_LEADER),)),
+            ("MessageDuplicate", (("pair", _ROLE_LINK),)),
         ),
     ),
 )

@@ -63,7 +63,11 @@ class ZooKeeperPlugin(SystemPlugin):
 
     def ensemble_factory(self, config: ZkConfig) -> Callable[[], Ensemble]:
         """Fresh simulated ensembles matching the config's variant."""
-        return lambda: Ensemble(config.n_servers, config.variant)
+        return lambda: Ensemble(
+            config.n_servers,
+            config.variant,
+            max_msg_faults=config.max_msg_faults,
+        )
 
     def budget_limits(self, config: ZkConfig) -> Dict[str, int]:
         """Step budgets mirroring the spec's budget variables."""
@@ -71,6 +75,8 @@ class ZooKeeperPlugin(SystemPlugin):
             "NodeCrash": config.max_crashes,
             "PartitionStart": config.max_partitions,
             "LeaderProcessRequest": config.max_txns,
+            "MessageDelay": config.max_msg_faults,
+            "MessageDuplicate": config.max_msg_faults,
         }
 
     def config_from_meta(self, meta: Mapping[str, Any]) -> ZkConfig:

@@ -66,6 +66,27 @@ def clear_channels(msgs, server: int):
     return tuple(out)
 
 
+def rotate_head(msgs, src: int, dst: int):
+    """Move the head of channel src -> dst behind the rest (a delayed
+    message overtaken by later traffic).  Channel must have >= 2
+    messages for the rotation to mean anything."""
+    row = msgs[src]
+    channel = row[dst]
+    channel = channel[1:] + (channel[0],)
+    row = row[:dst] + (channel,) + row[dst + 1 :]
+    return msgs[:src] + (row,) + msgs[src + 1 :]
+
+
+def duplicate_head(msgs, src: int, dst: int):
+    """Append a copy of the head of channel src -> dst at its tail (a
+    retransmission across a connection re-establishment)."""
+    row = msgs[src]
+    channel = row[dst]
+    channel = channel + (channel[0],)
+    row = row[:dst] + (channel,) + row[dst + 1 :]
+    return msgs[:src] + (row,) + msgs[src + 1 :]
+
+
 def clear_pair(msgs, i: int, j: int):
     """Drop the channels between i and j in both directions."""
     out = list(msgs)

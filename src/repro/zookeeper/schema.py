@@ -47,6 +47,7 @@ VARIABLES = (
     "disconnected",      # partitioned pairs {{i,j}}
     "crash_budget",
     "partition_budget",
+    "msg_fault_budget",  # message delays/duplications remaining
     "txn_count",         # client requests issued so far
     # -- code-level error paths (I-11..I-14)
     "errors",
@@ -100,6 +101,7 @@ def initial_state(config: ZkConfig) -> State:
         disconnected=frozenset(),
         crash_budget=config.max_crashes,
         partition_budget=config.max_partitions,
+        msg_fault_budget=config.max_msg_faults,
         txn_count=0,
         errors=frozenset(),
         g_delivered=per(()),

@@ -88,7 +88,7 @@ class TestCreateBackend:
             backend.close()
 
     def test_names_cover_cli_choices(self):
-        assert BACKENDS == ("fork", "socket")
+        assert BACKENDS == ("fork", "socket", "chaos")
 
 
 @pytest.mark.skipif(not parallel.available(), reason="needs subprocesses")

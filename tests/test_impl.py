@@ -285,3 +285,48 @@ class TestFaultEnabledness:
         ens.partition(2, 0)
         assert not ens.nodes[2].leader_sync_follower(0)
         assert ens.nodes[2].leader_sync_follower(1)
+
+
+class TestMessageFaultInjectors:
+    """Network.delay/duplicate and the Ensemble's shared fault budget
+    (mirroring the model's msg_fault_budget guard)."""
+
+    def test_network_delay_rotates_head_behind(self):
+        net = Network(2)
+        net.send(0, 1, Rec(mtype="A"), Rec(mtype="B"))
+        assert net.delay(0, 1)
+        assert net.recv(0, 1).mtype == "B"
+        assert net.recv(0, 1).mtype == "A"
+
+    def test_network_delay_needs_two_in_flight(self):
+        net = Network(2)
+        net.send(0, 1, Rec(mtype="A"))
+        assert not net.delay(0, 1)
+
+    def test_network_duplicate_redelivers_head(self):
+        net = Network(2)
+        net.send(0, 1, Rec(mtype="A"), Rec(mtype="B"))
+        assert net.duplicate(0, 1)
+        assert [net.recv(0, 1).mtype for _ in range(3)] == ["A", "B", "A"]
+
+    def test_network_duplicate_empty_refused(self):
+        assert not Network(2).duplicate(0, 1)
+
+    def test_ensemble_budget_shared_and_exhausted(self):
+        ens = Ensemble(3, V391, max_msg_faults=1)
+        ens.network.send(2, 0, Rec(mtype="A"), Rec(mtype="B"))
+        # pair convention: (receiver, sender) -- operates on channel 2 -> 0
+        assert ens.delay_message(0, 2)
+        assert not ens.duplicate_message(0, 2)  # the one budget is spent
+
+    def test_ensemble_budget_not_spent_on_refusal(self):
+        ens = Ensemble(3, V391, max_msg_faults=1)
+        ens.network.send(2, 0, Rec(mtype="A"))
+        assert not ens.delay_message(0, 2)  # needs two in flight
+        assert ens.duplicate_message(0, 2)  # budget still intact
+
+    def test_ensemble_default_budget_zero(self):
+        ens = Ensemble(3, V391)
+        ens.network.send(2, 0, Rec(mtype="A"), Rec(mtype="B"))
+        assert not ens.delay_message(0, 2)
+        assert not ens.duplicate_message(0, 2)

@@ -10,6 +10,8 @@ from repro.zookeeper.faults import (
     discard_stale_message,
     follower_shutdown,
     leader_shutdown,
+    message_delay,
+    message_duplicate,
     node_crash,
     node_restart,
     partition_heal,
@@ -224,3 +226,45 @@ class TestDiscardStale:
             msgs=P.send(state["msgs"], 1, 0, Rec(mtype=C.ACK, zxid=ZXID_ZERO))
         )
         assert discard_stale_message(CFG, state, 0, 1) is not None
+
+
+class TestMessageFaults:
+    """The budgeted delay/duplication actions (pair = (receiver i,
+    sender j): both operate on channel j -> i)."""
+
+    def in_flight(self, *mtypes, budget=1):
+        state = zk_state(ZkConfig(max_msg_faults=budget))
+        msgs = P.send(
+            state["msgs"], 2, 0, *(Rec(mtype=m) for m in mtypes)
+        )
+        return state.set(msgs=msgs)
+
+    def test_delay_rotates_head_behind(self):
+        updates = message_delay(CFG, self.in_flight("A", "B"), 0, 2)
+        assert updates is not None
+        assert tuple(m.mtype for m in updates["msgs"][2][0]) == ("B", "A")
+        assert updates["msg_fault_budget"] == 0
+
+    def test_delay_needs_two_in_flight(self):
+        assert message_delay(CFG, self.in_flight("A"), 0, 2) is None
+
+    def test_delay_refused_without_budget(self):
+        state = self.in_flight("A", "B", budget=0)
+        assert message_delay(CFG, state, 0, 2) is None
+
+    def test_duplicate_redelivers_head_at_tail(self):
+        updates = message_duplicate(CFG, self.in_flight("A", "B"), 0, 2)
+        assert updates is not None
+        assert tuple(m.mtype for m in updates["msgs"][2][0]) == (
+            "A", "B", "A",
+        )
+        assert updates["msg_fault_budget"] == 0
+
+    def test_duplicate_needs_a_message(self):
+        state = zk_state(ZkConfig(max_msg_faults=1))
+        assert message_duplicate(CFG, state, 0, 2) is None
+
+    def test_budget_is_shared_between_delay_and_duplicate(self):
+        state = self.in_flight("A", "B")
+        state = state.set(**message_delay(CFG, state, 0, 2))
+        assert message_duplicate(CFG, state, 0, 2) is None
